@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures/tables through the
+experiment harness and asserts the qualitative "shape" of the result (who
+wins, by roughly what factor).  The workload scale defaults to a fraction of
+the paper's 12,442-invocation trace so the whole suite completes in minutes;
+set ``REPRO_BENCH_SCALE=1.0`` to benchmark at full paper scale (the numbers
+recorded in ``EXPERIMENTS.md`` come from the experiment runner at scale 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+DEFAULT_BENCH_SCALE = 0.30
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Workload scale used by the figure benchmarks."""
+    value = float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_BENCH_SCALE))
+    if value <= 0:
+        raise ValueError(f"REPRO_BENCH_SCALE must be positive, got {value!r}")
+    return value
+
+
+def run_once(benchmark, function, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, kwargs=kwargs, rounds=1, iterations=1)

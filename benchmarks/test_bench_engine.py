@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These measure the engine's raw event throughput so regressions in the
+substrate (which every figure depends on) show up independently of any
+workload-shape change.
+"""
+
+import pytest
+
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.cfs import CFSScheduler
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+from repro.simulation.task import Task
+
+
+def _uniform_tasks(count: int, service: float = 0.05, spacing: float = 0.001):
+    return [
+        Task(task_id=i, arrival_time=i * spacing, service_time=service)
+        for i in range(count)
+    ]
+
+
+@pytest.mark.parametrize("scheduler_factory", [FIFOScheduler, CFSScheduler])
+def test_bench_engine_throughput(benchmark, scheduler_factory):
+    """Time to push 5,000 short tasks through a 16-core machine."""
+
+    def run_once():
+        result = simulate(
+            scheduler_factory(),
+            _uniform_tasks(5000),
+            config=SimulationConfig(num_cores=16, record_utilization=False),
+        )
+        assert len(result.finished_tasks) == 5000
+        return result
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+
+
+def test_bench_engine_event_queue(benchmark):
+    """Raw event-queue push/pop throughput."""
+    from repro.simulation.events import EventQueue
+
+    def churn():
+        queue = EventQueue()
+        sink = []
+        for i in range(20000):
+            queue.push(float(i % 977) / 1000.0, lambda: None, tag="bench")
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            sink.append(event.time)
+        return len(sink)
+
+    count = benchmark.pedantic(churn, rounds=1, iterations=1)
+    assert count == 20000

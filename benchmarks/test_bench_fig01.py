@@ -1,0 +1,16 @@
+"""Benchmark + shape check for Fig. 1 (FIFO vs CFS cost by memory size)."""
+
+from conftest import run_once
+
+from repro.experiments.fig01_cost_fifo_vs_cfs import run
+
+
+def test_bench_fig01_cost_fifo_vs_cfs(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    ratio = output.data["cfs_over_fifo_ratio"]
+    # The paper reports >10x at full scale; at reduced scale the gap shrinks
+    # but CFS must remain several times more expensive than FIFO.
+    assert ratio > 3.0
+    # Cost must grow with memory size under both policies.
+    fifo_costs = output.data["fifo_costs"]
+    assert fifo_costs[10240] > fifo_costs[128]

@@ -1,0 +1,13 @@
+"""Benchmark + shape check for Fig. 2 (trace duration CDF and burstiness)."""
+
+from conftest import run_once
+
+from repro.experiments.fig02_trace_characteristics import run
+
+
+def test_bench_fig02_trace_characteristics(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    # ~80% of invocations finish within a second in the Azure study.
+    assert 0.70 <= output.data["fraction_under_1s"] <= 0.92
+    # The arrival pattern must be bursty: peak minute well above the mean.
+    assert output.data["burstiness"] > 1.3

@@ -1,0 +1,15 @@
+"""Benchmark + shape check for Fig. 4 (FIFO vs CFS metrics)."""
+
+from conftest import run_once
+
+from repro.experiments.fig04_fifo_vs_cfs import run
+
+
+def test_bench_fig04_fifo_vs_cfs(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    fifo = output.data["fifo"]
+    cfs = output.data["cfs"]
+    # FIFO wins execution time, CFS wins response time (Observation 2).
+    assert fifo["total_execution"] < cfs["total_execution"]
+    assert fifo["p99_execution"] < cfs["p99_execution"]
+    assert cfs["p99_response"] < fifo["p99_response"]

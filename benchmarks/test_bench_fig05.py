@@ -1,0 +1,12 @@
+"""Benchmark + shape check for Fig. 5 (FIFO vs FIFO with 100 ms preemption)."""
+
+from conftest import run_once
+
+from repro.experiments.fig05_fifo_preemption import run
+
+
+def test_bench_fig05_fifo_preemption(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    # Preemption trades execution time for response time (Observation 3).
+    assert output.data["response_improved"]
+    assert output.data["execution_worse"]

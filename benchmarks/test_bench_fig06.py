@@ -1,0 +1,17 @@
+"""Benchmark + shape check for Fig. 6 (FIFO vs hybrid FIFO+CFS)."""
+
+from conftest import run_once
+
+from repro.experiments.fig06_hybrid_vs_fifo import run
+
+
+def test_bench_fig06_hybrid_vs_fifo(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    fifo = output.data["fifo"]
+    hybrid = output.data["hybrid"]
+    # Short tasks (the median) are unaffected by the split: they still run to
+    # completion on a FIFO core.
+    assert output.data["median_execution_ratio"] < 1.5
+    # The hybrid must stay within a small factor of FIFO's optimal total
+    # execution time (it is never allowed to degenerate towards CFS).
+    assert hybrid["total_execution"] < 6.0 * fifo["total_execution"]

@@ -1,0 +1,14 @@
+"""Benchmark + shape check for Fig. 10 (sampled workload vs trace CDF)."""
+
+from conftest import run_once
+
+from repro.experiments.fig10_trace_fidelity import run
+
+
+def test_bench_fig10_trace_fidelity(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    # The sampled workload's duration CDF must track the source trace closely
+    # (the paper's curves "almost overlap"); bucketing to Fibonacci durations
+    # introduces a bounded discretisation error.
+    assert output.data["max_cdf_deviation"] < 0.15
+    assert output.data["sampled_invocations"] > 0

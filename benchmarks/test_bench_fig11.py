@@ -1,0 +1,17 @@
+"""Benchmark + shape check for Fig. 11 (FIFO/CFS core-split tuning)."""
+
+from conftest import run_once
+
+from repro.experiments.fig11_core_split_tuning import run
+
+
+def test_bench_fig11_core_split_tuning(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    splits = output.data["splits"]
+    cfs = output.data["cfs"]
+    # Every hybrid split beats plain CFS on total execution time.
+    for row in splits.values():
+        assert row["total_execution"] < cfs["total_execution"]
+    # A starved CFS group (40 FIFO / 10 CFS) must not be the best split —
+    # the paper observes its long execution-time tail.
+    assert output.data["best_split"] != "hybrid_40_10"

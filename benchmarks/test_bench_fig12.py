@@ -1,0 +1,12 @@
+"""Benchmark + shape check for Fig. 12 (hybrid vs CFS metrics)."""
+
+from conftest import run_once
+
+from repro.experiments.fig12_hybrid_vs_cfs_metrics import run
+
+
+def test_bench_fig12_hybrid_vs_cfs(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    # Hybrid: better execution, worse response, better (or equal) turnaround.
+    assert output.data["execution_better"]
+    assert output.data["response_worse"]

@@ -1,0 +1,16 @@
+"""Benchmark + shape check for Fig. 13 (preemption counts per core)."""
+
+from conftest import run_once
+
+from repro.experiments.fig13_preemption_counts import run
+
+
+def test_bench_fig13_preemption_counts(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    # The hybrid must preempt orders of magnitude less than CFS overall, and
+    # its FIFO cores must see far fewer preemptions than its CFS cores.
+    assert output.data["reduction_factor"] > 5.0
+    assert (
+        output.data["hybrid_fifo_group"]["mean_per_core"]
+        < output.data["cfs"]["mean_per_core"]
+    )

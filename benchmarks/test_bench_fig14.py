@@ -1,0 +1,13 @@
+"""Benchmark + shape check for Fig. 14 (per-group utilization)."""
+
+from conftest import run_once
+
+from repro.experiments.fig14_group_utilization import run
+
+
+def test_bench_fig14_group_utilization(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    # Both groups stay busy while the (over-subscribed) workload runs.
+    assert output.data["fifo_mean_utilization"] > 0.5
+    assert output.data["cfs_mean_utilization"] > 0.3
+    assert output.data["samples"] > 0

@@ -1,0 +1,14 @@
+"""Benchmark + shape check for Fig. 15 (adaptive time-limit percentiles)."""
+
+from conftest import run_once
+
+from repro.experiments.fig15_time_limit_percentiles import run
+
+
+def test_bench_fig15_time_limit_percentiles(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    rows = output.data["percentiles"]
+    # Higher percentiles preempt less and therefore achieve lower total
+    # execution time; p95 must beat p25 and the best must be a high percentile.
+    assert rows["ts_p95"]["total_execution"] <= rows["ts_p25"]["total_execution"]
+    assert output.data["best"] in ("ts_p90", "ts_p95")

@@ -1,0 +1,12 @@
+"""Benchmark + shape check for Fig. 16 (adaptive p75 limit, 10-minute trace)."""
+
+from conftest import run_once
+
+from repro.experiments.fig16_adaptive_limit_p75 import run
+
+
+def test_bench_fig16_adaptive_limit_p75(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    # p75 of the recent durations sits well below the fixed 1,633 ms limit.
+    assert output.data["median_limit"] < 1.633
+    assert output.data["mean_fifo_utilization"] > 0.3

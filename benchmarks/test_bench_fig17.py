@@ -1,0 +1,15 @@
+"""Benchmark + shape check for Fig. 17 (adaptive p95 limit, 10-minute trace)."""
+
+from conftest import run_once
+
+from repro.experiments.fig16_adaptive_limit_p75 import run as run_p75
+from repro.experiments.fig17_adaptive_limit_p95 import run
+
+
+def test_bench_fig17_adaptive_limit_p95(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    p75 = run_p75(scale=bench_scale)
+    # The p95 limit sits above the p75 limit and is more volatile, as the
+    # paper observes (it tracks the tail of the recent-durations window).
+    assert output.data["median_limit"] >= p75.data["median_limit"]
+    assert output.data["limit_volatility"] >= 0.0

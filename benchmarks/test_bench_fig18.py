@@ -1,0 +1,15 @@
+"""Benchmark + shape check for Fig. 18 (fixed groups vs rightsizing)."""
+
+from conftest import run_once
+
+from repro.experiments.fig18_rightsizing_metrics import run
+
+
+def test_bench_fig18_rightsizing_metrics(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    fixed = output.data["fixed"]
+    rightsized = output.data["rightsized"]
+    # Rightsizing must not destroy the hybrid's execution-time advantage: it
+    # trades a bounded amount of execution time for responsiveness.
+    assert rightsized["total_execution"] < 4.0 * fixed["total_execution"]
+    assert output.data["migrations"] >= 0

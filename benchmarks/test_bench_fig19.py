@@ -1,0 +1,13 @@
+"""Benchmark + shape check for Fig. 19 (utilization under rightsizing)."""
+
+from conftest import run_once
+
+from repro.experiments.fig19_rightsizing_utilization import run
+
+
+def test_bench_fig19_rightsizing_utilization(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    # The controller keeps both groups busy; group sizes stay within bounds.
+    assert output.data["fifo_cores_min"] >= 1
+    assert output.data["fifo_cores_max"] <= 49
+    assert output.data["mean_fifo_utilization"] > 0.3

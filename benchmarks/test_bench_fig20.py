@@ -1,0 +1,16 @@
+"""Benchmark + shape check for Fig. 20 (cost: hybrid vs FIFO vs CFS)."""
+
+from conftest import run_once
+
+from repro.experiments.fig20_cost_hybrid import run
+
+
+def test_bench_fig20_cost_hybrid(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    fifo = sum(output.data["fifo_costs"].values())
+    cfs = sum(output.data["cfs_costs"].values())
+    hybrid = sum(output.data["hybrid_costs"].values())
+    # Cost ordering: FIFO (lower bound) <= hybrid << CFS.
+    assert fifo <= hybrid
+    assert hybrid < cfs
+    assert output.data["hybrid_savings_vs_cfs"] > 0.3

@@ -1,0 +1,14 @@
+"""Benchmark + shape check for Fig. 21 (Firecracker microVM metrics)."""
+
+from conftest import run_once
+
+from repro.experiments.fig21_firecracker_metrics import run
+
+
+def test_bench_fig21_firecracker_metrics(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    # The memory-bound capacity matches the paper's order of magnitude
+    # (2,952 microVMs on a 512 GB host) regardless of the workload scale.
+    assert 2000 <= output.data["capacity"] <= 4000
+    # The hybrid keeps its execution-time advantage under virtualization.
+    assert output.data["execution_better"]

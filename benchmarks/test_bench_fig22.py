@@ -1,0 +1,12 @@
+"""Benchmark + shape check for Fig. 22 (Firecracker cost)."""
+
+from conftest import run_once
+
+from repro.experiments.fig22_firecracker_cost import run
+
+
+def test_bench_fig22_firecracker_cost(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    # The hybrid still saves money under Firecracker, though less than in the
+    # plain-process mode (paper: ~10%).
+    assert output.data["overall_saving"] > 0.02

@@ -1,0 +1,20 @@
+"""Benchmark + shape check for Fig. 23 (cost vs p99 response, all schedulers)."""
+
+from conftest import run_once
+
+from repro.experiments.fig23_cost_vs_latency import run
+
+
+def test_bench_fig23_cost_vs_latency(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    points = output.data["points"]
+    # Every policy the paper lists must be present on the plane.
+    for name in ("fifo", "cfs", "hybrid", "round_robin", "edf", "sjf", "srtf", "shinjuku"):
+        assert name in points
+    # CFS is the most expensive point; FIFO is (near) the cheapest.
+    most_expensive = max(points, key=lambda k: points[k]["cost_usd"])
+    assert most_expensive == "cfs"
+    assert points["fifo"]["cost_usd"] <= points["cfs"]["cost_usd"] / 3.0
+    # The hybrid must not be Pareto-dominated by CFS or FIFO simultaneously:
+    # it is cheaper than CFS and more responsive than FIFO.
+    assert points["hybrid"]["cost_usd"] < points["cfs"]["cost_usd"]

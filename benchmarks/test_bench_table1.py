@@ -1,0 +1,19 @@
+"""Benchmark + shape check for Table I (p99 metrics and overall cost)."""
+
+from conftest import run_once
+
+from repro.experiments.table1_p99_summary import run
+
+
+def test_bench_table1_p99_summary(benchmark, bench_scale):
+    output = run_once(benchmark, run, scale=bench_scale)
+    fifo = output.data["fifo"]
+    cfs = output.data["cfs"]
+    hybrid = output.data["hybrid"]
+    # CFS is the most expensive scheduler and has the best p99 response.
+    assert output.data["most_expensive"] == "cfs"
+    assert cfs["p99_response"] <= fifo["p99_response"]
+    assert cfs["p99_response"] <= hybrid["p99_response"]
+    # The hybrid cuts p99 execution time and cost dramatically vs CFS.
+    assert hybrid["p99_execution"] < cfs["p99_execution"]
+    assert output.data["cfs_over_hybrid_cost"] > 3.0

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Cost study: what does OS scheduling cost a serverless user?
+
+Reproduces the paper's motivating analysis (Figs. 1 and 20) end to end:
+
+1. synthesise an Azure-like trace and extract the 2-minute workload,
+2. run it under FIFO, CFS and the hybrid scheduler,
+3. price every run with the AWS Lambda per-millisecond table, for a sweep of
+   memory sizes and for the trace's own memory distribution.
+
+Run with::
+
+    python examples/azure_cost_study.py [--scale 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import CFSScheduler, FIFOScheduler, HybridScheduler, simulate
+from repro.analysis.report import format_usd, render_table
+from repro.cost.cost_model import CostModel
+from repro.experiments.common import paper_hybrid_config, standard_config, two_minute_workload
+
+MEMORY_SWEEP_MB = (128, 256, 512, 1024, 2048)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="fraction of the paper's 12,442 invocations to simulate",
+    )
+    args = parser.parse_args()
+
+    cost_model = CostModel()
+    config = standard_config()
+    runs = {}
+    for name, scheduler in (
+        ("fifo", FIFOScheduler()),
+        ("cfs", CFSScheduler()),
+        ("hybrid", HybridScheduler(paper_hybrid_config())),
+    ):
+        result = simulate(scheduler, two_minute_workload(args.scale), config=config)
+        runs[name] = result
+        print(
+            f"{name:<7s}: {len(result.finished_tasks)} invocations, "
+            f"total billed execution {result.summary().total_execution:,.0f} s"
+        )
+
+    rows = []
+    for memory in MEMORY_SWEEP_MB:
+        row = [f"{memory} MB"]
+        for name in ("fifo", "hybrid", "cfs"):
+            cost = cost_model.cost_by_memory_size(
+                runs[name].finished_tasks, [memory]
+            )[memory]
+            row.append(format_usd(cost))
+        rows.append(row)
+    print()
+    print(render_table(["memory size", "FIFO", "hybrid", "CFS"], rows,
+                       title="Workload cost if every function used the same memory size"))
+
+    print()
+    mixed = {
+        name: cost_model.workload_cost(result.finished_tasks).total
+        for name, result in runs.items()
+    }
+    print(render_table(
+        ["scheduler", "cost (own memory sizes)"],
+        [[name, format_usd(cost)] for name, cost in mixed.items()],
+        title="Cost with the trace's memory distribution (Table I methodology)",
+    ))
+    print(
+        f"\nSwitching the OS scheduler from CFS to the hybrid policy saves "
+        f"{(1 - mixed['hybrid'] / mixed['cfs']) * 100:.1f}% of the user's bill."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Firecracker mode: schedule microVM threads instead of plain processes.
+
+Expands each serverless invocation into a microVM (VCPU + VMM + IO threads),
+applies the host's memory cap, and compares CFS against the hybrid scheduler
+on the per-invocation metrics and cost — the paper's §VI-E experiment.
+
+Run with::
+
+    python examples/firecracker_fleet.py [--invocations 1500]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import CFSScheduler, HybridScheduler, simulate
+from repro.analysis.report import format_usd, render_table
+from repro.cost.cost_model import CostModel
+from repro.experiments.common import paper_hybrid_config, standard_config
+from repro.firecracker.fleet import FirecrackerFleet
+from repro.simulation.metrics import TaskMetricsSummary
+from repro.workload.generator import build_workload
+from repro.workload.azure import AzureTraceConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--invocations", type=int, default=1500,
+                        help="number of function invocations to admit")
+    args = parser.parse_args()
+
+    fleet = FirecrackerFleet()
+    print(f"host memory         : {fleet.host_memory_mb / 1024:.0f} GB")
+    print(f"per-microVM footprint: {fleet.spec.footprint_mb} MB")
+    print(f"microVM capacity     : {fleet.capacity()} (paper: 2,952)")
+    print()
+
+    cost_model = CostModel()
+    rows = []
+    for name, scheduler in (
+        ("cfs", CFSScheduler()),
+        ("hybrid", HybridScheduler(paper_hybrid_config())),
+    ):
+        invocations = build_workload(
+            minutes=10,
+            limit=args.invocations,
+            trace_config=AzureTraceConfig(minutes=10),
+        )
+        workload = fleet.admit(invocations)
+        simulate(scheduler, workload.thread_tasks, config=standard_config())
+        vcpu_tasks = [t for t in workload.vcpu_tasks() if t.is_finished]
+        summary = TaskMetricsSummary.from_tasks(vcpu_tasks)
+        cost = cost_model.workload_cost(vcpu_tasks).total
+        rows.append([
+            name,
+            str(workload.admission.admitted),
+            str(workload.admission.failed),
+            f"{summary.p99_execution:.2f}",
+            f"{summary.p99_turnaround:.2f}",
+            format_usd(cost),
+        ])
+
+    print(render_table(
+        ["scheduler", "admitted VMs", "failed launches", "p99 execution (s)",
+         "p99 turnaround (s)", "cost"],
+        rows,
+        title="Firecracker microVM workload (per-invocation VCPU metrics)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

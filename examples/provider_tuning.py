@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Provider-side tuning: adaptive time limits and core-group rightsizing.
+
+Shows the two mechanisms of §IV-B working on a longer workload:
+
+* the FIFO preemption limit adapting to a percentile of the recent task
+  durations (compare p75 vs p95, Figs. 16/17), and
+* cores migrating between the FIFO and CFS groups to keep both highly
+  utilized (Fig. 19).
+
+Run with::
+
+    python examples/provider_tuning.py [--scale 0.2] [--percentile 95]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import HybridScheduler, simulate
+from repro.analysis.report import render_series, render_table
+from repro.core.config import CFS_GROUP, FIFO_GROUP
+from repro.experiments.common import paper_hybrid_config, standard_config, ten_minute_workload
+
+
+def mean_of(series) -> float:
+    return float(np.mean([p.value for p in series])) if series else 0.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="fraction of the 10-minute workload to simulate")
+    parser.add_argument("--percentile", type=float, default=95,
+                        help="adaptive time-limit percentile")
+    args = parser.parse_args()
+
+    config = standard_config()
+
+    # --- adaptive time limit -------------------------------------------------
+    adaptive_cfg = paper_hybrid_config().with_adaptive_limit(args.percentile, window=100)
+    adaptive = simulate(HybridScheduler(adaptive_cfg), ten_minute_workload(args.scale),
+                        config=config)
+    limit_series = adaptive.series_values("time_limit")
+    limits = [p.value for p in limit_series]
+    print(render_table(
+        ["quantity", "value"],
+        [
+            ["adaptive percentile", f"p{args.percentile:g}"],
+            ["initial limit", f"{limits[0]:.3f} s"],
+            ["final limit", f"{limits[-1]:.3f} s"],
+            ["median limit", f"{np.median(limits):.3f} s"],
+            ["FIFO group utilization", f"{mean_of(adaptive.utilization_series(FIFO_GROUP)):.2f}"],
+            ["CFS group utilization", f"{mean_of(adaptive.utilization_series(CFS_GROUP)):.2f}"],
+        ],
+        title="Adaptive FIFO preemption limit",
+    ))
+    print()
+    print(render_series([(p.time, p.value) for p in limit_series],
+                        title="Preemption limit over time (s)"))
+
+    # --- core rightsizing ----------------------------------------------------
+    rightsizing_scheduler = HybridScheduler(paper_hybrid_config().with_rightsizing(True))
+    rightsized = simulate(rightsizing_scheduler, ten_minute_workload(args.scale),
+                          config=standard_config())
+    cores_series = rightsized.series_values("fifo_cores")
+    migrations = (rightsizing_scheduler.rightsizer.migration_count
+                  if rightsizing_scheduler.rightsizer else 0)
+    print()
+    print(render_table(
+        ["quantity", "value"],
+        [
+            ["core migrations", str(migrations)],
+            ["FIFO cores min/max", f"{min(p.value for p in cores_series):.0f} / "
+                                   f"{max(p.value for p in cores_series):.0f}"],
+            ["FIFO group utilization", f"{mean_of(rightsized.utilization_series(FIFO_GROUP)):.2f}"],
+            ["CFS group utilization", f"{mean_of(rightsized.utilization_series(CFS_GROUP)):.2f}"],
+        ],
+        title="Dynamic core-group rightsizing",
+    ))
+    print()
+    print(render_series([(p.time, p.value) for p in cores_series],
+                        title="Number of FIFO cores over time"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment this reproduction targets has no ``wheel`` package,
+so PEP 517 editable installs (which must build a wheel) fail.  Keeping a
+classic ``setup.py`` lets ``pip install -e . --no-use-pep517`` fall back to
+``setup.py develop``, which works offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

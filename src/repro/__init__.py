@@ -1,0 +1,75 @@
+"""repro — reproduction of "In Serverless, OS Scheduler Choice Costs Money".
+
+Public API
+==========
+
+The package is organised as one subpackage per subsystem (see ``DESIGN.md``),
+but the most common entry points are re-exported here:
+
+* workload construction: :func:`repro.workload.generator.paper_workload_2min`
+  and friends,
+* schedulers: :class:`repro.core.HybridScheduler` plus the baselines in
+  :mod:`repro.schedulers`,
+* running a simulation: :func:`repro.simulation.engine.simulate`,
+* cost accounting: :class:`repro.cost.CostModel`.
+
+Quick example::
+
+    from repro import simulate, HybridScheduler, paper_workload_2min
+    from repro.cost import CostModel
+
+    tasks = paper_workload_2min(limit=2000)
+    result = simulate(HybridScheduler(), tasks)
+    print(result.describe())
+    print(CostModel().workload_cost(result.finished_tasks))
+"""
+
+from repro.core import HybridConfig, HybridScheduler
+from repro.schedulers import (
+    CFSScheduler,
+    EDFScheduler,
+    FIFOPreemptScheduler,
+    FIFOScheduler,
+    RoundRobinScheduler,
+    ShinjukuScheduler,
+    SJFScheduler,
+    SRTFScheduler,
+    available_schedulers,
+    create_scheduler,
+)
+from repro.simulation import Machine, SimulationConfig, SimulationResult, Simulator, Task
+from repro.simulation.engine import simulate
+from repro.workload.generator import (
+    build_workload,
+    paper_workload_2min,
+    paper_workload_10min,
+    scaled_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HybridConfig",
+    "HybridScheduler",
+    "CFSScheduler",
+    "EDFScheduler",
+    "FIFOPreemptScheduler",
+    "FIFOScheduler",
+    "RoundRobinScheduler",
+    "ShinjukuScheduler",
+    "SJFScheduler",
+    "SRTFScheduler",
+    "available_schedulers",
+    "create_scheduler",
+    "Machine",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "Task",
+    "simulate",
+    "build_workload",
+    "paper_workload_2min",
+    "paper_workload_10min",
+    "scaled_workload",
+    "__version__",
+]

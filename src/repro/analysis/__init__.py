@@ -1,0 +1,31 @@
+"""Result analysis helpers: CDFs, percentiles, summary tables and text plots.
+
+Every figure in the paper is either a CDF (metric comparisons), a time series
+(utilization / time-limit / core-count plots) or a bar/summary table (costs,
+Table I).  The experiment harness uses this package to turn
+:class:`~repro.simulation.results.SimulationResult` objects into exactly
+those artefacts, rendered as text tables and CSV-friendly rows.
+"""
+
+from repro.analysis.cdf import CDF, compute_cdf
+from repro.analysis.percentile import percentile, percentile_summary, weighted_percentile
+from repro.analysis.report import (
+    ComparisonTable,
+    format_seconds,
+    format_usd,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "CDF",
+    "compute_cdf",
+    "percentile",
+    "percentile_summary",
+    "weighted_percentile",
+    "ComparisonTable",
+    "format_seconds",
+    "format_usd",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,94 @@
+"""Empirical CDFs.
+
+Most of the paper's figures are cumulative distribution plots of execution,
+response or turnaround time.  :class:`CDF` is a small value object holding the
+sorted sample and providing evaluation, quantiles and comparison helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CDF:
+    """Empirical cumulative distribution of a sample."""
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.values, dtype=float)
+        if array.ndim != 1:
+            raise ValueError("CDF expects a one-dimensional sample")
+        if array.size == 0:
+            raise ValueError("CDF expects a non-empty sample")
+        object.__setattr__(self, "values", np.sort(array))
+
+    # ---------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self.values, x, side="right") / self.values.size)
+
+    def evaluate(self, points: Sequence[float]) -> np.ndarray:
+        """P(X <= p) for every p in ``points``."""
+        pts = np.asarray(points, dtype=float)
+        return np.searchsorted(self.values, pts, side="right") / self.values.size
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF (q in [0, 1])."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"q must be in [0, 1], got {q!r}")
+        return float(np.quantile(self.values, q))
+
+    def percentile(self, p: float) -> float:
+        """Inverse CDF with p expressed in percent."""
+        return self.quantile(p / 100.0)
+
+    @property
+    def min(self) -> float:
+        return float(self.values[0])
+
+    @property
+    def max(self) -> float:
+        return float(self.values[-1])
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    # ------------------------------------------------------------ comparisons
+
+    def curve(self, num_points: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+        """(x, P(X <= x)) pairs suitable for plotting or CSV export."""
+        if num_points < 2:
+            raise ValueError(f"num_points must be >= 2, got {num_points!r}")
+        xs = np.linspace(self.min, self.max, num_points)
+        return xs, self.evaluate(xs)
+
+    def dominates(self, other: "CDF", points: Optional[Sequence[float]] = None) -> bool:
+        """True when this CDF lies above ``other`` everywhere it is sampled.
+
+        "Above" means stochastically smaller: for a time metric, the
+        dominating CDF belongs to the better scheduler.
+        """
+        if points is None:
+            points = np.unique(np.concatenate([self.values, other.values]))
+        ours = self.evaluate(points)
+        theirs = other.evaluate(points)
+        return bool(np.all(ours >= theirs - 1e-12))
+
+    def fraction_within(self, limit: float) -> float:
+        """Convenience alias of :meth:`at` reading as "fraction done by ``limit``"."""
+        return self.at(limit)
+
+
+def compute_cdf(values: Iterable[float]) -> CDF:
+    """Build a :class:`CDF` from any iterable of numbers."""
+    return CDF(np.fromiter((float(v) for v in values), dtype=float))

@@ -1,0 +1,142 @@
+"""CSV export of simulation results.
+
+The experiment harness prints text tables; this module writes the underlying
+data (per-task metrics, CDF curves, utilization and scheduler time series,
+comparison tables) as CSV files so results can be re-plotted with any
+external tool, or diffed between runs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from repro.analysis.cdf import compute_cdf
+from repro.analysis.report import ComparisonTable
+from repro.simulation.results import SimulationResult
+
+PathLike = Union[str, Path]
+
+
+def _open_writer(path: PathLike):
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    return target
+
+
+def export_task_metrics(result: SimulationResult, path: PathLike) -> Path:
+    """Write one row per finished task: timings, memory, placement counters."""
+    target = _open_writer(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "task_id",
+                "arrival_time",
+                "service_time",
+                "memory_mb",
+                "execution_time",
+                "response_time",
+                "turnaround_time",
+                "preemptions",
+                "migrations",
+                "last_core",
+            ]
+        )
+        for task in result.finished_tasks:
+            writer.writerow(
+                [
+                    task.task_id,
+                    f"{task.arrival_time:.6f}",
+                    f"{task.service_time:.6f}",
+                    task.memory_mb,
+                    f"{task.execution_time:.6f}",
+                    f"{task.response_time:.6f}",
+                    f"{task.turnaround_time:.6f}",
+                    task.preemptions,
+                    task.migrations,
+                    task.last_core if task.last_core is not None else "",
+                ]
+            )
+    return target
+
+
+def export_metric_cdf(
+    result: SimulationResult, metric: str, path: PathLike, points: int = 200
+) -> Path:
+    """Write the CDF curve of one metric (execution/response/turnaround)."""
+    extractors = {
+        "execution": result.execution_times,
+        "response": result.response_times,
+        "turnaround": result.turnaround_times,
+    }
+    if metric not in extractors:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of {sorted(extractors)}"
+        )
+    values = extractors[metric]()
+    if values.size == 0:
+        raise ValueError("the result has no finished tasks to build a CDF from")
+    xs, ys = compute_cdf(values).curve(num_points=points)
+    target = _open_writer(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([metric, "cumulative_fraction"])
+        for x, y in zip(xs, ys):
+            writer.writerow([f"{x:.6f}", f"{y:.6f}"])
+    return target
+
+
+def export_series(
+    result: SimulationResult,
+    path: PathLike,
+    series_names: Optional[Sequence[str]] = None,
+    groups: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write scheduler time series and per-group utilization as long-form CSV."""
+    target = _open_writer(path)
+    names = list(series_names) if series_names is not None else sorted(result.series)
+    group_names = list(groups) if groups is not None else sorted(
+        {g for g in result.core_groups.values()}
+    )
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "time", "value"])
+        for name in names:
+            for point in result.series_values(name):
+                writer.writerow([name, f"{point.time:.6f}", f"{point.value:.6f}"])
+        for group in group_names:
+            for point in result.utilization_series(group):
+                writer.writerow(
+                    [f"utilization:{group}", f"{point.time:.6f}", f"{point.value:.6f}"]
+                )
+    return target
+
+
+def export_comparison_table(table: ComparisonTable, path: PathLike) -> Path:
+    """Write a ComparisonTable (Table I style) as CSV."""
+    target = _open_writer(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=["scheduler", *table.columns])
+        writer.writeheader()
+        for row in table.as_dicts():
+            writer.writerow(row)
+    return target
+
+
+def export_result_bundle(
+    result: SimulationResult, directory: PathLike, prefix: Optional[str] = None
+) -> Dict[str, Path]:
+    """Write the standard bundle (tasks, three CDFs, series) for one result."""
+    base = Path(directory)
+    label = prefix or result.scheduler_name
+    written = {
+        "tasks": export_task_metrics(result, base / f"{label}_tasks.csv"),
+        "series": export_series(result, base / f"{label}_series.csv"),
+    }
+    for metric in ("execution", "response", "turnaround"):
+        written[f"cdf_{metric}"] = export_metric_cdf(
+            result, metric, base / f"{label}_cdf_{metric}.csv"
+        )
+    return written

@@ -1,0 +1,60 @@
+"""Percentile helpers shared by experiments and the adaptive time limit."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+
+def percentile(values: Iterable[float], p: float) -> float:
+    """The ``p``-th percentile (0-100) of ``values``."""
+    array = np.fromiter((float(v) for v in values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0 <= p <= 100:
+        raise ValueError(f"p must be in [0, 100], got {p!r}")
+    return float(np.percentile(array, p))
+
+
+def weighted_percentile(
+    values: Sequence[float], weights: Sequence[float], p: float
+) -> float:
+    """Percentile of ``values`` where each value carries a weight.
+
+    Used for invocation-weighted duration percentiles: every trace bucket
+    contributes its duration with the bucket's invocation count as weight.
+    """
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    if len(values) == 0:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0 <= p <= 100:
+        raise ValueError(f"p must be in [0, 100], got {p!r}")
+    vals = np.asarray(values, dtype=float)
+    wts = np.asarray(weights, dtype=float)
+    if np.any(wts < 0):
+        raise ValueError("weights must be non-negative")
+    total = wts.sum()
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    order = np.argsort(vals)
+    vals = vals[order]
+    wts = wts[order]
+    cumulative = np.cumsum(wts) / total
+    index = int(np.searchsorted(cumulative, p / 100.0))
+    index = min(index, len(vals) - 1)
+    return float(vals[index])
+
+
+def percentile_summary(
+    values: Iterable[float], percentiles: Sequence[float] = (50, 90, 95, 99)
+) -> Dict[str, float]:
+    """Mean plus a set of percentiles, keyed ``"mean"`` / ``"p50"`` / ... ."""
+    array = np.fromiter((float(v) for v in values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    summary: Dict[str, float] = {"mean": float(array.mean())}
+    for p in percentiles:
+        summary[f"p{int(p)}"] = float(np.percentile(array, p))
+    return summary

@@ -1,0 +1,137 @@
+"""Plain-text rendering of experiment outputs.
+
+The experiment harness prints the same rows and series the paper's figures
+show.  Everything is rendered as aligned text tables (and optionally CSV
+lines) so results are readable in a terminal and easy to diff between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def format_seconds(value: float) -> str:
+    """Human-friendly rendering of a duration in seconds."""
+    if value < 0:
+        raise ValueError(f"durations cannot be negative, got {value!r}")
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def format_usd(value: float) -> str:
+    """Render a dollar amount with sensible precision for small values."""
+    if abs(value) >= 1:
+        return f"${value:,.2f}"
+    return f"${value:.4f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table."""
+    if not headers:
+        raise ValueError("a table needs at least one column")
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """Render a (time, value) series as a coarse ASCII chart.
+
+    Good enough to eyeball the utilization / time-limit / core-count series
+    the paper plots in Figs. 14, 16, 17 and 19.
+    """
+    if not points:
+        raise ValueError("cannot render an empty series")
+    if width < 10 or height < 3:
+        raise ValueError("width must be >= 10 and height >= 3")
+    times = [p[0] for p in points]
+    values = [p[1] for p in points]
+    t_min, t_max = min(times), max(times)
+    v_min, v_max = min(values), max(values)
+    t_span = (t_max - t_min) or 1.0
+    v_span = (v_max - v_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for t, v in points:
+        col = int((t - t_min) / t_span * (width - 1))
+        row = int((v - v_min) / v_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"max={v_max:.3f}")
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"min={v_min:.3f}   t=[{t_min:.1f}s .. {t_max:.1f}s]")
+    return "\n".join(lines)
+
+
+@dataclass
+class ComparisonTable:
+    """Accumulates one row per scheduler and renders a comparison table.
+
+    This is the shape of Table I and of the textual output of most figure
+    harnesses: schedulers as rows, metrics as columns.
+    """
+
+    columns: Sequence[str]
+    rows: List[Tuple[str, Dict[str, float]]] = field(default_factory=list)
+
+    def add_row(self, label: str, metrics: Dict[str, float]) -> None:
+        missing = [c for c in self.columns if c not in metrics]
+        if missing:
+            raise ValueError(f"row {label!r} is missing columns: {missing}")
+        self.rows.append((label, dict(metrics)))
+
+    def metric(self, label: str, column: str) -> float:
+        for row_label, metrics in self.rows:
+            if row_label == label:
+                return metrics[column]
+        raise KeyError(f"no row labelled {label!r}")
+
+    def ratio(self, column: str, numerator: str, denominator: str) -> float:
+        denom = self.metric(denominator, column)
+        if denom == 0:
+            raise ZeroDivisionError(f"{denominator!r} has zero {column!r}")
+        return self.metric(numerator, column) / denom
+
+    def render(self, title: Optional[str] = None, precision: int = 4) -> str:
+        rows = [
+            [label] + [f"{metrics[c]:.{precision}g}" for c in self.columns]
+            for label, metrics in self.rows
+        ]
+        return render_table(["scheduler"] + list(self.columns), rows, title=title)
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        """Rows as dictionaries (handy for CSV export and tests)."""
+        return [
+            {"scheduler": label, **{c: metrics[c] for c in self.columns}}
+            for label, metrics in self.rows
+        ]

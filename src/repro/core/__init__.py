@@ -1,0 +1,40 @@
+"""The paper's primary contribution: the hybrid FIFO+CFS scheduler.
+
+The hybrid scheduler splits a ghOSt enclave into two CPU core groups:
+
+* a **FIFO group** running short tasks to completion from a centralized
+  global queue, and
+* a **CFS group** absorbing the long tail: any task that exceeds the FIFO
+  *preemption time limit* is preempted and migrated there.
+
+Two control mechanisms keep the provider side healthy (§IV-B):
+
+* :class:`~repro.core.time_limit.AdaptivePercentileTimeLimit` adapts the FIFO
+  time limit to a percentile of the most recent task durations, and
+* :class:`~repro.core.rightsizing.RightsizingController` migrates cores
+  between the two groups when their utilization diverges.
+"""
+
+from repro.core.config import HybridConfig
+from repro.core.hybrid import HybridScheduler
+from repro.core.rightsizing import RightsizingController, RightsizingEvent
+from repro.core.time_limit import (
+    AdaptivePercentileTimeLimit,
+    FixedTimeLimit,
+    TimeLimitPolicy,
+)
+from repro.schedulers.registry import register_scheduler as _register_scheduler
+
+# Make the hybrid scheduler reachable through the same registry as the
+# baselines so experiments can refer to every policy by name.
+_register_scheduler("hybrid", HybridScheduler, overwrite=True)
+
+__all__ = [
+    "HybridConfig",
+    "HybridScheduler",
+    "RightsizingController",
+    "RightsizingEvent",
+    "AdaptivePercentileTimeLimit",
+    "FixedTimeLimit",
+    "TimeLimitPolicy",
+]

@@ -1,0 +1,144 @@
+"""Configuration of the hybrid scheduler.
+
+Defaults follow the paper's best configuration: a 50-core enclave split
+25/25, a 1,633 ms FIFO preemption limit (the 90th percentile of the sampled
+workload's durations), round-robin distribution of preempted tasks over the
+CFS cores, and both adaptation mechanisms available but off unless the
+experiment enables them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Optional
+
+#: The fixed preemption limit used throughout §VI-A (90th percentile of the
+#: sampled workload's function durations).
+PAPER_FIXED_TIME_LIMIT = 1.633
+
+#: Group names used by the hybrid scheduler.
+FIFO_GROUP = "fifo"
+CFS_GROUP = "cfs"
+
+
+class CFSPlacement(Enum):
+    """How preempted tasks are spread over the CFS cores."""
+
+    ROUND_ROBIN = "round_robin"
+    LEAST_LOADED = "least_loaded"
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """All knobs of the hybrid scheduler.
+
+    Attributes:
+        fifo_cores: Number of cores initially in the FIFO group.
+        cfs_cores: Number of cores initially in the CFS group.
+        time_limit: Fixed FIFO preemption limit in seconds; ignored when
+            ``adaptive_time_limit`` is enabled.
+        adaptive_time_limit: Derive the limit from recent task durations.
+        time_limit_percentile: Percentile (0-100) of the sliding window used
+            when adaptation is on (the paper studies 25/50/75/90/95).
+        time_limit_window: Number of recent task durations kept (100 in the
+            paper).
+        cfs_placement: Distribution of preempted tasks over CFS cores.
+        rightsizing: Enable dynamic core migration between the groups.
+        rightsizing_interval: Seconds between rightsizing evaluations.
+        rightsizing_threshold: Minimum utilization gap (0-1) between the
+            groups before a core is moved.
+        rightsizing_cooldown: Minimum seconds between two core migrations.
+        min_group_size: Neither group may shrink below this many cores.
+        utilization_sample_interval: Sampling period of the monitoring daemon.
+        utilization_window: Averaging window used for rightsizing decisions.
+    """
+
+    fifo_cores: int = 25
+    cfs_cores: int = 25
+    time_limit: float = PAPER_FIXED_TIME_LIMIT
+    adaptive_time_limit: bool = False
+    time_limit_percentile: float = 90.0
+    time_limit_window: int = 100
+    cfs_placement: CFSPlacement = CFSPlacement.ROUND_ROBIN
+    rightsizing: bool = False
+    rightsizing_interval: float = 1.0
+    rightsizing_threshold: float = 0.15
+    rightsizing_cooldown: float = 2.0
+    min_group_size: int = 1
+    utilization_sample_interval: float = 0.5
+    utilization_window: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.fifo_cores <= 0:
+            raise ValueError(f"fifo_cores must be positive, got {self.fifo_cores!r}")
+        if self.cfs_cores <= 0:
+            raise ValueError(f"cfs_cores must be positive, got {self.cfs_cores!r}")
+        if self.time_limit <= 0:
+            raise ValueError(f"time_limit must be positive, got {self.time_limit!r}")
+        if not 0 < self.time_limit_percentile <= 100:
+            raise ValueError(
+                f"time_limit_percentile must be in (0, 100], got {self.time_limit_percentile!r}"
+            )
+        if self.time_limit_window <= 0:
+            raise ValueError(
+                f"time_limit_window must be positive, got {self.time_limit_window!r}"
+            )
+        if self.rightsizing_interval <= 0:
+            raise ValueError(
+                f"rightsizing_interval must be positive, got {self.rightsizing_interval!r}"
+            )
+        if not 0 < self.rightsizing_threshold < 1:
+            raise ValueError(
+                f"rightsizing_threshold must be in (0, 1), got {self.rightsizing_threshold!r}"
+            )
+        if self.rightsizing_cooldown < 0:
+            raise ValueError(
+                f"rightsizing_cooldown must be >= 0, got {self.rightsizing_cooldown!r}"
+            )
+        if self.min_group_size < 1:
+            raise ValueError(
+                f"min_group_size must be >= 1, got {self.min_group_size!r}"
+            )
+        if self.utilization_sample_interval <= 0:
+            raise ValueError(
+                "utilization_sample_interval must be positive, got "
+                f"{self.utilization_sample_interval!r}"
+            )
+        if self.utilization_window <= 0:
+            raise ValueError(
+                f"utilization_window must be positive, got {self.utilization_window!r}"
+            )
+        if self.min_group_size > min(self.fifo_cores, self.cfs_cores):
+            raise ValueError(
+                "min_group_size cannot exceed the initial size of either group"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        return self.fifo_cores + self.cfs_cores
+
+    def with_split(self, fifo_cores: int, cfs_cores: int) -> "HybridConfig":
+        """Return a copy with a different FIFO/CFS core split."""
+        return replace(self, fifo_cores=fifo_cores, cfs_cores=cfs_cores)
+
+    def with_time_limit(self, time_limit: float) -> "HybridConfig":
+        """Return a copy with a different fixed preemption limit."""
+        return replace(self, time_limit=time_limit, adaptive_time_limit=False)
+
+    def with_adaptive_limit(self, percentile: float, window: int = 100) -> "HybridConfig":
+        """Return a copy using sliding-window percentile limit adaptation."""
+        return replace(
+            self,
+            adaptive_time_limit=True,
+            time_limit_percentile=percentile,
+            time_limit_window=window,
+        )
+
+    def with_rightsizing(self, enabled: bool = True) -> "HybridConfig":
+        """Return a copy with dynamic core-group rightsizing toggled."""
+        return replace(self, rightsizing=enabled)
+
+
+#: The configuration used for the headline results (Figs. 12, 13, 20, Table I).
+PAPER_BEST_CONFIG = HybridConfig()

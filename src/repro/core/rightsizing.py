@@ -1,0 +1,126 @@
+"""CPU core group rightsizing (§IV-B, §VI-C).
+
+A monitoring daemon samples per-core utilization into a shared store; the
+controller compares the windowed average utilization of the FIFO and CFS
+groups and, when the gap exceeds a threshold, decides to migrate one core
+from the busier group to the idler one.  The actual migration choreography
+(lock → preempt → redistribute → move → unlock, Fig. 8) is executed by the
+hybrid scheduler; the controller is the decision-maker and the bookkeeper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import CFS_GROUP, FIFO_GROUP, HybridConfig
+from repro.monitoring.monitor import GroupUtilizationMonitor
+from repro.simulation.machine import Machine
+
+
+@dataclass(frozen=True)
+class RightsizingDecision:
+    """A single migration decision: move one core ``source`` → ``target``."""
+
+    source: str
+    target: str
+    fifo_utilization: float
+    cfs_utilization: float
+
+
+@dataclass(frozen=True)
+class RightsizingEvent:
+    """A migration that actually happened (kept for Fig. 19 style analysis)."""
+
+    time: float
+    source: str
+    target: str
+    core_id: int
+    fifo_utilization: float
+    cfs_utilization: float
+    fifo_cores_after: int
+    cfs_cores_after: int
+
+
+class RightsizingController:
+    """Decides when to move a core between the FIFO and CFS groups."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        monitor: GroupUtilizationMonitor,
+        config: HybridConfig,
+    ) -> None:
+        self.machine = machine
+        self.monitor = monitor
+        self.config = config
+        self.events: List[RightsizingEvent] = []
+        self._last_migration_time: Optional[float] = None
+
+    # -------------------------------------------------------------- decisions
+
+    def evaluate(self, now: float) -> Optional[RightsizingDecision]:
+        """Return a migration decision, or None if the groups are balanced.
+
+        A decision is only produced when:
+
+        * the cooldown since the previous migration has elapsed,
+        * the utilization gap between the groups exceeds the threshold, and
+        * the busier group can spare a core without dropping below
+          ``min_group_size``.
+        """
+        if self._in_cooldown(now):
+            return None
+        fifo_ids = self.machine.group(FIFO_GROUP).core_ids
+        cfs_ids = self.machine.group(CFS_GROUP).core_ids
+        fifo_util = self.monitor.group_utilization(fifo_ids, now)
+        cfs_util = self.monitor.group_utilization(cfs_ids, now)
+        gap = fifo_util - cfs_util
+        if abs(gap) < self.config.rightsizing_threshold:
+            return None
+        if gap > 0:
+            # FIFO is the hot group: give it a core from CFS.
+            source, target = CFS_GROUP, FIFO_GROUP
+        else:
+            source, target = FIFO_GROUP, CFS_GROUP
+        if self.machine.group_size(source) <= self.config.min_group_size:
+            return None
+        return RightsizingDecision(
+            source=source,
+            target=target,
+            fifo_utilization=fifo_util,
+            cfs_utilization=cfs_util,
+        )
+
+    def record_migration(
+        self, now: float, decision: RightsizingDecision, core_id: int
+    ) -> RightsizingEvent:
+        """Record that the scheduler executed ``decision`` on ``core_id``."""
+        self._last_migration_time = now
+        event = RightsizingEvent(
+            time=now,
+            source=decision.source,
+            target=decision.target,
+            core_id=core_id,
+            fifo_utilization=decision.fifo_utilization,
+            cfs_utilization=decision.cfs_utilization,
+            fifo_cores_after=self.machine.group_size(FIFO_GROUP),
+            cfs_cores_after=self.machine.group_size(CFS_GROUP),
+        )
+        self.events.append(event)
+        return event
+
+    # ---------------------------------------------------------------- helpers
+
+    def _in_cooldown(self, now: float) -> bool:
+        if self._last_migration_time is None:
+            return False
+        return (now - self._last_migration_time) < self.config.rightsizing_cooldown
+
+    @property
+    def migration_count(self) -> int:
+        return len(self.events)
+
+    def migrations_towards(self, group: str) -> int:
+        """How many migrations have added a core to ``group``."""
+        return sum(1 for event in self.events if event.target == group)

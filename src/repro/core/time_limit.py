@@ -1,0 +1,132 @@
+"""FIFO preemption time-limit policies.
+
+The hybrid scheduler preempts a task off the FIFO cores once it has run for
+longer than the *time limit*.  The paper evaluates a fixed limit (1,633 ms,
+the 90th percentile of the sampled workload) and an adaptive limit equal to a
+configurable percentile of the most recent 100 task durations (§IV-B, §VI-B).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+
+class TimeLimitPolicy(ABC):
+    """Interface shared by the fixed and adaptive time-limit policies."""
+
+    @abstractmethod
+    def current(self) -> float:
+        """Current preemption limit in seconds."""
+
+    def observe(self, duration: float, now: float) -> None:
+        """Feed one completed task duration into the policy (may be a no-op)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class FixedTimeLimit(TimeLimitPolicy):
+    """Constant preemption limit."""
+
+    def __init__(self, limit: float) -> None:
+        if limit <= 0:
+            raise ValueError(f"time limit must be positive, got {limit!r}")
+        self.limit = limit
+
+    def current(self) -> float:
+        return self.limit
+
+    def describe(self) -> str:
+        return f"fixed {self.limit * 1000:.0f} ms"
+
+
+class AdaptivePercentileTimeLimit(TimeLimitPolicy):
+    """Sliding-window percentile limit ("ts = pN" in Fig. 15).
+
+    Keeps the most recent ``window`` completed task durations and returns the
+    requested percentile of that window.  Until enough observations have
+    accumulated the initial limit is used, matching the paper's Fig. 16/17
+    startup behaviour where the limit begins at 1,633 ms.
+    """
+
+    def __init__(
+        self,
+        percentile: float,
+        window: int = 100,
+        initial_limit: float = 1.633,
+        min_limit: float = 0.001,
+        min_observations: int = 10,
+    ) -> None:
+        """Args:
+        percentile: Percentile (0-100] of the window to use as the limit.
+        window: Number of recent task durations retained (100 in the paper).
+        initial_limit: Limit used before enough durations are observed.
+        min_limit: Floor on the limit so the FIFO group never degenerates to
+            preempting everything instantly.
+        min_observations: Number of observations required before the
+            adaptive value replaces the initial limit.
+        """
+        if not 0 < percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile!r}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        if initial_limit <= 0:
+            raise ValueError(f"initial_limit must be positive, got {initial_limit!r}")
+        if min_limit <= 0:
+            raise ValueError(f"min_limit must be positive, got {min_limit!r}")
+        if min_observations <= 0:
+            raise ValueError(
+                f"min_observations must be positive, got {min_observations!r}"
+            )
+        self.percentile = percentile
+        self.window = window
+        self.initial_limit = initial_limit
+        self.min_limit = min_limit
+        self.min_observations = min_observations
+        self._durations: Deque[float] = deque(maxlen=window)
+        self._history: List[tuple[float, float]] = []
+
+    def observe(self, duration: float, now: float) -> None:
+        """Record one completed task duration."""
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration!r}")
+        self._durations.append(duration)
+        self._history.append((now, self.current()))
+
+    def current(self) -> float:
+        if len(self._durations) < self.min_observations:
+            return self.initial_limit
+        value = float(np.percentile(np.array(self._durations), self.percentile))
+        return max(self.min_limit, value)
+
+    @property
+    def observations(self) -> int:
+        return len(self._durations)
+
+    def limit_history(self) -> List[tuple[float, float]]:
+        """(time, limit) pairs recorded at each observation (Figs. 16, 17)."""
+        return list(self._history)
+
+    def describe(self) -> str:
+        return f"adaptive p{self.percentile:g} of last {self.window} durations"
+
+
+def build_time_limit_policy(
+    adaptive: bool,
+    fixed_limit: float,
+    percentile: float,
+    window: int,
+    initial_limit: Optional[float] = None,
+) -> TimeLimitPolicy:
+    """Factory used by the hybrid scheduler's configuration."""
+    if adaptive:
+        return AdaptivePercentileTimeLimit(
+            percentile=percentile,
+            window=window,
+            initial_limit=initial_limit if initial_limit is not None else fixed_limit,
+        )
+    return FixedTimeLimit(fixed_limit)

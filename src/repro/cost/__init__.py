@@ -1,0 +1,26 @@
+"""User-facing cost accounting.
+
+FaaS providers bill wall-clock execution time per millisecond, with a price
+proportional to the memory configured for the function.  Because the billed
+quantity is wall-clock (not CPU) time, any scheduling decision that stretches
+execution — CFS time slicing above all — directly costs the user money.
+This package encodes AWS Lambda's published price table and turns simulation
+results into dollar figures (Figs. 1, 20, 22 and Table I).
+"""
+
+from repro.cost.cost_model import CostBreakdown, CostModel
+from repro.cost.pricing import (
+    AWS_LAMBDA_X86_PRICING,
+    LambdaPriceTable,
+    PriceTier,
+    price_per_ms,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "CostModel",
+    "AWS_LAMBDA_X86_PRICING",
+    "LambdaPriceTable",
+    "PriceTier",
+    "price_per_ms",
+]

@@ -1,0 +1,126 @@
+"""Workload cost computation.
+
+Turns per-task execution times into user-facing dollar figures, following
+the paper's methodology:
+
+* Fig. 1 / Fig. 20 / Fig. 22 — "what would the workload cost if every
+  function were configured with memory size M", for a sweep of M.
+* Table I — the overall cost with each function billed at its own memory
+  size (drawn from the Azure-like memory distribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.cost.pricing import AWS_LAMBDA_X86_PRICING, LambdaPriceTable
+from repro.simulation.task import Task
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Cost of one workload run."""
+
+    execution_cost: float
+    request_cost: float
+    invocations: int
+    billed_seconds: float
+
+    @property
+    def total(self) -> float:
+        return self.execution_cost + self.request_cost
+
+
+class CostModel:
+    """Computes user-facing cost from finished tasks."""
+
+    def __init__(
+        self,
+        pricing: Optional[LambdaPriceTable] = None,
+        include_request_fee: bool = False,
+        bill_response_time: bool = False,
+    ) -> None:
+        """Args:
+        pricing: Price table (defaults to AWS Lambda x86).
+        include_request_fee: Add the $0.20/million per-request fee.  The
+            paper's figures only account for duration cost, so this is off
+            by default.
+        bill_response_time: Bill turnaround instead of execution time.
+            Providers bill from function start, so the default (execution
+            time only) matches the paper; the alternative is exposed for
+            sensitivity studies.
+        """
+        self.pricing = pricing or AWS_LAMBDA_X86_PRICING
+        self.include_request_fee = include_request_fee
+        self.bill_response_time = bill_response_time
+
+    # ---------------------------------------------------------------- billing
+
+    def billed_duration(self, task: Task) -> float:
+        """Seconds of wall-clock time billed for one finished task."""
+        if not task.is_finished:
+            raise ValueError(f"task {task.task_id} is not finished; nothing to bill")
+        duration = (
+            task.turnaround_time if self.bill_response_time else task.execution_time
+        )
+        return float(duration if duration is not None else 0.0)
+
+    def task_cost(self, task: Task, memory_mb: Optional[float] = None) -> float:
+        """Cost of one finished task, optionally overriding its memory size."""
+        memory = memory_mb if memory_mb is not None else task.memory_mb
+        cost = self.pricing.execution_cost(self.billed_duration(task), memory)
+        if self.include_request_fee:
+            cost += self.pricing.price_per_request
+        return cost
+
+    # -------------------------------------------------------------- workloads
+
+    def workload_cost(
+        self, tasks: Iterable[Task], memory_mb: Optional[float] = None
+    ) -> CostBreakdown:
+        """Total cost of a set of finished tasks.
+
+        Args:
+            tasks: Finished tasks (unfinished tasks are rejected).
+            memory_mb: When given, every task is billed as if configured with
+                this memory size (the Fig. 1 / Fig. 20 sweep).  Otherwise
+                each task's own memory size is used (Table I).
+        """
+        execution_cost = 0.0
+        billed_seconds = 0.0
+        count = 0
+        for task in tasks:
+            duration = self.billed_duration(task)
+            memory = memory_mb if memory_mb is not None else task.memory_mb
+            execution_cost += self.pricing.execution_cost(duration, memory)
+            billed_seconds += duration
+            count += 1
+        request_cost = self.pricing.price_per_request * count if self.include_request_fee else 0.0
+        return CostBreakdown(
+            execution_cost=execution_cost,
+            request_cost=request_cost,
+            invocations=count,
+            billed_seconds=billed_seconds,
+        )
+
+    def cost_by_memory_size(
+        self, tasks: Sequence[Task], memory_sizes_mb: Sequence[int]
+    ) -> Dict[int, float]:
+        """Workload cost for each hypothetical uniform memory size (Fig. 1/20/22)."""
+        if not memory_sizes_mb:
+            raise ValueError("memory_sizes_mb must not be empty")
+        billed = [self.billed_duration(task) for task in tasks]
+        total_seconds = sum(billed)
+        result: Dict[int, float] = {}
+        for memory in memory_sizes_mb:
+            result[int(memory)] = self.pricing.execution_cost(total_seconds, memory)
+        return result
+
+    def cost_ratio(self, tasks_a: Sequence[Task], tasks_b: Sequence[Task]) -> float:
+        """Ratio total_cost(a) / total_cost(b) using each task's own memory."""
+        cost_a = self.workload_cost(tasks_a).total
+        cost_b = self.workload_cost(tasks_b).total
+        if cost_b == 0:
+            raise ZeroDivisionError("the reference workload has zero cost")
+        return cost_a / cost_b

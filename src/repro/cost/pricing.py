@@ -1,0 +1,98 @@
+"""AWS Lambda price table.
+
+AWS Lambda (x86, us-east-1, 2024) charges $0.0000166667 per GB-second of
+configured memory, billed per millisecond, plus $0.20 per million requests.
+The paper's cost figures multiply each function's execution duration by the
+per-millisecond price of its memory size, so the same table is reproduced
+here as explicit per-tier prices (the published table quotes a price per
+millisecond for each memory configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+#: Price per GB-second of configured memory (USD), x86 architecture.
+PRICE_PER_GB_SECOND = 0.0000166667
+
+#: Price per request (USD).
+PRICE_PER_REQUEST = 0.20 / 1_000_000
+
+#: Memory configurations listed in the AWS pricing table (MB).
+PUBLISHED_MEMORY_TIERS_MB: Tuple[int, ...] = (128, 512, 1024, 1536, 2048, 3072, 4096, 5120, 6144, 7168, 8192, 9216, 10240)
+
+
+@dataclass(frozen=True)
+class PriceTier:
+    """Price of one memory configuration."""
+
+    memory_mb: int
+    price_per_ms: float
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise ValueError(f"memory_mb must be positive, got {self.memory_mb!r}")
+        if self.price_per_ms < 0:
+            raise ValueError(f"price_per_ms must be >= 0, got {self.price_per_ms!r}")
+
+
+def price_per_ms(memory_mb: float, price_per_gb_second: float = PRICE_PER_GB_SECOND) -> float:
+    """Per-millisecond price of a function configured with ``memory_mb``."""
+    if memory_mb <= 0:
+        raise ValueError(f"memory_mb must be positive, got {memory_mb!r}")
+    gb = memory_mb / 1024.0
+    return gb * price_per_gb_second / 1000.0
+
+
+class LambdaPriceTable:
+    """Price lookup for arbitrary memory sizes.
+
+    Exact published tiers are kept for reference; arbitrary sizes are priced
+    with the linear GB-second formula, which is exactly how AWS derives the
+    published per-millisecond numbers.
+    """
+
+    def __init__(
+        self,
+        price_per_gb_second: float = PRICE_PER_GB_SECOND,
+        price_per_request: float = PRICE_PER_REQUEST,
+        tiers_mb: Sequence[int] = PUBLISHED_MEMORY_TIERS_MB,
+    ) -> None:
+        if price_per_gb_second <= 0:
+            raise ValueError(
+                f"price_per_gb_second must be positive, got {price_per_gb_second!r}"
+            )
+        if price_per_request < 0:
+            raise ValueError(
+                f"price_per_request must be >= 0, got {price_per_request!r}"
+            )
+        self.price_per_gb_second = price_per_gb_second
+        self.price_per_request = price_per_request
+        self.tiers: Dict[int, PriceTier] = {
+            mb: PriceTier(memory_mb=mb, price_per_ms=price_per_ms(mb, price_per_gb_second))
+            for mb in tiers_mb
+        }
+
+    def price_per_ms(self, memory_mb: float) -> float:
+        """Per-millisecond execution price for a memory size (MB)."""
+        return price_per_ms(memory_mb, self.price_per_gb_second)
+
+    def execution_cost(self, duration_seconds: float, memory_mb: float) -> float:
+        """Cost of one invocation's execution time (excluding the request fee)."""
+        if duration_seconds < 0:
+            raise ValueError(
+                f"duration_seconds must be >= 0, got {duration_seconds!r}"
+            )
+        return duration_seconds * 1000.0 * self.price_per_ms(memory_mb)
+
+    def invocation_cost(self, duration_seconds: float, memory_mb: float) -> float:
+        """Execution cost plus the per-request fee."""
+        return self.execution_cost(duration_seconds, memory_mb) + self.price_per_request
+
+    def published_tiers(self) -> Sequence[PriceTier]:
+        return tuple(self.tiers[mb] for mb in sorted(self.tiers))
+
+
+#: Default table used by every experiment.
+AWS_LAMBDA_X86_PRICING = LambdaPriceTable()

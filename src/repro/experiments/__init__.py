@@ -1,0 +1,52 @@
+"""Experiment harness: one module per figure/table of the paper.
+
+Every module exposes a ``run(scale=1.0) -> ExperimentOutput`` function and
+registers itself under the experiment id used throughout ``DESIGN.md`` and
+``EXPERIMENTS.md`` (``fig01`` … ``fig23``, ``table1``).  The
+:mod:`repro.experiments.runner` CLI runs one or all of them and prints the
+rows/series the corresponding paper figure shows.
+
+``scale`` shrinks the workload (fraction of the paper's invocation count) so
+the same harness can be exercised quickly in CI; the benchmarks and the
+recorded EXPERIMENTS.md numbers use ``scale=1.0``.
+"""
+
+from repro.experiments.common import (
+    ExperimentOutput,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+    run_experiment,
+)
+
+# Importing the experiment modules registers them.
+from repro.experiments import (  # noqa: E402,F401  (import for registration side effect)
+    fig01_cost_fifo_vs_cfs,
+    fig02_trace_characteristics,
+    fig04_fifo_vs_cfs,
+    fig05_fifo_preemption,
+    fig06_hybrid_vs_fifo,
+    fig10_trace_fidelity,
+    fig11_core_split_tuning,
+    fig12_hybrid_vs_cfs_metrics,
+    fig13_preemption_counts,
+    fig14_group_utilization,
+    fig15_time_limit_percentiles,
+    fig16_adaptive_limit_p75,
+    fig17_adaptive_limit_p95,
+    fig18_rightsizing_metrics,
+    fig19_rightsizing_utilization,
+    fig20_cost_hybrid,
+    fig21_firecracker_metrics,
+    fig22_firecracker_cost,
+    fig23_cost_vs_latency,
+    table1_p99_summary,
+)
+
+__all__ = [
+    "ExperimentOutput",
+    "get_experiment",
+    "list_experiments",
+    "register_experiment",
+    "run_experiment",
+]

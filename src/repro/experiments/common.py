@@ -1,0 +1,207 @@
+"""Shared infrastructure for the experiment harness.
+
+Provides the experiment registry, the canonical workloads (the paper's
+2-minute and 10-minute Azure-like traces), and helpers that turn simulation
+results into the comparison rows the figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.report import ComparisonTable
+from repro.core.config import HybridConfig
+from repro.cost.cost_model import CostModel
+from repro.schedulers.base import Scheduler
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator, simulate
+from repro.simulation.machine import Machine
+from repro.simulation.results import SimulationResult
+from repro.simulation.task import Task
+from repro.workload.azure import AzureTraceConfig, generate_trace
+from repro.workload.calibration import default_calibration_table
+from repro.workload.extraction import ExtractionPipeline
+from repro.workload.generator import (
+    PAPER_FIRECRACKER_INVOCATIONS,
+    PAPER_TWO_MINUTE_INVOCATIONS,
+    WorkloadGenerator,
+    WorkloadItem,
+    WorkloadSpec,
+    items_to_tasks,
+)
+
+#: Enclave size used by every experiment (the paper uses 50 of the 72 cores).
+ENCLAVE_CORES = 50
+
+#: The fixed FIFO preemption limit the paper derives as the 90th percentile of
+#: its sampled workload (1,633 ms); our default workload's p90 lands within a
+#: few percent of this value, so the constant is used as-is.
+FIXED_TIME_LIMIT = 1.633
+
+
+@dataclass
+class ExperimentOutput:
+    """Result of one experiment: rendered text plus machine-readable data."""
+
+    experiment_id: str
+    title: str
+    description: str
+    text: str
+    data: Dict[str, object] = field(default_factory=dict)
+    tables: Dict[str, ComparisonTable] = field(default_factory=dict)
+
+    def render(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        return "\n".join([header, self.description.strip(), "", self.text])
+
+
+ExperimentFunction = Callable[..., ExperimentOutput]
+
+_EXPERIMENTS: Dict[str, ExperimentFunction] = {}
+
+
+def register_experiment(experiment_id: str, function: ExperimentFunction) -> None:
+    """Register an experiment under its id (``fig01`` … ``table1``)."""
+    key = experiment_id.lower()
+    if key in _EXPERIMENTS:
+        raise ValueError(f"experiment {experiment_id!r} is already registered")
+    _EXPERIMENTS[key] = function
+
+
+def list_experiments() -> List[str]:
+    return sorted(_EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> ExperimentFunction:
+    key = experiment_id.lower()
+    if key not in _EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(list_experiments())}"
+        )
+    return _EXPERIMENTS[key]
+
+
+def run_experiment(experiment_id: str, scale: float = 1.0) -> ExperimentOutput:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(scale=scale)
+
+
+# ---------------------------------------------------------------------------
+# Canonical workloads
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=8)
+def _workload_items(minutes: int, limit: Optional[int]) -> tuple:
+    """Cache workload items (immutable); tasks are rebuilt per run."""
+    trace = generate_trace(AzureTraceConfig(minutes=max(minutes, 2)))
+    pipeline = ExtractionPipeline(calibration=default_calibration_table())
+    buckets = pipeline.run(trace)
+    generator = WorkloadGenerator(buckets)
+    items = generator.generate_items(WorkloadSpec(minutes=minutes, limit=limit))
+    return tuple(items)
+
+
+def scaled_limit(base: int, scale: float) -> int:
+    """Scale an invocation count, keeping at least a small viable workload."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale!r}")
+    return max(200, int(round(base * scale)))
+
+
+def two_minute_workload(scale: float = 1.0) -> List[Task]:
+    """Fresh tasks for the paper's 12,442-invocation (~2 minute) workload."""
+    limit = scaled_limit(PAPER_TWO_MINUTE_INVOCATIONS, scale)
+    return items_to_tasks(list(_workload_items(2, limit)))
+
+
+def ten_minute_workload(scale: float = 1.0) -> List[Task]:
+    """Fresh tasks for the paper's 10-minute workload (utilization studies)."""
+    items = list(_workload_items(10, None))
+    if scale < 1.0:
+        keep = scaled_limit(len(items), scale)
+        items = items[:keep]
+    return items_to_tasks(items)
+
+
+def two_minute_items(scale: float = 1.0) -> List[WorkloadItem]:
+    limit = scaled_limit(PAPER_TWO_MINUTE_INVOCATIONS, scale)
+    return list(_workload_items(2, limit))
+
+
+def firecracker_invocations(scale: float = 1.0) -> List[Task]:
+    """First invocations of the 10-minute workload used for Firecracker runs."""
+    limit = scaled_limit(PAPER_FIRECRACKER_INVOCATIONS, scale)
+    items = list(_workload_items(10, None))[:limit]
+    return items_to_tasks(items)
+
+
+# ---------------------------------------------------------------------------
+# Simulation helpers
+# ---------------------------------------------------------------------------
+
+
+def standard_config(num_cores: int = ENCLAVE_CORES, **overrides) -> SimulationConfig:
+    """Simulation configuration shared by the experiments."""
+    return SimulationConfig(num_cores=num_cores, **overrides)
+
+
+def run_policy(
+    scheduler: Scheduler,
+    tasks: Sequence[Task],
+    num_cores: int = ENCLAVE_CORES,
+    config: Optional[SimulationConfig] = None,
+) -> SimulationResult:
+    """Run one scheduler over ``tasks`` on a fresh machine."""
+    cfg = config or standard_config(num_cores)
+    return simulate(scheduler, list(tasks), config=cfg)
+
+
+def paper_hybrid_config(num_cores: int = ENCLAVE_CORES, **overrides) -> HybridConfig:
+    """The 25/25, 1,633 ms configuration used for the headline results."""
+    fifo = overrides.pop("fifo_cores", num_cores // 2)
+    cfs = overrides.pop("cfs_cores", num_cores - fifo)
+    return HybridConfig(
+        fifo_cores=fifo, cfs_cores=cfs, time_limit=FIXED_TIME_LIMIT, **overrides
+    )
+
+
+METRIC_COLUMNS = (
+    "p50_execution",
+    "p99_execution",
+    "p50_response",
+    "p99_response",
+    "p99_turnaround",
+    "total_execution",
+    "cost_usd",
+)
+
+
+def metric_row(result: SimulationResult, cost_model: Optional[CostModel] = None) -> Dict[str, float]:
+    """One comparison-table row (Table I style) from a simulation result."""
+    model = cost_model or CostModel()
+    summary = result.summary()
+    cost = model.workload_cost(result.finished_tasks).total
+    return {
+        "p50_execution": summary.p50_execution,
+        "p99_execution": summary.p99_execution,
+        "p50_response": summary.p50_response,
+        "p99_response": summary.p99_response,
+        "p99_turnaround": summary.p99_turnaround,
+        "total_execution": summary.total_execution,
+        "cost_usd": cost,
+    }
+
+
+def cdf_rows(values: Sequence[float], label: str, points: Sequence[float]) -> List[List[object]]:
+    """Rows of (label, x, P(X<=x)) used to print CDF curves as text."""
+    array = np.sort(np.asarray(values, dtype=float))
+    rows = []
+    for point in points:
+        fraction = float(np.searchsorted(array, point, side="right") / array.size)
+        rows.append([label, f"{point:.3g}", f"{fraction:.3f}"])
+    return rows

@@ -1,0 +1,77 @@
+"""Figure 2: trace characteristics — duration CDF and arrival burstiness.
+
+Left panel: the distribution of function durations (about 80 % of
+invocations finish within one second).  Right panel: the per-minute arrival
+counts over the first day, showing sudden spikes.  Both are reproduced from
+the synthetic Azure-like trace so the downstream experiments inherit the same
+workload properties the paper relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.experiments.common import ExperimentOutput, register_experiment
+from repro.workload.azure import AzureTraceConfig, generate_trace
+
+EXPERIMENT_ID = "fig02"
+TITLE = "Azure-like trace: duration CDF and arrival pattern"
+
+#: Duration points (seconds) at which the CDF is reported.
+DURATION_POINTS = (0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0)
+
+
+def run(scale: float = 1.0, minutes: int = 240) -> ExperimentOutput:
+    """Generate a day-scale trace (default 4 hours at scale 1) and summarise it.
+
+    ``minutes`` bounds generation time; the duration statistics do not depend
+    on the horizon, and the burstiness statistics stabilise within hours.
+    """
+    horizon = max(2, int(minutes * scale))
+    trace = generate_trace(AzureTraceConfig(minutes=horizon))
+
+    cdf_rows = [
+        [f"{point:g}s", f"{trace.fraction_under(point):.3f}"] for point in DURATION_POINTS
+    ]
+    duration_table = render_table(
+        ["duration <=", "fraction of invocations"],
+        cdf_rows,
+        title="Function duration CDF",
+    )
+
+    per_minute = trace.invocations_per_minute()
+    mean_rate = float(per_minute.mean())
+    peak_rate = float(per_minute.max())
+    burst_rows = [
+        ["minutes", str(horizon)],
+        ["mean invocations/minute", f"{mean_rate:.0f}"],
+        ["p95 invocations/minute", f"{np.percentile(per_minute, 95):.0f}"],
+        ["peak invocations/minute", f"{peak_rate:.0f}"],
+        ["peak / mean (burstiness)", f"{peak_rate / mean_rate:.2f}x"],
+    ]
+    burst_table = render_table(["arrival statistic", "value"], burst_rows)
+
+    fraction_under_1s = trace.fraction_under(1.0)
+    text = (
+        duration_table
+        + "\n\n"
+        + burst_table
+        + f"\n\n{fraction_under_1s * 100:.1f}% of invocations finish within 1 s "
+        "(paper: ~80%)."
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        data={
+            "fraction_under_1s": fraction_under_1s,
+            "mean_per_minute": mean_rate,
+            "peak_per_minute": peak_rate,
+            "burstiness": peak_rate / mean_rate if mean_rate else 0.0,
+        },
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

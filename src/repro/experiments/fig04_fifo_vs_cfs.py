@@ -1,0 +1,65 @@
+"""Figure 4: FIFO vs CFS metric comparison.
+
+FIFO achieves near-optimal execution time (no interruptions) but suffers
+head-of-line blocking, so its response time is far worse than CFS's; CFS
+responds almost immediately but stretches execution times dramatically
+(Observation 2).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cdf import compute_cdf
+from repro.analysis.report import ComparisonTable
+from repro.experiments.common import (
+    ExperimentOutput,
+    METRIC_COLUMNS,
+    metric_row,
+    register_experiment,
+    run_policy,
+    two_minute_workload,
+)
+from repro.schedulers.cfs import CFSScheduler
+from repro.schedulers.fifo import FIFOScheduler
+
+EXPERIMENT_ID = "fig04"
+TITLE = "FIFO vs CFS: execution, response and turnaround time"
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    fifo = run_policy(FIFOScheduler(), two_minute_workload(scale))
+    cfs = run_policy(CFSScheduler(), two_minute_workload(scale))
+
+    table = ComparisonTable(columns=METRIC_COLUMNS)
+    table.add_row("fifo", metric_row(fifo))
+    table.add_row("cfs", metric_row(cfs))
+
+    fifo_exec = compute_cdf(fifo.execution_times())
+    cfs_exec = compute_cdf(cfs.execution_times())
+    fifo_resp = compute_cdf(fifo.response_times())
+    cfs_resp = compute_cdf(cfs.response_times())
+
+    text = table.render(title="Per-scheduler metric summary (seconds / USD)")
+    text += (
+        "\n\nmedian execution time : FIFO "
+        f"{fifo_exec.percentile(50):.3f}s vs CFS {cfs_exec.percentile(50):.3f}s"
+        "\nmedian response time  : FIFO "
+        f"{fifo_resp.percentile(50):.3f}s vs CFS {cfs_resp.percentile(50):.3f}s"
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        tables={"metrics": table},
+        data={
+            "fifo": metric_row(fifo),
+            "cfs": metric_row(cfs),
+            "fifo_beats_cfs_execution": table.metric("fifo", "p99_execution")
+            < table.metric("cfs", "p99_execution"),
+            "cfs_beats_fifo_response": table.metric("cfs", "p99_response")
+            < table.metric("fifo", "p99_response"),
+        },
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

@@ -1,0 +1,65 @@
+"""Figure 5: plain FIFO vs FIFO with a 100 ms preemption quantum.
+
+Preempting a task that has run for 100 ms and moving it to the end of the
+queue relieves head-of-line blocking: response time improves significantly at
+the cost of longer execution times, and overall turnaround still improves
+(Observation 3).  This motivates using preemption inside the hybrid design.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ComparisonTable
+from repro.experiments.common import (
+    ExperimentOutput,
+    METRIC_COLUMNS,
+    metric_row,
+    register_experiment,
+    run_policy,
+    two_minute_workload,
+)
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.fifo_preempt import FIFOPreemptScheduler
+
+EXPERIMENT_ID = "fig05"
+TITLE = "FIFO vs FIFO with 100 ms preemption"
+
+PREEMPTION_QUANTUM = 0.100
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    fifo = run_policy(FIFOScheduler(), two_minute_workload(scale))
+    fifo_100ms = run_policy(
+        FIFOPreemptScheduler(quantum=PREEMPTION_QUANTUM), two_minute_workload(scale)
+    )
+
+    table = ComparisonTable(columns=METRIC_COLUMNS)
+    table.add_row("fifo", metric_row(fifo))
+    table.add_row("fifo_100ms", metric_row(fifo_100ms))
+
+    response_improved = table.metric("fifo_100ms", "p99_response") < table.metric(
+        "fifo", "p99_response"
+    )
+    execution_worse = table.metric("fifo_100ms", "total_execution") > table.metric(
+        "fifo", "total_execution"
+    )
+    text = table.render(title="FIFO vs FIFO-100ms metric summary")
+    text += (
+        f"\n\npreemption improves p99 response time: {response_improved}"
+        f"\npreemption increases total execution time: {execution_worse}"
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        tables={"metrics": table},
+        data={
+            "fifo": metric_row(fifo),
+            "fifo_100ms": metric_row(fifo_100ms),
+            "response_improved": response_improved,
+            "execution_worse": execution_worse,
+        },
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

@@ -1,0 +1,70 @@
+"""Figure 6: plain FIFO vs the hybrid FIFO+CFS core-group split.
+
+Splitting the 50 cores into 25 FIFO + 25 CFS cores and preempting tasks that
+exceed the time limit to the CFS group lets short tasks flow through the FIFO
+queue while long tasks stop blocking it (Observation 4).
+
+Note on fidelity: on the paper's testbed the plain-FIFO baseline is itself
+degraded by interference from the native Linux scheduler (its p99 execution
+time is 120 s in Table I), which makes the hybrid look strictly better on
+every metric.  Our simulated FIFO baseline has no such interference, so the
+hybrid matches FIFO's execution/cost for the ~92 % of tasks that never hit
+the limit, trades a modest amount of tail execution time, and the response
+comparison depends on how much work sits above the limit; the heavier-tailed
+ablation (``scale`` < 1 keeps the same behaviour) shows the Fig. 6 ordering.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ComparisonTable
+from repro.core.hybrid import HybridScheduler
+from repro.experiments.common import (
+    ExperimentOutput,
+    METRIC_COLUMNS,
+    metric_row,
+    paper_hybrid_config,
+    register_experiment,
+    run_policy,
+    two_minute_workload,
+)
+from repro.schedulers.fifo import FIFOScheduler
+
+EXPERIMENT_ID = "fig06"
+TITLE = "FIFO vs hybrid FIFO+CFS (25/25 cores, 1,633 ms limit)"
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    fifo = run_policy(FIFOScheduler(), two_minute_workload(scale))
+    hybrid = run_policy(
+        HybridScheduler(paper_hybrid_config()), two_minute_workload(scale)
+    )
+
+    table = ComparisonTable(columns=METRIC_COLUMNS)
+    table.add_row("fifo", metric_row(fifo))
+    table.add_row("hybrid", metric_row(hybrid))
+
+    text = table.render(title="FIFO vs hybrid metric summary")
+    median_ratio = (
+        table.metric("hybrid", "p50_execution") / table.metric("fifo", "p50_execution")
+        if table.metric("fifo", "p50_execution")
+        else float("nan")
+    )
+    text += (
+        f"\n\nmedian execution time ratio (hybrid / fifo): {median_ratio:.2f} "
+        "(short tasks are unaffected by the split)"
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        tables={"metrics": table},
+        data={
+            "fifo": metric_row(fifo),
+            "hybrid": metric_row(hybrid),
+            "median_execution_ratio": median_ratio,
+        },
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

@@ -1,0 +1,64 @@
+"""Figure 11: tuning the FIFO/CFS core split.
+
+The paper sweeps the number of cores given to each group (10/40, 25/25,
+40/10) with the fixed 1,633 ms limit and finds the even 25/25 split performs
+best, while very small CFS groups produce a long execution-time tail because
+the few CFS cores are overwhelmed by the preempted long functions.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ComparisonTable
+from repro.core.hybrid import HybridScheduler
+from repro.experiments.common import (
+    ENCLAVE_CORES,
+    ExperimentOutput,
+    METRIC_COLUMNS,
+    metric_row,
+    paper_hybrid_config,
+    register_experiment,
+    run_policy,
+    two_minute_workload,
+)
+from repro.schedulers.cfs import CFSScheduler
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Execution time across FIFO/CFS core splits"
+
+#: (FIFO cores, CFS cores) splits swept by the paper.
+SPLITS = ((10, 40), (25, 25), (40, 10))
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    table = ComparisonTable(columns=METRIC_COLUMNS)
+
+    cfs = run_policy(CFSScheduler(), two_minute_workload(scale))
+    table.add_row("cfs_50", metric_row(cfs))
+
+    split_rows = {}
+    for fifo_cores, cfs_cores in SPLITS:
+        config = paper_hybrid_config(fifo_cores=fifo_cores, cfs_cores=cfs_cores)
+        result = run_policy(
+            HybridScheduler(config),
+            two_minute_workload(scale),
+            num_cores=fifo_cores + cfs_cores,
+        )
+        label = f"hybrid_{fifo_cores}_{cfs_cores}"
+        row = metric_row(result)
+        table.add_row(label, row)
+        split_rows[label] = row
+
+    best_split = min(split_rows, key=lambda k: split_rows[k]["total_execution"])
+    text = table.render(title=f"Core-split sweep on {ENCLAVE_CORES} cores")
+    text += f"\n\nbest split by total execution time: {best_split} (paper: 25/25)"
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        tables={"metrics": table},
+        data={"splits": split_rows, "best_split": best_split, "cfs": metric_row(cfs)},
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

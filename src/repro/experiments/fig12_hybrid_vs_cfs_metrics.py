@@ -1,0 +1,66 @@
+"""Figure 12: hybrid (25/25) vs CFS on all three metrics.
+
+The hybrid scheduler achieves far better execution time than CFS (short
+functions run uninterrupted), worse response time (tasks wait in the FIFO
+queue instead of immediately time-sharing), and better turnaround overall.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ComparisonTable
+from repro.core.hybrid import HybridScheduler
+from repro.experiments.common import (
+    ExperimentOutput,
+    METRIC_COLUMNS,
+    metric_row,
+    paper_hybrid_config,
+    register_experiment,
+    run_policy,
+    two_minute_workload,
+)
+from repro.schedulers.cfs import CFSScheduler
+
+EXPERIMENT_ID = "fig12"
+TITLE = "Hybrid FIFO+CFS vs CFS: execution, response, turnaround"
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    cfs = run_policy(CFSScheduler(), two_minute_workload(scale))
+    hybrid = run_policy(HybridScheduler(paper_hybrid_config()), two_minute_workload(scale))
+
+    table = ComparisonTable(columns=METRIC_COLUMNS)
+    table.add_row("cfs", metric_row(cfs))
+    table.add_row("hybrid", metric_row(hybrid))
+
+    execution_better = table.metric("hybrid", "p99_execution") < table.metric(
+        "cfs", "p99_execution"
+    )
+    response_worse = table.metric("hybrid", "p99_response") > table.metric(
+        "cfs", "p99_response"
+    )
+    turnaround_better = table.metric("hybrid", "p99_turnaround") <= table.metric(
+        "cfs", "p99_turnaround"
+    )
+    text = table.render(title="Hybrid vs CFS metric summary")
+    text += (
+        f"\n\nhybrid p99 execution better than CFS : {execution_better}"
+        f"\nhybrid p99 response worse than CFS   : {response_worse}"
+        f"\nhybrid p99 turnaround better than CFS: {turnaround_better}"
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        tables={"metrics": table},
+        data={
+            "cfs": metric_row(cfs),
+            "hybrid": metric_row(hybrid),
+            "execution_better": execution_better,
+            "response_worse": response_worse,
+            "turnaround_better": turnaround_better,
+        },
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

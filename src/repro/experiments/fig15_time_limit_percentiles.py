@@ -1,0 +1,53 @@
+"""Figure 15: execution time under different adaptive time-limit percentiles.
+
+The adaptive limit is a percentile of the most recent 100 task durations.
+The paper sweeps p25, p50, p75, p90 and p95 and finds p95 gives the best
+execution time: the higher the limit, the fewer short tasks are needlessly
+preempted onto the CFS cores.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ComparisonTable
+from repro.core.hybrid import HybridScheduler
+from repro.experiments.common import (
+    ExperimentOutput,
+    METRIC_COLUMNS,
+    metric_row,
+    paper_hybrid_config,
+    register_experiment,
+    run_policy,
+    two_minute_workload,
+)
+
+EXPERIMENT_ID = "fig15"
+TITLE = "Execution time vs adaptive FIFO time-limit percentile"
+
+PERCENTILES = (25, 50, 75, 90, 95)
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    table = ComparisonTable(columns=METRIC_COLUMNS)
+    rows = {}
+    for percentile in PERCENTILES:
+        config = paper_hybrid_config().with_adaptive_limit(percentile=percentile, window=100)
+        result = run_policy(HybridScheduler(config), two_minute_workload(scale))
+        label = f"ts_p{percentile}"
+        row = metric_row(result)
+        table.add_row(label, row)
+        rows[label] = row
+
+    best = min(rows, key=lambda k: rows[k]["total_execution"])
+    text = table.render(title="Adaptive limit percentile sweep (window = 100 tasks)")
+    text += f"\n\nbest percentile by total execution time: {best} (paper: p95)"
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        tables={"metrics": table},
+        data={"percentiles": rows, "best": best},
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

@@ -1,0 +1,65 @@
+"""Figure 18: fixed core groups vs dynamic rightsizing.
+
+With rightsizing enabled, cores migrate from the under-utilized group to the
+busier one.  The paper observes better response time at the cost of some
+execution time, since a larger FIFO group drains the global queue faster
+while the (smaller) CFS group shares its cores among more preempted tasks.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ComparisonTable
+from repro.core.hybrid import HybridScheduler
+from repro.experiments.common import (
+    ExperimentOutput,
+    METRIC_COLUMNS,
+    metric_row,
+    paper_hybrid_config,
+    register_experiment,
+    run_policy,
+    two_minute_workload,
+)
+
+EXPERIMENT_ID = "fig18"
+TITLE = "Hybrid scheduler: fixed 25/25 groups vs dynamic core rightsizing"
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    fixed = run_policy(HybridScheduler(paper_hybrid_config()), two_minute_workload(scale))
+
+    adaptive_scheduler = HybridScheduler(paper_hybrid_config().with_rightsizing(True))
+    adaptive = run_policy(adaptive_scheduler, two_minute_workload(scale))
+
+    table = ComparisonTable(columns=METRIC_COLUMNS)
+    table.add_row("fixed_25_25", metric_row(fixed))
+    table.add_row("rightsized", metric_row(adaptive))
+
+    migrations = (
+        adaptive_scheduler.rightsizer.migration_count
+        if adaptive_scheduler.rightsizer is not None
+        else 0
+    )
+    response_improved = table.metric("rightsized", "p99_response") <= table.metric(
+        "fixed_25_25", "p99_response"
+    )
+    text = table.render(title="Fixed vs rightsized core groups")
+    text += (
+        f"\n\ncore migrations performed: {migrations}"
+        f"\nrightsizing improves p99 response: {response_improved}"
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        tables={"metrics": table},
+        data={
+            "fixed": metric_row(fixed),
+            "rightsized": metric_row(adaptive),
+            "migrations": migrations,
+            "response_improved": response_improved,
+        },
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

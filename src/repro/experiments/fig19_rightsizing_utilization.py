@@ -1,0 +1,70 @@
+"""Figure 19: utilization and FIFO-group size under core rightsizing.
+
+Over the 10-minute workload the rightsizing mechanism keeps both groups'
+utilization high by migrating cores towards the busier group; the number of
+FIFO cores changes over time accordingly, with short dips during migrations
+(the lock/drain protocol).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import render_series, render_table
+from repro.core.config import CFS_GROUP, FIFO_GROUP
+from repro.core.hybrid import HybridScheduler
+from repro.experiments.common import (
+    ExperimentOutput,
+    paper_hybrid_config,
+    register_experiment,
+    run_policy,
+    ten_minute_workload,
+)
+
+EXPERIMENT_ID = "fig19"
+TITLE = "Utilization and FIFO core count under dynamic rightsizing"
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    scheduler = HybridScheduler(paper_hybrid_config().with_rightsizing(True))
+    result = run_policy(scheduler, ten_minute_workload(scale))
+
+    fifo_util = [(p.time, p.value) for p in result.utilization_series(FIFO_GROUP)]
+    cfs_util = [(p.time, p.value) for p in result.utilization_series(CFS_GROUP)]
+    fifo_cores = [(p.time, p.value) for p in result.series_values("fifo_cores")]
+
+    migrations = scheduler.rightsizer.migration_count if scheduler.rightsizer else 0
+    core_counts = np.array([v for _, v in fifo_cores]) if fifo_cores else np.array([25.0])
+    rows = [
+        ["core migrations", str(migrations)],
+        ["FIFO cores (min / max)", f"{core_counts.min():.0f} / {core_counts.max():.0f}"],
+        [
+            "mean FIFO utilization",
+            f"{np.mean([v for _, v in fifo_util]):.2f}" if fifo_util else "n/a",
+        ],
+        [
+            "mean CFS utilization",
+            f"{np.mean([v for _, v in cfs_util]):.2f}" if cfs_util else "n/a",
+        ],
+    ]
+    text = render_table(["quantity", "value"], rows, title="Rightsizing over the 10-minute workload")
+    if fifo_cores:
+        text += "\n\n" + render_series(fifo_cores, title="Number of FIFO cores over time")
+    if fifo_util:
+        text += "\n\n" + render_series(fifo_util, title="FIFO group utilization over time")
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        data={
+            "migrations": migrations,
+            "fifo_cores_min": float(core_counts.min()),
+            "fifo_cores_max": float(core_counts.max()),
+            "mean_fifo_utilization": float(np.mean([v for _, v in fifo_util])) if fifo_util else 0.0,
+            "mean_cfs_utilization": float(np.mean([v for _, v in cfs_util])) if cfs_util else 0.0,
+        },
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

@@ -1,0 +1,74 @@
+"""Figure 20: workload cost under the hybrid, FIFO and CFS schedulers.
+
+Same methodology as Fig. 1 but with the hybrid scheduler included: for every
+AWS Lambda memory size, multiply the workload's total billed execution time
+by that size's per-millisecond price.  The hybrid scheduler keeps cost close
+to the FIFO lower bound and far below CFS.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_usd, render_table
+from repro.core.hybrid import HybridScheduler
+from repro.cost.cost_model import CostModel
+from repro.experiments.common import (
+    ExperimentOutput,
+    paper_hybrid_config,
+    register_experiment,
+    run_policy,
+    two_minute_workload,
+)
+from repro.experiments.fig01_cost_fifo_vs_cfs import MEMORY_SWEEP_MB
+from repro.schedulers.cfs import CFSScheduler
+from repro.schedulers.fifo import FIFOScheduler
+
+EXPERIMENT_ID = "fig20"
+TITLE = "Workload cost by memory size: hybrid vs FIFO vs CFS"
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    cost_model = CostModel()
+
+    fifo = run_policy(FIFOScheduler(), two_minute_workload(scale))
+    cfs = run_policy(CFSScheduler(), two_minute_workload(scale))
+    hybrid = run_policy(HybridScheduler(paper_hybrid_config()), two_minute_workload(scale))
+
+    fifo_costs = cost_model.cost_by_memory_size(fifo.finished_tasks, MEMORY_SWEEP_MB)
+    cfs_costs = cost_model.cost_by_memory_size(cfs.finished_tasks, MEMORY_SWEEP_MB)
+    hybrid_costs = cost_model.cost_by_memory_size(hybrid.finished_tasks, MEMORY_SWEEP_MB)
+
+    rows = []
+    for memory in MEMORY_SWEEP_MB:
+        rows.append(
+            [
+                f"{memory} MB",
+                format_usd(fifo_costs[memory]),
+                format_usd(hybrid_costs[memory]),
+                format_usd(cfs_costs[memory]),
+                f"{cfs_costs[memory] / hybrid_costs[memory]:.1f}x"
+                if hybrid_costs[memory]
+                else "inf",
+            ]
+        )
+    savings_vs_cfs = 1.0 - (sum(hybrid_costs.values()) / sum(cfs_costs.values()))
+    text = render_table(
+        ["memory size", "FIFO", "hybrid", "CFS", "CFS / hybrid"],
+        rows,
+        title="Workload cost under AWS Lambda pricing",
+    )
+    text += f"\n\nhybrid saves {savings_vs_cfs * 100:.1f}% of the CFS cost on this workload"
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        data={
+            "fifo_costs": fifo_costs,
+            "cfs_costs": cfs_costs,
+            "hybrid_costs": hybrid_costs,
+            "hybrid_savings_vs_cfs": savings_vs_cfs,
+        },
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

@@ -1,0 +1,69 @@
+"""Figure 22: workload cost under Firecracker — hybrid vs CFS.
+
+Same cost methodology as Figs. 1 and 20, applied to the per-invocation (VCPU
+thread) execution times of the Firecracker runs.  The savings are smaller
+than in the plain-process mode — the microVM's extra threads and boot
+overhead dilute the benefit — but the hybrid scheduler still reduces cost.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_usd, render_table
+from repro.core.hybrid import HybridScheduler
+from repro.cost.cost_model import CostModel
+from repro.experiments.common import ExperimentOutput, paper_hybrid_config, register_experiment
+from repro.experiments.fig01_cost_fifo_vs_cfs import MEMORY_SWEEP_MB
+from repro.experiments.fig21_firecracker_metrics import _run_vm_workload
+from repro.schedulers.cfs import CFSScheduler
+
+EXPERIMENT_ID = "fig22"
+TITLE = "Firecracker microVMs: workload cost, hybrid vs CFS"
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    cost_model = CostModel()
+
+    cfs_workload, _ = _run_vm_workload(CFSScheduler(), scale)
+    hybrid_workload, _ = _run_vm_workload(HybridScheduler(paper_hybrid_config()), scale)
+
+    cfs_tasks = [t for t in cfs_workload.vcpu_tasks() if t.is_finished]
+    hybrid_tasks = [t for t in hybrid_workload.vcpu_tasks() if t.is_finished]
+
+    cfs_costs = cost_model.cost_by_memory_size(cfs_tasks, MEMORY_SWEEP_MB)
+    hybrid_costs = cost_model.cost_by_memory_size(hybrid_tasks, MEMORY_SWEEP_MB)
+
+    rows = []
+    for memory in MEMORY_SWEEP_MB:
+        saving = 1.0 - hybrid_costs[memory] / cfs_costs[memory] if cfs_costs[memory] else 0.0
+        rows.append(
+            [
+                f"{memory} MB",
+                format_usd(hybrid_costs[memory]),
+                format_usd(cfs_costs[memory]),
+                f"{saving * 100:.1f}%",
+            ]
+        )
+    overall_saving = 1.0 - sum(hybrid_costs.values()) / sum(cfs_costs.values())
+    text = render_table(
+        ["memory size", "hybrid cost", "CFS cost", "hybrid saving"],
+        rows,
+        title="Firecracker workload cost under AWS Lambda pricing",
+    )
+    text += (
+        f"\n\noverall hybrid saving vs CFS: {overall_saving * 100:.1f}% "
+        "(paper: ~10% in the Firecracker mode, much larger in process mode)"
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        data={
+            "cfs_costs": cfs_costs,
+            "hybrid_costs": hybrid_costs,
+            "overall_saving": overall_saving,
+        },
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

@@ -1,0 +1,106 @@
+"""Figure 23: cost vs p99 response time across schedulers.
+
+The discussion section places every scheduler on a cost / p99-response-time
+plane: CFS sits at low latency but very high cost, FIFO at low cost but very
+high latency, and the hybrid close to the Pareto front on both dimensions.
+We run every registered policy over the same workload and report both
+coordinates per scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.report import render_table
+from repro.core.hybrid import HybridScheduler
+from repro.cost.cost_model import CostModel
+from repro.experiments.common import (
+    ExperimentOutput,
+    paper_hybrid_config,
+    register_experiment,
+    run_policy,
+    two_minute_workload,
+)
+from repro.schedulers.cfs import CFSScheduler
+from repro.schedulers.edf import EDFScheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.fifo_preempt import FIFOPreemptScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from repro.schedulers.shinjuku import ShinjukuScheduler
+from repro.schedulers.sjf import SJFScheduler
+from repro.schedulers.srtf import SRTFScheduler
+
+EXPERIMENT_ID = "fig23"
+TITLE = "Cost vs p99 response time for several schedulers"
+
+
+def _schedulers():
+    return {
+        "fifo": FIFOScheduler(),
+        "fifo_100ms": FIFOPreemptScheduler(quantum=0.100),
+        "round_robin": RoundRobinScheduler(),
+        "cfs": CFSScheduler(),
+        "edf": EDFScheduler(),
+        "sjf": SJFScheduler(),
+        "srtf": SRTFScheduler(),
+        "shinjuku": ShinjukuScheduler(),
+        "hybrid": HybridScheduler(paper_hybrid_config()),
+    }
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    cost_model = CostModel()
+    points: Dict[str, Dict[str, float]] = {}
+    for name, scheduler in _schedulers().items():
+        result = run_policy(scheduler, two_minute_workload(scale))
+        summary = result.summary()
+        points[name] = {
+            "cost_usd": cost_model.workload_cost(result.finished_tasks).total,
+            "p99_response": summary.p99_response,
+            "p99_execution": summary.p99_execution,
+        }
+
+    rows = [
+        [
+            name,
+            f"{metrics['cost_usd']:.4f}",
+            f"{metrics['p99_response']:.2f}",
+            f"{metrics['p99_execution']:.2f}",
+        ]
+        for name, metrics in sorted(points.items(), key=lambda kv: kv[1]["cost_usd"])
+    ]
+    # A scheduler is Pareto-dominated if another is at least as good on both
+    # axes and strictly better on one.
+    def dominated(name: str) -> bool:
+        mine = points[name]
+        for other, theirs in points.items():
+            if other == name:
+                continue
+            if (
+                theirs["cost_usd"] <= mine["cost_usd"]
+                and theirs["p99_response"] <= mine["p99_response"]
+                and (
+                    theirs["cost_usd"] < mine["cost_usd"]
+                    or theirs["p99_response"] < mine["p99_response"]
+                )
+            ):
+                return True
+        return False
+
+    pareto = sorted(name for name in points if not dominated(name))
+    text = render_table(
+        ["scheduler", "cost (USD)", "p99 response (s)", "p99 execution (s)"],
+        rows,
+        title="Cost / latency plane (sorted by cost)",
+    )
+    text += f"\n\nPareto-optimal schedulers on (cost, p99 response): {', '.join(pareto)}"
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        data={"points": points, "pareto": pareto},
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

@@ -1,0 +1,96 @@
+"""Command-line runner for the experiment harness.
+
+Usage::
+
+    repro-experiments --list
+    repro-experiments fig01 table1
+    repro-experiments --all --scale 0.2
+    repro-experiments --all --output results/
+
+Each experiment prints the rows/series of the corresponding paper figure and
+can optionally write its text output to a file per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import list_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures from the simulator.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (e.g. fig01 table1); empty with --all runs everything",
+    )
+    parser.add_argument("--all", action="store_true", help="run every registered experiment")
+    parser.add_argument("--list", action="store_true", help="list registered experiments and exit")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (1.0 = the paper's invocation counts)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory to write one <experiment>.txt file per experiment",
+    )
+    return parser
+
+
+def run_cli(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    if args.all:
+        selected: List[str] = list_experiments()
+    else:
+        selected = list(args.experiments)
+    if not selected:
+        parser.print_usage()
+        print("error: give experiment ids, or --all, or --list", file=sys.stderr)
+        return 2
+
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+
+    failures = 0
+    for experiment_id in selected:
+        started = time.perf_counter()
+        try:
+            output = run_experiment(experiment_id, scale=args.scale)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        elapsed = time.perf_counter() - started
+        rendered = output.render() + f"\n\n[completed in {elapsed:.1f}s at scale {args.scale}]"
+        print(rendered)
+        print()
+        if args.output is not None:
+            (args.output / f"{experiment_id}.txt").write_text(rendered + "\n")
+    return 1 if failures else 0
+
+
+def main() -> None:  # pragma: no cover - thin CLI wrapper
+    sys.exit(run_cli())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

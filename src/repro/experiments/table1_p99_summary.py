@@ -1,0 +1,75 @@
+"""Table I: p99 metrics and overall cost for FIFO, CFS and the hybrid.
+
+The overall cost bills each function at its own memory size (drawn from the
+Azure-like memory distribution), matching the paper's Table I methodology.
+Expected ordering: CFS has the best p99 response but by far the worst p99
+execution and cost; the hybrid has the best execution time of the three and
+the lowest (or near-lowest) cost.
+
+Fidelity note: the paper's FIFO row is degraded by native-CFS interference on
+its testbed (p99 execution 120 s, cost 0.34 USD vs 0.11 USD for the hybrid);
+an idealized FIFO has no such interference, so in this reproduction FIFO's
+execution time and cost form the lower bound the hybrid approaches.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ComparisonTable
+from repro.core.hybrid import HybridScheduler
+from repro.cost.cost_model import CostModel
+from repro.experiments.common import (
+    ExperimentOutput,
+    METRIC_COLUMNS,
+    metric_row,
+    paper_hybrid_config,
+    register_experiment,
+    run_policy,
+    two_minute_workload,
+)
+from repro.schedulers.cfs import CFSScheduler
+from repro.schedulers.fifo import FIFOScheduler
+
+EXPERIMENT_ID = "table1"
+TITLE = "Schedulers' overall performance and cost (Table I)"
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    cost_model = CostModel()
+    results = {
+        "fifo": run_policy(FIFOScheduler(), two_minute_workload(scale)),
+        "cfs": run_policy(CFSScheduler(), two_minute_workload(scale)),
+        "hybrid": run_policy(HybridScheduler(paper_hybrid_config()), two_minute_workload(scale)),
+    }
+
+    table = ComparisonTable(columns=METRIC_COLUMNS)
+    rows = {}
+    for name, result in results.items():
+        row = metric_row(result, cost_model)
+        table.add_row(name, row)
+        rows[name] = row
+
+    cheapest = min(rows, key=lambda k: rows[k]["cost_usd"])
+    most_expensive = max(rows, key=lambda k: rows[k]["cost_usd"])
+    cfs_over_hybrid = rows["cfs"]["cost_usd"] / rows["hybrid"]["cost_usd"]
+    text = table.render(title="Table I analogue (seconds / USD)")
+    text += (
+        f"\n\ncheapest scheduler        : {cheapest}"
+        f"\nmost expensive scheduler  : {most_expensive} (paper: CFS)"
+        f"\nCFS cost / hybrid cost    : {cfs_over_hybrid:.1f}x (paper: ~41x)"
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        tables={"metrics": table},
+        data={
+            **rows,
+            "cheapest": cheapest,
+            "most_expensive": most_expensive,
+            "cfs_over_hybrid_cost": cfs_over_hybrid,
+        },
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

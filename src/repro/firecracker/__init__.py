@@ -1,0 +1,30 @@
+"""Firecracker microVM execution model.
+
+The paper's second operating mode runs every function inside a Firecracker
+microVM instead of a plain Linux process (§VI-E).  Compared to the process
+mode this changes three things, all captured by this package:
+
+* every invocation spawns **several schedulable threads** (the VCPU thread
+  running the guest workload plus VMM/API/IO threads), all of which are put
+  under the custom scheduling policy;
+* each invocation pays a **boot / virtualization overhead**;
+* each microVM occupies **guest memory plus VMM overhead** for its lifetime,
+  so the host's memory caps how many microVMs can be launched — 2,952 on the
+  paper's 512 GB server; invocations beyond the cap fail to launch.
+
+:class:`~repro.firecracker.fleet.FirecrackerFleet` applies the memory cap and
+expands admitted invocations into thread-level tasks; the per-invocation
+metrics are recovered from the VCPU thread of each microVM.
+"""
+
+from repro.firecracker.fleet import AdmissionResult, FirecrackerFleet, FirecrackerWorkload
+from repro.firecracker.microvm import MicroVM, MicroVMSpec, ThreadRole
+
+__all__ = [
+    "AdmissionResult",
+    "FirecrackerFleet",
+    "FirecrackerWorkload",
+    "MicroVM",
+    "MicroVMSpec",
+    "ThreadRole",
+]

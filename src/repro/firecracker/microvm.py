@@ -1,0 +1,139 @@
+"""MicroVM model.
+
+A Firecracker microVM is a small KVM virtual machine run by a user-space VMM.
+For scheduling purposes what matters is which host threads exist and how much
+CPU they need:
+
+* the **VCPU thread** executes the guest — boot, then the function itself;
+* the **VMM thread** handles the API socket and device emulation;
+* an **IO thread** handles virtio block/net queues.
+
+The default overheads follow the published Firecracker numbers: ~125 ms from
+launch to guest userspace, a VMM memory overhead of a few MB (we fold the
+guest kernel's working set into a single per-VM overhead figure), and a small
+CPU tax on the VMM side proportional to guest activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.simulation.task import Task
+
+
+class ThreadRole(Enum):
+    """Role of one host thread belonging to a microVM."""
+
+    VCPU = "vcpu"
+    VMM = "vmm"
+    IO = "io"
+
+
+@dataclass(frozen=True)
+class MicroVMSpec:
+    """Static cost model of one microVM.
+
+    Attributes:
+        boot_time: Seconds of VCPU work from launch to guest user code.
+        guest_memory_mb: Memory configured for the guest.
+        memory_overhead_mb: VMM + guest-kernel overhead on top of guest memory.
+        vmm_cpu_fixed: Fixed CPU seconds consumed by the VMM thread per
+            invocation (API handling, device setup, teardown).
+        vmm_cpu_fraction: Additional VMM CPU work proportional to the guest's
+            CPU time (device emulation while the function runs).
+        io_cpu_fixed: Fixed CPU seconds consumed by the IO thread.
+    """
+
+    boot_time: float = 0.125
+    guest_memory_mb: int = 128
+    memory_overhead_mb: int = 32
+    vmm_cpu_fixed: float = 0.030
+    vmm_cpu_fraction: float = 0.03
+    io_cpu_fixed: float = 0.010
+
+    def __post_init__(self) -> None:
+        if self.boot_time < 0:
+            raise ValueError(f"boot_time must be >= 0, got {self.boot_time!r}")
+        if self.guest_memory_mb <= 0:
+            raise ValueError(
+                f"guest_memory_mb must be positive, got {self.guest_memory_mb!r}"
+            )
+        if self.memory_overhead_mb < 0:
+            raise ValueError(
+                f"memory_overhead_mb must be >= 0, got {self.memory_overhead_mb!r}"
+            )
+        if self.vmm_cpu_fixed < 0 or self.io_cpu_fixed < 0:
+            raise ValueError("fixed CPU overheads must be >= 0")
+        if not 0 <= self.vmm_cpu_fraction < 1:
+            raise ValueError(
+                f"vmm_cpu_fraction must be in [0, 1), got {self.vmm_cpu_fraction!r}"
+            )
+
+    @property
+    def footprint_mb(self) -> int:
+        """Host memory held while the microVM is alive."""
+        return self.guest_memory_mb + self.memory_overhead_mb
+
+
+@dataclass
+class MicroVM:
+    """One launched microVM and the host threads it contributes."""
+
+    vm_id: int
+    invocation: Task
+    spec: MicroVMSpec
+    threads: List[Task] = field(default_factory=list)
+
+    def build_threads(self, base_task_id: int) -> List[Task]:
+        """Expand this microVM into schedulable thread tasks.
+
+        The VCPU thread carries the boot time plus the function's own CPU
+        demand; the VMM and IO threads carry the virtualization overhead.
+        Thread tasks inherit the invocation's arrival time — Firecracker
+        spawns them all at launch.
+        """
+        invocation = self.invocation
+        vcpu = Task(
+            task_id=base_task_id,
+            arrival_time=invocation.arrival_time,
+            service_time=self.spec.boot_time + invocation.service_time,
+            memory_mb=invocation.memory_mb,
+            fibonacci_n=invocation.fibonacci_n,
+            name=f"vm{self.vm_id}-vcpu",
+            metadata={"vm_id": self.vm_id, "role": ThreadRole.VCPU.value,
+                      "invocation_id": invocation.task_id},
+        )
+        vmm = Task(
+            task_id=base_task_id + 1,
+            arrival_time=invocation.arrival_time,
+            service_time=self.spec.vmm_cpu_fixed
+            + self.spec.vmm_cpu_fraction * invocation.service_time,
+            memory_mb=invocation.memory_mb,
+            name=f"vm{self.vm_id}-vmm",
+            metadata={"vm_id": self.vm_id, "role": ThreadRole.VMM.value,
+                      "invocation_id": invocation.task_id},
+        )
+        io = Task(
+            task_id=base_task_id + 2,
+            arrival_time=invocation.arrival_time,
+            service_time=self.spec.io_cpu_fixed,
+            memory_mb=invocation.memory_mb,
+            name=f"vm{self.vm_id}-io",
+            metadata={"vm_id": self.vm_id, "role": ThreadRole.IO.value,
+                      "invocation_id": invocation.task_id},
+        )
+        self.threads = [vcpu, vmm, io]
+        return self.threads
+
+    @property
+    def vcpu_thread(self) -> Optional[Task]:
+        for thread in self.threads:
+            if thread.metadata.get("role") == ThreadRole.VCPU.value:
+                return thread
+        return None
+
+    @property
+    def footprint_mb(self) -> int:
+        return self.spec.footprint_mb

@@ -1,0 +1,41 @@
+"""ghOSt-like user-space scheduling delegation layer.
+
+Google's ghOSt (SOSP'21) exposes kernel scheduling decisions to user space:
+the kernel side publishes *messages* describing task state changes
+(TASK_NEW, TASK_PREEMPT, TASK_DEAD, …) into per-enclave *channels*; user-space
+*agents* consume those messages, keep per-task *status words* up to date and
+answer with scheduling decisions.  An *enclave* is the group of CPUs a policy
+is responsible for.
+
+The paper implements its hybrid scheduler against exactly this API, so the
+reproduction provides the same surface on top of the simulator:
+
+* :class:`~repro.ghost.messages.Message` / ``MessageType`` — kernel→agent events,
+* :class:`~repro.ghost.channel.MessageChannel` — the per-enclave message queue,
+* :class:`~repro.ghost.status_word.StatusWord` — shared per-task state,
+* :class:`~repro.ghost.enclave.Enclave` — CPU partition + task registry,
+* :class:`~repro.ghost.agent.GlobalAgent` / ``PerCpuAgent`` — the user-space
+  policy drivers (centralized for the FIFO group, per-CPU for the CFS group).
+
+The hybrid scheduler in :mod:`repro.core.hybrid` is written as a ghOSt policy:
+simulator callbacks are translated into messages, and the enclave's global
+agent drains the channel and drives the policy.
+"""
+
+from repro.ghost.agent import Agent, GlobalAgent, PerCpuAgent
+from repro.ghost.channel import MessageChannel
+from repro.ghost.enclave import Enclave
+from repro.ghost.messages import Message, MessageType
+from repro.ghost.status_word import StatusWord, TaskRunState
+
+__all__ = [
+    "Agent",
+    "GlobalAgent",
+    "PerCpuAgent",
+    "MessageChannel",
+    "Enclave",
+    "Message",
+    "MessageType",
+    "StatusWord",
+    "TaskRunState",
+]

@@ -1,0 +1,135 @@
+"""User-space scheduling agents.
+
+ghOSt distinguishes two agent models (§IV-A of the paper):
+
+* **Centralized**: one *global agent* owns the whole enclave, processes every
+  kernel message and makes all placement decisions — this is how the hybrid
+  scheduler drives its FIFO core group.
+* **Per-CPU**: one agent per core manages that core's own run queue — this is
+  how the CFS core group is organised, although (as in the paper) the message
+  stream is still consumed by the global agent.
+
+Agents are deliberately policy-free: they route messages to a *policy*
+object, which is the hybrid scheduler itself.  The policy interface is small:
+
+* ``handle_task_new(message)``
+* ``handle_task_dead(message)``
+* ``handle_task_preempt(message)``
+* ``handle_cpu_tick(message)``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol
+
+from repro.ghost.enclave import Enclave
+from repro.ghost.messages import Message, MessageType
+
+
+class SchedulingPolicy(Protocol):
+    """Interface a ghOSt policy exposes to its agents."""
+
+    def handle_task_new(self, message: Message) -> None:  # pragma: no cover - interface
+        ...
+
+    def handle_task_dead(self, message: Message) -> None:  # pragma: no cover - interface
+        ...
+
+    def handle_task_preempt(self, message: Message) -> None:  # pragma: no cover - interface
+        ...
+
+    def handle_cpu_tick(self, message: Message) -> None:  # pragma: no cover - interface
+        ...
+
+
+class Agent:
+    """Base agent: drains enclave messages and routes them to the policy."""
+
+    def __init__(self, enclave: Enclave, policy: SchedulingPolicy, name: str = "agent") -> None:
+        self.enclave = enclave
+        self.policy = policy
+        self.name = name
+        self.messages_handled = 0
+        self._handlers = {
+            MessageType.TASK_NEW: self._on_task_new,
+            MessageType.TASK_WAKEUP: self._on_task_new,
+            MessageType.TASK_DEAD: self._on_task_dead,
+            MessageType.TASK_DEPARTED: self._on_task_dead,
+            MessageType.TASK_PREEMPT: self._on_task_preempt,
+            MessageType.TASK_YIELD: self._on_task_preempt,
+            MessageType.CPU_TICK: self._on_cpu_tick,
+        }
+
+    # ------------------------------------------------------------ processing
+
+    def process_pending(self) -> int:
+        """Drain the enclave channel, routing every message; returns count."""
+        return self.enclave.channel.dispatch(self.handle_message)
+
+    def handle_message(self, message: Message) -> None:
+        handler = self._handlers.get(message.msg_type)
+        if handler is None:
+            # CPU_AVAILABLE / CPU_BUSY and future types are informational.
+            return
+        handler(message)
+        self.messages_handled += 1
+
+    # ----------------------------------------------------------------- hooks
+
+    def _on_task_new(self, message: Message) -> None:
+        self.policy.handle_task_new(message)
+
+    def _on_task_dead(self, message: Message) -> None:
+        self.policy.handle_task_dead(message)
+
+    def _on_task_preempt(self, message: Message) -> None:
+        self.policy.handle_task_preempt(message)
+
+    def _on_cpu_tick(self, message: Message) -> None:
+        self.policy.handle_cpu_tick(message)
+
+
+class GlobalAgent(Agent):
+    """Centralized agent responsible for the whole enclave.
+
+    Exactly one global agent is active per enclave; it consumes the message
+    stream for every CPU, including the ones whose run queues are managed by
+    per-CPU agents (as in the paper's design, §IV-A).
+    """
+
+    def __init__(self, enclave: Enclave, policy: SchedulingPolicy) -> None:
+        super().__init__(enclave, policy, name="global-agent")
+
+
+class PerCpuAgent(Agent):
+    """Per-CPU agent: owns one core's run queue but stays message-passive."""
+
+    def __init__(self, enclave: Enclave, policy: SchedulingPolicy, cpu_id: int) -> None:
+        if cpu_id not in enclave:
+            raise ValueError(f"CPU {cpu_id} is not part of enclave {enclave.name!r}")
+        super().__init__(enclave, policy, name=f"cpu-agent-{cpu_id}")
+        self.cpu_id = cpu_id
+
+    def process_pending(self) -> int:
+        """Per-CPU agents stay inactive in the centralized model (paper §IV-A)."""
+        return 0
+
+
+class AgentGroup:
+    """The full complement of agents attached to one enclave."""
+
+    def __init__(self, enclave: Enclave, policy: SchedulingPolicy) -> None:
+        self.enclave = enclave
+        self.global_agent = GlobalAgent(enclave, policy)
+        self.per_cpu_agents: Dict[int, PerCpuAgent] = {
+            cpu_id: PerCpuAgent(enclave, policy, cpu_id) for cpu_id in enclave.cpu_ids
+        }
+
+    def process_pending(self) -> int:
+        """Run one agent iteration: only the global agent consumes messages."""
+        return self.global_agent.process_pending()
+
+    def agent_for(self, cpu_id: int) -> PerCpuAgent:
+        if cpu_id not in self.per_cpu_agents:
+            raise KeyError(f"no per-CPU agent for CPU {cpu_id}")
+        return self.per_cpu_agents[cpu_id]

@@ -1,0 +1,94 @@
+"""Message channel between the (simulated) kernel side and user-space agents.
+
+In ghOSt this is a shared-memory ring; agents poll and drain it.  Here it is
+an in-process FIFO with the same semantics: messages are delivered exactly
+once, in publication order, and overflow is detected rather than silently
+dropped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterable, List, Optional
+
+from repro.ghost.messages import Message
+
+
+class ChannelOverflowError(RuntimeError):
+    """Raised when a bounded channel receives more messages than it can hold."""
+
+
+class MessageChannel:
+    """FIFO message queue with optional capacity and delivery statistics."""
+
+    def __init__(self, capacity: Optional[int] = None, name: str = "enclave") -> None:
+        """Args:
+        capacity: Maximum number of undelivered messages (None = unbounded).
+            The real ghOSt channel is a fixed-size ring; experiments that
+            want to study overflow can set a finite capacity.
+        name: Label used in error messages and repr.
+        """
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive when set, got {capacity!r}")
+        self.name = name
+        self.capacity = capacity
+        self._queue: Deque[Message] = deque()
+        self.messages_posted = 0
+        self.messages_delivered = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def post(self, message: Message) -> None:
+        """Publish one message (kernel side)."""
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            raise ChannelOverflowError(
+                f"channel {self.name!r} overflowed at capacity {self.capacity}"
+            )
+        self._queue.append(message)
+        self.messages_posted += 1
+        self.high_watermark = max(self.high_watermark, len(self._queue))
+
+    def post_all(self, messages: Iterable[Message]) -> None:
+        for message in messages:
+            self.post(message)
+
+    def pop(self) -> Optional[Message]:
+        """Consume the oldest message, or None if the channel is empty."""
+        if not self._queue:
+            return None
+        self.messages_delivered += 1
+        return self._queue.popleft()
+
+    def drain(self) -> List[Message]:
+        """Consume and return every pending message in order."""
+        drained = list(self._queue)
+        self.messages_delivered += len(drained)
+        self._queue.clear()
+        return drained
+
+    def dispatch(self, handler: Callable[[Message], None]) -> int:
+        """Drain the channel, passing each message to ``handler``.
+
+        Messages posted by the handler itself (re-entrant posts) are also
+        processed before returning, matching the agent loop which keeps
+        draining until the channel is empty.
+        """
+        processed = 0
+        while self._queue:
+            message = self.pop()
+            if message is None:
+                break
+            handler(message)
+            processed += 1
+        return processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MessageChannel(name={self.name!r}, pending={len(self._queue)}, "
+            f"posted={self.messages_posted})"
+        )

@@ -1,0 +1,136 @@
+"""ghOSt enclave model.
+
+An enclave is the set of CPUs handed to a user-space policy, plus the message
+channel and the per-task status words.  The hybrid scheduler partitions one
+enclave into a FIFO CPU list and a CFS CPU list and can move CPUs between the
+two lists at runtime (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.ghost.channel import MessageChannel
+from repro.ghost.messages import Message, MessageType
+from repro.ghost.status_word import StatusWord, TaskRunState
+
+
+class Enclave:
+    """A CPU partition managed by user-space agents."""
+
+    def __init__(
+        self,
+        cpu_ids: Iterable[int],
+        name: str = "enclave0",
+        channel_capacity: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        cpu_list = sorted(set(cpu_ids))
+        if not cpu_list:
+            raise ValueError("an enclave needs at least one CPU")
+        self.cpu_ids: List[int] = cpu_list
+        self.channel = MessageChannel(capacity=channel_capacity, name=f"{name}-channel")
+        self.status_words: Dict[int, StatusWord] = {}
+        #: CPU lists per policy group; starts with every CPU unassigned.
+        self.policy_groups: Dict[str, List[int]] = {}
+
+    # ----------------------------------------------------------------- cpus
+
+    def __contains__(self, cpu_id: int) -> bool:
+        return cpu_id in self.cpu_ids
+
+    def assign_policy_group(self, group: str, cpu_ids: Iterable[int]) -> None:
+        """Assign a subset of the enclave's CPUs to a named policy group."""
+        ids = sorted(set(cpu_ids))
+        unknown = [cid for cid in ids if cid not in self.cpu_ids]
+        if unknown:
+            raise ValueError(f"CPUs {unknown} are not part of enclave {self.name!r}")
+        already = {
+            cid
+            for name, members in self.policy_groups.items()
+            if name != group
+            for cid in members
+        }
+        overlapping = [cid for cid in ids if cid in already]
+        if overlapping:
+            raise ValueError(
+                f"CPUs {overlapping} are already assigned to another policy group"
+            )
+        self.policy_groups[group] = ids
+
+    def group_cpus(self, group: str) -> List[int]:
+        return list(self.policy_groups.get(group, []))
+
+    def move_cpu(self, cpu_id: int, from_group: str, to_group: str) -> None:
+        """Move one CPU between policy groups (core-migration protocol)."""
+        if cpu_id not in self.policy_groups.get(from_group, []):
+            raise ValueError(f"CPU {cpu_id} is not in group {from_group!r}")
+        self.policy_groups[from_group].remove(cpu_id)
+        self.policy_groups.setdefault(to_group, []).append(cpu_id)
+        self.policy_groups[to_group].sort()
+
+    # ---------------------------------------------------------------- tasks
+
+    def register_task(self, task_id: int) -> StatusWord:
+        """Create (or return) the status word for a task entering the enclave."""
+        if task_id not in self.status_words:
+            self.status_words[task_id] = StatusWord(task_id=task_id)
+        return self.status_words[task_id]
+
+    def status_word(self, task_id: int) -> StatusWord:
+        if task_id not in self.status_words:
+            raise KeyError(f"task {task_id} is not registered in enclave {self.name!r}")
+        return self.status_words[task_id]
+
+    def live_tasks(self) -> List[StatusWord]:
+        return [sw for sw in self.status_words.values() if not sw.is_dead]
+
+    def tasks_on_cpu(self, group: Optional[str] = None) -> List[StatusWord]:
+        """Status words of tasks currently on a CPU, optionally per group."""
+        words = [sw for sw in self.status_words.values() if sw.is_on_cpu]
+        if group is None:
+            return words
+        cpus = set(self.group_cpus(group))
+        return [sw for sw in words if sw.cpu_id in cpus]
+
+    # -------------------------------------------------------------- messages
+
+    def publish(self, message: Message) -> None:
+        """Kernel-side publication of a state-change message."""
+        self.channel.post(message)
+
+    def publish_task_new(self, task_id: int, now: float, payload=None) -> StatusWord:
+        word = self.register_task(task_id)
+        self.publish(
+            Message(MessageType.TASK_NEW, timestamp=now, task_id=task_id, payload=payload)
+        )
+        return word
+
+    def publish_task_dead(self, task_id: int, now: float, payload=None) -> None:
+        self.publish(
+            Message(MessageType.TASK_DEAD, timestamp=now, task_id=task_id, payload=payload)
+        )
+
+    def publish_task_preempt(self, task_id: int, now: float, payload=None) -> None:
+        self.publish(
+            Message(
+                MessageType.TASK_PREEMPT, timestamp=now, task_id=task_id, payload=payload
+            )
+        )
+
+    def publish_cpu_tick(self, cpu_id: int, now: float) -> None:
+        self.publish(Message(MessageType.CPU_TICK, timestamp=now, cpu_id=cpu_id))
+
+    def stats(self) -> Dict[str, float]:
+        """Counters useful for provider-side overhead reporting."""
+        return {
+            "messages_posted": self.channel.messages_posted,
+            "messages_delivered": self.channel.messages_delivered,
+            "channel_high_watermark": self.channel.high_watermark,
+            "registered_tasks": len(self.status_words),
+            "live_tasks": len(self.live_tasks()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        groups = {name: len(cpus) for name, cpus in self.policy_groups.items()}
+        return f"Enclave(name={self.name!r}, cpus={len(self.cpu_ids)}, groups={groups})"

@@ -1,0 +1,72 @@
+"""ghOSt kernel→agent messages.
+
+The real ghOSt kernel module publishes a small set of message types into a
+shared-memory channel whenever a scheduled task changes state.  The subset
+modelled here covers everything the hybrid FaaS policy needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+
+class MessageType(Enum):
+    """Task and CPU state-change notifications."""
+
+    TASK_NEW = "task_new"
+    TASK_WAKEUP = "task_wakeup"
+    TASK_PREEMPT = "task_preempt"
+    TASK_YIELD = "task_yield"
+    TASK_BLOCKED = "task_blocked"
+    TASK_DEAD = "task_dead"
+    TASK_DEPARTED = "task_departed"
+    CPU_TICK = "cpu_tick"
+    CPU_AVAILABLE = "cpu_available"
+    CPU_BUSY = "cpu_busy"
+
+
+#: Message types that refer to a specific task.
+TASK_MESSAGE_TYPES = frozenset(
+    {
+        MessageType.TASK_NEW,
+        MessageType.TASK_WAKEUP,
+        MessageType.TASK_PREEMPT,
+        MessageType.TASK_YIELD,
+        MessageType.TASK_BLOCKED,
+        MessageType.TASK_DEAD,
+        MessageType.TASK_DEPARTED,
+    }
+)
+
+_seq = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One kernel→agent notification.
+
+    Attributes:
+        msg_type: What happened.
+        timestamp: Simulation time at which the event happened.
+        task_id: Task the message refers to, if any.
+        cpu_id: CPU the message refers to, if any.
+        payload: Free-form extra data (e.g. the :class:`~repro.simulation.task.Task`).
+        seq: Monotonic sequence number preserving publication order.
+    """
+
+    msg_type: MessageType
+    timestamp: float
+    task_id: Optional[int] = None
+    cpu_id: Optional[int] = None
+    payload: Any = None
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    def is_task_message(self) -> bool:
+        return self.msg_type in TASK_MESSAGE_TYPES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        target = f"task={self.task_id}" if self.task_id is not None else f"cpu={self.cpu_id}"
+        return f"Message({self.msg_type.value}, t={self.timestamp:.4f}, {target})"

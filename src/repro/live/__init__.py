@@ -1,0 +1,37 @@
+"""Live mode: drive real Linux processes with real scheduling policies.
+
+The repro band for this paper notes that ``os.sched_setscheduler`` makes a
+real-OS reproduction feasible.  This package provides that path: it launches
+real CPU-burning Fibonacci processes following a workload file, optionally
+pins them to core sets, and applies ``SCHED_FIFO`` / ``SCHED_OTHER`` policies
+— the same two policies the hybrid scheduler combines.
+
+Changing a process to a real-time policy requires ``CAP_SYS_NICE`` (or root),
+and many CI / container environments do not grant it.  All privileged
+operations are therefore detected up front
+(:func:`~repro.live.sched_policy.can_set_realtime`) and the experiments fall
+back to the simulation substrate when they are unavailable; nothing in the
+test suite depends on elevated privileges.
+"""
+
+from repro.live.process_runner import LiveInvocation, LiveRunResult, ProcessRunner
+from repro.live.sched_policy import (
+    SchedulingPolicy,
+    can_set_affinity,
+    can_set_realtime,
+    describe_current_policy,
+    set_affinity,
+    set_policy,
+)
+
+__all__ = [
+    "LiveInvocation",
+    "LiveRunResult",
+    "ProcessRunner",
+    "SchedulingPolicy",
+    "can_set_affinity",
+    "can_set_realtime",
+    "describe_current_policy",
+    "set_affinity",
+    "set_policy",
+]

@@ -1,0 +1,165 @@
+"""Launch real Fibonacci processes following a workload file.
+
+This is the live-mode counterpart of the simulator: it replays a (small)
+workload by launching one Python subprocess per invocation, optionally
+applying a scheduling policy and a CPU affinity mask to each, and measures
+the same three metrics the simulator reports.  It exists to demonstrate the
+real-OS path (the paper's actual deployment uses ghOSt, which needs a custom
+kernel); all quantitative experiments run on the simulator.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.live.sched_policy import SchedulingPolicy, can_set_affinity, set_affinity, set_policy
+from repro.workload.generator import WorkloadItem
+
+#: Python snippet executed by each launched invocation process.
+_WORKER_SNIPPET = (
+    "import sys\n"
+    "sys.setrecursionlimit(100000)\n"
+    "def fib(n):\n"
+    "    return n if n < 2 else fib(n - 1) + fib(n - 2)\n"
+    "fib(int(sys.argv[1]))\n"
+)
+
+
+@dataclass
+class LiveInvocation:
+    """Measured timings of one live invocation."""
+
+    item: WorkloadItem
+    launch_time: float
+    start_time: float
+    completion_time: float
+    returncode: int
+
+    @property
+    def execution_time(self) -> float:
+        return self.completion_time - self.start_time
+
+    @property
+    def response_time(self) -> float:
+        return self.start_time - self.launch_time
+
+    @property
+    def turnaround_time(self) -> float:
+        return self.completion_time - self.launch_time
+
+    @property
+    def succeeded(self) -> bool:
+        return self.returncode == 0
+
+
+@dataclass
+class LiveRunResult:
+    """All invocations of one live run."""
+
+    invocations: List[LiveInvocation] = field(default_factory=list)
+    policy: Optional[SchedulingPolicy] = None
+    cpu_ids: Optional[Sequence[int]] = None
+
+    @property
+    def count(self) -> int:
+        return len(self.invocations)
+
+    def execution_times(self) -> List[float]:
+        return [inv.execution_time for inv in self.invocations]
+
+    def turnaround_times(self) -> List[float]:
+        return [inv.turnaround_time for inv in self.invocations]
+
+
+class ProcessRunner:
+    """Replays a workload with real subprocesses.
+
+    The runner is intentionally synchronous and small: it exists to exercise
+    ``os.sched_setscheduler`` / ``sched_setaffinity`` end to end on hosts that
+    allow it, not to benchmark the machine.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[SchedulingPolicy] = None,
+        cpu_ids: Optional[Iterable[int]] = None,
+        fibonacci_cap: int = 30,
+        python_executable: Optional[str] = None,
+    ) -> None:
+        """Args:
+        policy: Scheduling policy to apply to each launched process
+            (None = leave the system default).
+        cpu_ids: CPU set to pin launched processes to (None = no pinning).
+        fibonacci_cap: Upper bound applied to the workload's Fibonacci
+            arguments so a live demo stays short.
+        python_executable: Interpreter used for worker processes.
+        """
+        if fibonacci_cap < 1:
+            raise ValueError(f"fibonacci_cap must be >= 1, got {fibonacci_cap!r}")
+        self.policy = policy
+        self.cpu_ids = list(cpu_ids) if cpu_ids is not None else None
+        self.fibonacci_cap = fibonacci_cap
+        self.python_executable = python_executable or sys.executable
+
+    def run(self, items: Sequence[WorkloadItem], speedup: float = 1.0) -> LiveRunResult:
+        """Replay ``items`` sequentially, honouring inter-arrival gaps.
+
+        Args:
+            items: Workload items (their arrival times set the launch gaps).
+            speedup: Divide every inter-arrival gap by this factor so demos
+                finish quickly.
+        """
+        if speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {speedup!r}")
+        result = LiveRunResult(policy=self.policy, cpu_ids=self.cpu_ids)
+        if not items:
+            return result
+        origin = time.perf_counter()
+        first_arrival = items[0].arrival_time
+        for item in items:
+            target = origin + (item.arrival_time - first_arrival) / speedup
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            result.invocations.append(self._launch(item))
+        return result
+
+    # ------------------------------------------------------------------ inner
+
+    def _launch(self, item: WorkloadItem) -> LiveInvocation:
+        argument = min(item.fibonacci_n, self.fibonacci_cap)
+        launch_time = time.perf_counter()
+        process = subprocess.Popen(
+            [self.python_executable, "-c", _WORKER_SNIPPET, str(argument)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        start_time = time.perf_counter()
+        self._apply_controls(process.pid)
+        process.wait()
+        completion_time = time.perf_counter()
+        return LiveInvocation(
+            item=item,
+            launch_time=launch_time,
+            start_time=start_time,
+            completion_time=completion_time,
+            returncode=process.returncode,
+        )
+
+    def _apply_controls(self, pid: int) -> None:
+        if self.cpu_ids and can_set_affinity():
+            try:
+                set_affinity(pid, self.cpu_ids)
+            except (PermissionError, OSError, ProcessLookupError):
+                pass
+        if self.policy is not None:
+            try:
+                set_policy(pid, self.policy)
+            except (PermissionError, OSError, ProcessLookupError):
+                # Unprivileged hosts cannot switch to real-time policies; the
+                # demo continues with the default policy.
+                pass

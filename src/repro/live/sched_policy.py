@@ -1,0 +1,103 @@
+"""Wrappers around the Linux scheduling syscalls exposed by :mod:`os`.
+
+These are the primitives a real deployment of the hybrid scheduler needs:
+switching a process between ``SCHED_OTHER`` (CFS) and ``SCHED_FIFO``, and
+pinning processes to the core group their policy owns.
+"""
+
+from __future__ import annotations
+
+import os
+from enum import Enum
+from typing import Iterable, Optional, Set
+
+
+class SchedulingPolicy(Enum):
+    """Kernel scheduling policies relevant to the paper."""
+
+    OTHER = "SCHED_OTHER"
+    FIFO = "SCHED_FIFO"
+    RR = "SCHED_RR"
+    BATCH = "SCHED_BATCH"
+    IDLE = "SCHED_IDLE"
+
+    def to_constant(self) -> int:
+        """The :mod:`os` constant for this policy."""
+        return getattr(os, self.value)
+
+
+def _policy_supported() -> bool:
+    return hasattr(os, "sched_setscheduler") and hasattr(os, "SCHED_FIFO")
+
+
+def can_set_realtime() -> bool:
+    """True when this process may switch itself to ``SCHED_FIFO``.
+
+    Requires both OS support (Linux) and privileges (root or CAP_SYS_NICE);
+    the check is performed by actually attempting the switch and reverting.
+    """
+    if not _policy_supported():
+        return False
+    try:
+        original_policy = os.sched_getscheduler(0)
+        original_param = os.sched_getparam(0)
+        os.sched_setscheduler(0, os.SCHED_FIFO, os.sched_param(1))
+        os.sched_setscheduler(0, original_policy, original_param)
+        return True
+    except (PermissionError, OSError):
+        return False
+
+
+def can_set_affinity() -> bool:
+    """True when CPU affinity control is available on this platform."""
+    return hasattr(os, "sched_setaffinity")
+
+
+def set_policy(
+    pid: int, policy: SchedulingPolicy, priority: Optional[int] = None
+) -> None:
+    """Apply a scheduling policy to ``pid``.
+
+    Args:
+        pid: Target process id (0 = the calling process).
+        policy: Policy to apply.
+        priority: Real-time priority (1-99) for FIFO/RR; ignored for
+            non-real-time policies, which must use priority 0.
+    """
+    if not _policy_supported():
+        raise OSError("this platform does not expose sched_setscheduler")
+    realtime = policy in (SchedulingPolicy.FIFO, SchedulingPolicy.RR)
+    if realtime:
+        effective_priority = 1 if priority is None else priority
+        if not 1 <= effective_priority <= 99:
+            raise ValueError(
+                f"real-time priority must be in [1, 99], got {effective_priority!r}"
+            )
+    else:
+        effective_priority = 0
+    os.sched_setscheduler(pid, policy.to_constant(), os.sched_param(effective_priority))
+
+
+def set_affinity(pid: int, cpu_ids: Iterable[int]) -> None:
+    """Pin ``pid`` to the given CPU set."""
+    if not can_set_affinity():
+        raise OSError("this platform does not expose sched_setaffinity")
+    cpus: Set[int] = set(cpu_ids)
+    if not cpus:
+        raise ValueError("cpu_ids must not be empty")
+    os.sched_setaffinity(pid, cpus)
+
+
+def describe_current_policy(pid: int = 0) -> str:
+    """Human-readable description of ``pid``'s current policy and priority."""
+    if not _policy_supported():
+        return "scheduling policy control unavailable on this platform"
+    policy_value = os.sched_getscheduler(pid)
+    priority = os.sched_getparam(pid).sched_priority
+    names = {
+        getattr(os, name.value): name.value
+        for name in SchedulingPolicy
+        if hasattr(os, name.value)
+    }
+    policy_name = names.get(policy_value, f"policy#{policy_value}")
+    return f"{policy_name} (priority {priority})"

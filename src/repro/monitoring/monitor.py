@@ -1,0 +1,44 @@
+"""Scheduler-side utilization reader.
+
+The hybrid scheduler compares the windowed average utilization of its two
+core groups to decide whether to move a core (§VI-C).  This class is the
+reader half: it knows nothing about how samples are produced, it only reads
+the shared store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.monitoring.shared_memory import UtilizationStore
+
+
+class GroupUtilizationMonitor:
+    """Computes windowed average utilization per core group from a store."""
+
+    def __init__(self, store: UtilizationStore, window: float = 3.0) -> None:
+        """Args:
+        store: Shared utilization store written by the sampling daemon.
+        window: Length (s) of the averaging window used for decisions.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        self.store = store
+        self.window = window
+
+    def group_utilization(self, core_ids: Iterable[int], now: float) -> float:
+        """Average utilization of a set of cores over the last window."""
+        return self.store.group_average_since(core_ids, now - self.window)
+
+    def all_groups(self, groups: Dict[str, Iterable[int]], now: float) -> Dict[str, float]:
+        """Windowed average utilization for several named groups at once."""
+        return {
+            name: self.group_utilization(core_ids, now)
+            for name, core_ids in groups.items()
+        }
+
+    def imbalance(
+        self, group_a: Iterable[int], group_b: Iterable[int], now: float
+    ) -> float:
+        """Signed utilization difference ``util(a) - util(b)`` over the window."""
+        return self.group_utilization(group_a, now) - self.group_utilization(group_b, now)

@@ -1,0 +1,57 @@
+"""Optional real-host utilization sampling for the live mode.
+
+When psutil is available (it is not a hard dependency of this package), the
+:class:`PsutilSampler` plays the role of the paper's monitoring daemon on a
+real machine: it reads per-CPU utilization and writes it into the same
+:class:`~repro.monitoring.shared_memory.UtilizationStore` the scheduler-side
+monitor reads, so the rightsizing logic is identical in simulated and live
+modes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.monitoring.shared_memory import UtilizationStore
+
+try:  # pragma: no cover - exercised only on hosts with psutil installed
+    import psutil
+
+    PSUTIL_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    psutil = None
+    PSUTIL_AVAILABLE = False
+
+
+class PsutilNotAvailableError(RuntimeError):
+    """Raised when real-host sampling is requested without psutil installed."""
+
+
+class PsutilSampler:
+    """Samples real per-CPU utilization via psutil into a utilization store."""
+
+    def __init__(
+        self,
+        store: Optional[UtilizationStore] = None,
+        cpu_ids: Optional[List[int]] = None,
+    ) -> None:
+        if not PSUTIL_AVAILABLE:
+            raise PsutilNotAvailableError(
+                "psutil is not installed; install it or use the simulated sampler"
+            )
+        self.store = store or UtilizationStore()
+        self.cpu_ids = cpu_ids
+
+    def sample(self, now: Optional[float] = None) -> Dict[int, float]:
+        """Take one non-blocking per-CPU utilization reading."""
+        timestamp = time.time() if now is None else now
+        percentages = psutil.cpu_percent(interval=None, percpu=True)
+        values: Dict[int, float] = {}
+        for cpu_id, percent in enumerate(percentages):
+            if self.cpu_ids is not None and cpu_id not in self.cpu_ids:
+                continue
+            utilization = percent / 100.0
+            values[cpu_id] = utilization
+            self.store.write(cpu_id, timestamp, utilization)
+        return values

@@ -1,0 +1,53 @@
+"""Utilization sampling daemon (simulator backend).
+
+Mirrors the psutil daemon of the paper: every sampling interval it computes
+each core's busy fraction since the previous sample and writes it into the
+:class:`~repro.monitoring.shared_memory.UtilizationStore`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.monitoring.shared_memory import UtilizationStore
+from repro.simulation.cpu import Core
+
+
+class UtilizationSampler:
+    """Samples simulated cores into a utilization store."""
+
+    def __init__(self, store: Optional[UtilizationStore] = None) -> None:
+        self.store = store or UtilizationStore()
+        self._busy_snapshots: Dict[int, float] = {}
+        self._last_sample_time: Optional[float] = None
+
+    def prime(self, cores: Iterable[Core], now: float) -> None:
+        """Take the initial busy-time snapshot without emitting samples."""
+        for core in cores:
+            core.sync(now)
+            self._busy_snapshots[core.core_id] = core.stats.busy_time
+        self._last_sample_time = now
+
+    def sample(self, cores: Iterable[Core], now: float) -> Dict[int, float]:
+        """Emit one utilization sample per core covering the window since the
+        previous call, and return the per-core values."""
+        if self._last_sample_time is None:
+            self.prime(cores, now)
+            return {}
+        window = now - self._last_sample_time
+        if window <= 0:
+            return {}
+        values: Dict[int, float] = {}
+        for core in cores:
+            core.sync(now)
+            snapshot = self._busy_snapshots.get(core.core_id, core.stats.busy_time)
+            utilization = core.utilization_since(snapshot, window)
+            values[core.core_id] = utilization
+            self.store.write(core.core_id, now, utilization)
+            self._busy_snapshots[core.core_id] = core.stats.busy_time
+        self._last_sample_time = now
+        return values
+
+    @property
+    def last_sample_time(self) -> Optional[float]:
+        return self._last_sample_time

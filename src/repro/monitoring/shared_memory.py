@@ -1,0 +1,95 @@
+"""Shared-memory-like utilization store.
+
+The monitoring daemon in the paper writes the latest per-core utilization
+values into a shared-memory segment that the scheduler polls.  This module
+models that segment as a bounded per-core ring buffer of timestamped samples
+so readers can compute averages over arbitrary recent windows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class UtilizationSampleRecord:
+    """One per-core utilization reading."""
+
+    time: float
+    core_id: int
+    utilization: float
+
+
+class UtilizationStore:
+    """Bounded ring buffer of per-core utilization samples."""
+
+    def __init__(self, capacity_per_core: int = 256) -> None:
+        """Args:
+        capacity_per_core: How many recent samples to retain per core
+            (the shared-memory segment in the paper only holds the latest
+            values; a small history makes windowed averages possible).
+        """
+        if capacity_per_core <= 0:
+            raise ValueError(
+                f"capacity_per_core must be positive, got {capacity_per_core!r}"
+            )
+        self.capacity_per_core = capacity_per_core
+        self._rings: Dict[int, Deque[UtilizationSampleRecord]] = {}
+        self.writes = 0
+
+    # ---------------------------------------------------------------- writes
+
+    def write(self, core_id: int, time: float, utilization: float) -> None:
+        """Record one sample for a core (daemon side)."""
+        value = max(0.0, min(1.0, utilization))
+        ring = self._rings.setdefault(core_id, deque(maxlen=self.capacity_per_core))
+        ring.append(UtilizationSampleRecord(time=time, core_id=core_id, utilization=value))
+        self.writes += 1
+
+    def write_many(self, time: float, values: Dict[int, float]) -> None:
+        for core_id, utilization in values.items():
+            self.write(core_id, time, utilization)
+
+    # ----------------------------------------------------------------- reads
+
+    def latest(self, core_id: int) -> Optional[UtilizationSampleRecord]:
+        ring = self._rings.get(core_id)
+        if not ring:
+            return None
+        return ring[-1]
+
+    def history(self, core_id: int) -> List[UtilizationSampleRecord]:
+        return list(self._rings.get(core_id, []))
+
+    def core_ids(self) -> List[int]:
+        return sorted(self._rings)
+
+    def average_since(self, core_id: int, since: float) -> Optional[float]:
+        """Mean utilization of one core over samples taken after ``since``."""
+        ring = self._rings.get(core_id)
+        if not ring:
+            return None
+        recent = [record.utilization for record in ring if record.time > since]
+        if not recent:
+            return ring[-1].utilization
+        return sum(recent) / len(recent)
+
+    def group_average_since(self, core_ids: Iterable[int], since: float) -> float:
+        """Mean utilization over a set of cores since a given time.
+
+        Cores with no samples are treated as fully idle, which is what a
+        freshly-migrated, still-empty core looks like to the daemon.
+        """
+        values: List[float] = []
+        for core_id in core_ids:
+            average = self.average_since(core_id, since)
+            values.append(0.0 if average is None else average)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def clear(self) -> None:
+        self._rings.clear()
+        self.writes = 0

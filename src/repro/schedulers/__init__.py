@@ -1,0 +1,49 @@
+"""Baseline scheduling policies.
+
+Every policy the paper discusses in §III-C (and uses in the Fig. 23
+cost/latency comparison) is implemented here on top of the simulation
+substrate:
+
+* :class:`~repro.schedulers.fifo.FIFOScheduler` — centralized, run to completion.
+* :class:`~repro.schedulers.fifo_preempt.FIFOPreemptScheduler` — FIFO with a
+  preemption quantum ("FIFO 100ms" in Fig. 5).
+* :class:`~repro.schedulers.cfs.CFSScheduler` — per-core fair time slicing
+  (the Linux default the paper argues against).
+* :class:`~repro.schedulers.round_robin.RoundRobinScheduler` — global queue,
+  fixed time slice.
+* :class:`~repro.schedulers.edf.EDFScheduler` — earliest deadline first.
+* :class:`~repro.schedulers.sjf.SJFScheduler` — non-preemptive shortest job first.
+* :class:`~repro.schedulers.srtf.SRTFScheduler` — preemptive shortest remaining
+  time first (the policy SFS approximates).
+* :class:`~repro.schedulers.shinjuku.ShinjukuScheduler` — centralized
+  preemptive scheduling with a small quantum.
+
+The paper's own contribution, the hybrid FIFO+CFS scheduler, lives in
+:mod:`repro.core`.
+"""
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.cfs import CFSScheduler
+from repro.schedulers.edf import EDFScheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.fifo_preempt import FIFOPreemptScheduler
+from repro.schedulers.registry import available_schedulers, create_scheduler, register_scheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from repro.schedulers.shinjuku import ShinjukuScheduler
+from repro.schedulers.sjf import SJFScheduler
+from repro.schedulers.srtf import SRTFScheduler
+
+__all__ = [
+    "Scheduler",
+    "CFSScheduler",
+    "EDFScheduler",
+    "FIFOScheduler",
+    "FIFOPreemptScheduler",
+    "RoundRobinScheduler",
+    "ShinjukuScheduler",
+    "SJFScheduler",
+    "SRTFScheduler",
+    "available_schedulers",
+    "create_scheduler",
+    "register_scheduler",
+]

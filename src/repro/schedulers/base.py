@@ -1,0 +1,149 @@
+"""Scheduler base class.
+
+A scheduler reacts to three kinds of events — task arrivals, task completions
+and its own timers — and acts on the machine exclusively through the
+simulator (``start_task`` / ``stop_task`` / ``drain_core``), which keeps core
+bookkeeping and pending completion events consistent.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.simulation.cpu import Core
+from repro.simulation.machine import DEFAULT_GROUP, Machine
+from repro.simulation.task import Task
+
+
+class Scheduler(ABC):
+    """Abstract base for all scheduling policies."""
+
+    #: Short machine-readable name, used by the registry and result labels.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.sim = None
+        self.machine: Optional[Machine] = None
+
+    # ----------------------------------------------------------------- wiring
+
+    def attach(self, simulator) -> None:
+        """Bind this scheduler to a simulator (called by the engine)."""
+        self.sim = simulator
+        self.machine = simulator.machine
+
+    def preferred_groups(self, num_cores: int) -> Optional[Dict[str, int]]:
+        """Core-group layout this policy wants; ``None`` means one group."""
+        return None
+
+    @property
+    def now(self) -> float:
+        if self.sim is None:
+            raise RuntimeError(f"scheduler {self.name!r} is not attached to a simulator")
+        return self.sim.now
+
+    # ------------------------------------------------------------- callbacks
+
+    def on_start(self) -> None:
+        """Called once when the simulation starts."""
+
+    @abstractmethod
+    def on_task_arrival(self, task: Task) -> None:
+        """A new invocation arrived and must be queued or started."""
+
+    @abstractmethod
+    def on_task_finished(self, task: Task, core: Core) -> None:
+        """A task completed on ``core``; the core may now take other work."""
+
+    def on_end(self) -> None:
+        """Called once after the last event."""
+
+    # -------------------------------------------------------------- helpers
+
+    def idle_cores(self, group: Optional[str] = None) -> List[Core]:
+        return self.machine.idle_cores(group)
+
+    def first_idle_core(self, group: Optional[str] = None) -> Optional[Core]:
+        """Lowest-id idle, unlocked core (deterministic tie-breaking)."""
+        idle = self.idle_cores(group)
+        if not idle:
+            return None
+        return min(idle, key=lambda core: core.core_id)
+
+    def default_group(self) -> str:
+        """Name of the single group used by non-hybrid policies."""
+        if self.machine is None:
+            return DEFAULT_GROUP
+        if DEFAULT_GROUP in self.machine.groups:
+            return DEFAULT_GROUP
+        return next(iter(self.machine.groups))
+
+    def describe(self) -> str:
+        """One-line human description used in reports."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class CentralizedQueueScheduler(Scheduler):
+    """Shared helper for policies built around a single global queue.
+
+    Subclasses override :meth:`pop_next` (queue discipline) and optionally
+    :meth:`on_task_started` / :meth:`should_preempt_for` to add preemption.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.queue: Deque[Task] = deque()
+
+    # Queue discipline -------------------------------------------------------
+
+    def push(self, task: Task) -> None:
+        """Add a task to the global queue (default: append to the tail)."""
+        task.mark_queued()
+        self.queue.append(task)
+
+    def push_front(self, task: Task) -> None:
+        """Add a task to the head of the global queue."""
+        task.mark_queued()
+        self.queue.appendleft(task)
+
+    def pop_next(self) -> Optional[Task]:
+        """Remove and return the next task to run (default: FIFO head)."""
+        if not self.queue:
+            return None
+        return self.queue.popleft()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    # Dispatch ----------------------------------------------------------------
+
+    def dispatch(self, core: Core) -> Optional[Task]:
+        """Start the next queued task on ``core`` if any is waiting."""
+        task = self.pop_next()
+        if task is None:
+            return None
+        self.sim.start_task(task, core)
+        self.on_task_started(task, core)
+        return task
+
+    def on_task_started(self, task: Task, core: Core) -> None:
+        """Hook invoked right after a task starts on a core."""
+
+    # Default event handling ---------------------------------------------------
+
+    def on_task_arrival(self, task: Task) -> None:
+        core = self.first_idle_core(self.default_group())
+        if core is not None:
+            self.sim.start_task(task, core)
+            self.on_task_started(task, core)
+        else:
+            self.push(task)
+
+    def on_task_finished(self, task: Task, core: Core) -> None:
+        self.dispatch(core)

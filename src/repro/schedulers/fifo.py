@@ -1,0 +1,20 @@
+"""First-In First-Out scheduling.
+
+Tasks run in arrival order, to completion, with no preemption.  One global
+queue feeds every core, which is how the paper's centralized ghOSt FIFO agent
+behaves.  FIFO achieves the optimal execution time (no interruption) at the
+price of head-of-line blocking — Observation 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import CentralizedQueueScheduler
+
+
+class FIFOScheduler(CentralizedQueueScheduler):
+    """Centralized run-to-completion FIFO over a single core group."""
+
+    name = "fifo"
+
+    def describe(self) -> str:
+        return "FIFO (centralized global queue, run to completion)"

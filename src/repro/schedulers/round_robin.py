@@ -1,0 +1,32 @@
+"""Round-Robin scheduling.
+
+A single global queue feeds every core.  Each dispatched task receives a
+fixed time slice; when the slice expires and other tasks are waiting, the
+task is preempted and re-queued at the tail.  This is the classic textbook
+policy listed in §III-C of the paper.
+
+The implementation shares its machinery with
+:class:`~repro.schedulers.fifo_preempt.FIFOPreemptScheduler` — Round Robin is
+exactly FIFO with a (typically smaller) quantum — but is kept as a distinct
+class so the Fig. 23 scheduler comparison can treat the two policies, with
+their different default quanta, as separate points.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.fifo_preempt import FIFOPreemptScheduler
+
+
+class RoundRobinScheduler(FIFOPreemptScheduler):
+    """Global-queue Round Robin with a configurable time slice."""
+
+    name = "round_robin"
+
+    def __init__(self, quantum: float = 0.050) -> None:
+        """Args:
+        quantum: Time slice per dispatch (default 50 ms).
+        """
+        super().__init__(quantum=quantum)
+
+    def describe(self) -> str:
+        return f"Round Robin ({self.quantum * 1000:.0f} ms time slice)"

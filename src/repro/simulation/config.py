@@ -1,0 +1,77 @@
+"""Simulation configuration.
+
+The defaults mirror the paper's experimental setup (§V-C): a 50-core ghOSt
+enclave carved out of a dual-socket Xeon machine, 1-second utilization
+sampling, and the Linux-default CFS tunables encoded in
+:class:`repro.simulation.context_switch.ContextSwitchModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.simulation.context_switch import ContextSwitchModel
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs shared by every simulation run.
+
+    Attributes:
+        num_cores: Number of cores in the simulated enclave (50 in the paper).
+        context_switch: Context-switch / time-slice cost model.
+        utilization_window: Length (s) of each utilization sample window.
+        migration_cost: Seconds of overhead charged when a task is migrated
+            across cores or core groups (queue manipulation + cold caches).
+        core_migration_cost: Seconds during which a core migrating between
+            policy groups is unavailable (the lock/drain protocol of Fig. 8).
+        max_simulated_time: Hard stop for the simulation clock; ``None`` means
+            run until the event queue drains.
+        record_utilization: Whether to collect per-core utilization samples.
+        record_timeline: Whether to keep a per-task scheduling timeline
+            (useful for debugging and plots, costs memory on large runs).
+        seed: Seed recorded alongside results for provenance.
+    """
+
+    num_cores: int = 50
+    context_switch: ContextSwitchModel = field(default_factory=ContextSwitchModel)
+    utilization_window: float = 1.0
+    migration_cost: float = 50e-6
+    core_migration_cost: float = 2e-3
+    max_simulated_time: Optional[float] = None
+    record_utilization: bool = True
+    record_timeline: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {self.num_cores!r}")
+        if self.utilization_window <= 0:
+            raise ValueError(
+                f"utilization_window must be positive, got {self.utilization_window!r}"
+            )
+        if self.migration_cost < 0:
+            raise ValueError(
+                f"migration_cost must be >= 0, got {self.migration_cost!r}"
+            )
+        if self.core_migration_cost < 0:
+            raise ValueError(
+                f"core_migration_cost must be >= 0, got {self.core_migration_cost!r}"
+            )
+        if self.max_simulated_time is not None and self.max_simulated_time <= 0:
+            raise ValueError(
+                f"max_simulated_time must be positive when set, got {self.max_simulated_time!r}"
+            )
+
+    def with_cores(self, num_cores: int) -> "SimulationConfig":
+        """Return a copy with a different enclave size."""
+        return replace(self, num_cores=num_cores)
+
+    def with_context_switch(self, model: ContextSwitchModel) -> "SimulationConfig":
+        """Return a copy using a different context-switch cost model."""
+        return replace(self, context_switch=model)
+
+
+#: Configuration matching the paper's testbed enclave.
+PAPER_CONFIG = SimulationConfig(num_cores=50)

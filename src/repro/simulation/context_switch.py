@@ -1,0 +1,110 @@
+"""Context-switch and time-slice cost model.
+
+CFS inflates serverless execution time in two ways:
+
+1. **Time sharing** — a task sharing a core with ``n - 1`` others only gets a
+   ``1/n`` share of the core, so its wall-clock execution stretches by roughly
+   a factor of ``n``.  The processor-sharing core model captures this exactly.
+2. **Context-switch overhead** — every slice boundary costs direct register /
+   kernel work plus indirect cache and TLB pollution.  The paper cites
+   Humphries et al. ("A case against (most) context switches") for this cost.
+
+This module models the second effect: given the number of runnable tasks on a
+core it derives the CFS time-slice length (the kernel's
+``sched_latency / nr_running`` clamped at ``min_granularity``) and converts
+the per-switch cost into an *efficiency factor* — the fraction of the core's
+capacity that actually reaches user code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ContextSwitchModel:
+    """Cost model for context switches under a time-slicing policy.
+
+    Attributes:
+        switch_cost: Seconds of core time consumed by one context switch,
+            including the indirect cache/TLB penalty (default 30 µs, in the
+            range measured by Humphries et al.).
+        target_latency: CFS ``sched_latency``: the window within which every
+            runnable task should run once (default 24 ms, the Linux default
+            for multicore systems).
+        min_granularity: CFS ``sched_min_granularity``: the smallest slice a
+            task is given regardless of how many tasks are runnable
+            (default 3 ms).
+    """
+
+    switch_cost: float = 30e-6
+    target_latency: float = 0.024
+    min_granularity: float = 0.003
+
+    def __post_init__(self) -> None:
+        if self.switch_cost < 0:
+            raise ValueError(f"switch_cost must be >= 0, got {self.switch_cost!r}")
+        if self.target_latency <= 0:
+            raise ValueError(f"target_latency must be > 0, got {self.target_latency!r}")
+        if self.min_granularity <= 0:
+            raise ValueError(
+                f"min_granularity must be > 0, got {self.min_granularity!r}"
+            )
+        if self.min_granularity > self.target_latency:
+            raise ValueError(
+                "min_granularity cannot exceed target_latency: "
+                f"{self.min_granularity!r} > {self.target_latency!r}"
+            )
+
+    def timeslice(self, nr_running: int) -> float:
+        """CFS time slice for a core with ``nr_running`` runnable tasks."""
+        if nr_running <= 0:
+            raise ValueError(f"nr_running must be positive, got {nr_running!r}")
+        if nr_running == 1:
+            return self.target_latency
+        return max(self.target_latency / nr_running, self.min_granularity)
+
+    def efficiency(self, nr_running: int) -> float:
+        """Fraction of core capacity doing useful work with ``nr_running`` tasks.
+
+        With a single runnable task no involuntary switching happens and the
+        efficiency is 1.  With more tasks, one switch is paid per slice, so the
+        efficiency is ``slice / (slice + switch_cost)``.
+        """
+        if nr_running <= 1:
+            return 1.0
+        slice_len = self.timeslice(nr_running)
+        return slice_len / (slice_len + self.switch_cost)
+
+    def switch_rate(self, nr_running: int) -> float:
+        """Context switches per second of wall-clock time on a busy core."""
+        if nr_running <= 1:
+            return 0.0
+        slice_len = self.timeslice(nr_running)
+        return 1.0 / (slice_len + self.switch_cost)
+
+    def switches_over(self, nr_running: int, elapsed: float) -> float:
+        """Expected number of context switches over ``elapsed`` seconds."""
+        if elapsed < 0:
+            raise ValueError(f"elapsed must be >= 0, got {elapsed!r}")
+        return self.switch_rate(nr_running) * elapsed
+
+    def scaled(self, factor: float) -> "ContextSwitchModel":
+        """Return a copy with the per-switch cost scaled by ``factor``.
+
+        Used by the ablation benchmarks that sweep context-switch cost.
+        """
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor!r}")
+        return ContextSwitchModel(
+            switch_cost=self.switch_cost * factor,
+            target_latency=self.target_latency,
+            min_granularity=self.min_granularity,
+        )
+
+
+#: Model with free context switches; isolates the pure time-sharing effect.
+ZERO_COST_MODEL = ContextSwitchModel(switch_cost=0.0)
+
+#: Default model used across the experiments.
+DEFAULT_MODEL = ContextSwitchModel()

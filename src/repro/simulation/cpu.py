@@ -1,0 +1,270 @@
+"""Core model.
+
+A :class:`Core` executes the tasks currently assigned to it using *weighted
+processor sharing*:
+
+* With a single assigned task the core behaves exactly like a dedicated,
+  run-to-completion core — full speed, no context switches.  This is how the
+  FIFO policy (and the FIFO side of the hybrid scheduler) uses cores.
+* With several assigned tasks the core splits its capacity equally among
+  them, paying the context-switch overhead dictated by the
+  :class:`~repro.simulation.context_switch.ContextSwitchModel`.  This is the
+  fluid-limit of CFS time slicing with equal weights and is how the CFS
+  policy (and the CFS side of the hybrid scheduler) uses cores.
+
+Both behaviours come from the same primitive, so a core can migrate between
+the FIFO and CFS groups at runtime (Fig. 8 of the paper) without changing its
+type — only the scheduler's usage pattern changes.
+
+All methods take the current simulation time explicitly; a core never reads
+the clock itself, which keeps it trivially testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Optional
+
+from repro.simulation.clock import TIME_EPSILON
+from repro.simulation.context_switch import ContextSwitchModel
+from repro.simulation.task import Task
+
+#: Remaining service below this is treated as "finished" (float safety margin).
+REMAINING_EPSILON = 1e-9
+
+
+class CoreMode(Enum):
+    """How a scheduler intends to use a core.
+
+    The mode is an *invariant check*, not a behaviour switch: ``DEDICATED``
+    cores refuse a second concurrent task, which is how FIFO-style policies
+    guarantee run-to-completion semantics.
+    """
+
+    DEDICATED = "dedicated"
+    FAIR_SHARE = "fair_share"
+
+
+@dataclass
+class CoreStats:
+    """Cumulative per-core accounting used by the metric collector."""
+
+    busy_time: float = 0.0
+    service_delivered: float = 0.0
+    explicit_preemptions: int = 0
+    estimated_context_switches: float = 0.0
+    tasks_started: int = 0
+    tasks_completed: int = 0
+    migrations_in: int = 0
+    migrations_out: int = 0
+
+    @property
+    def total_preemptions(self) -> float:
+        """Explicit (scheduler-driven) plus estimated slice-expiry preemptions."""
+        return self.explicit_preemptions + self.estimated_context_switches
+
+
+class Core:
+    """A single CPU core executing its assigned tasks by processor sharing."""
+
+    def __init__(
+        self,
+        core_id: int,
+        group: str,
+        context_switch: Optional[ContextSwitchModel] = None,
+        mode: CoreMode = CoreMode.FAIR_SHARE,
+        migration_cost: float = 0.0,
+        speed: float = 1.0,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError(f"core speed must be positive, got {speed!r}")
+        self.core_id = core_id
+        self.group = group
+        self.mode = mode
+        self.speed = speed
+        self.locked = False
+        self.stats = CoreStats()
+        self._cs_model = context_switch or ContextSwitchModel()
+        self._migration_cost = migration_cost
+        self._tasks: Dict[int, Task] = {}
+        self._last_update = 0.0
+        # Set by the simulator: called with (core, task) when a task finishes.
+        self._completion_callback: Optional[Callable[["Core", Task], None]] = None
+        # Opaque handle for the pending completion event; owned by the simulator.
+        self._completion_handle = None
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def tasks(self) -> list[Task]:
+        """Tasks currently assigned to this core (unspecified order)."""
+        return list(self._tasks.values())
+
+    @property
+    def nr_running(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def is_idle(self) -> bool:
+        return not self._tasks
+
+    @property
+    def is_busy(self) -> bool:
+        return bool(self._tasks)
+
+    @property
+    def current_task(self) -> Optional[Task]:
+        """The single running task, only meaningful for dedicated usage."""
+        if not self._tasks:
+            return None
+        return next(iter(self._tasks.values()))
+
+    def has_task(self, task: Task) -> bool:
+        return task.task_id in self._tasks
+
+    # ------------------------------------------------------------------ rates
+
+    def service_rate(self) -> float:
+        """Service rate each assigned task currently receives (seconds/second)."""
+        n = self.nr_running
+        if n == 0:
+            return 0.0
+        return self.speed * self._cs_model.efficiency(n) / n
+
+    def time_to_next_completion(self) -> Optional[float]:
+        """Seconds until the earliest assigned task completes, or None if idle."""
+        rate = self.service_rate()
+        if rate <= 0.0:
+            return None
+        min_remaining = min(task.remaining for task in self._tasks.values())
+        return max(min_remaining, 0.0) / rate
+
+    # ------------------------------------------------------------- progression
+
+    def sync(self, now: float) -> None:
+        """Advance the internal service accounting up to ``now``.
+
+        Must be called before any mutation of the task set and before reading
+        utilization figures at ``now``.
+        """
+        elapsed = now - self._last_update
+        if elapsed < -TIME_EPSILON:
+            raise ValueError(
+                f"core {self.core_id} asked to sync backwards: "
+                f"last={self._last_update!r}, now={now!r}"
+            )
+        if elapsed <= 0:
+            self._last_update = max(self._last_update, now)
+            return
+        n = self.nr_running
+        if n > 0:
+            rate = self.service_rate()
+            delivered = 0.0
+            for task in self._tasks.values():
+                amount = min(rate * elapsed, task.remaining)
+                task.account_service(amount)
+                delivered += amount
+            self.stats.busy_time += elapsed
+            self.stats.service_delivered += delivered
+            self.stats.estimated_context_switches += self._cs_model.switches_over(
+                n, elapsed
+            )
+        self._last_update = now
+
+    # ------------------------------------------------------------- task moves
+
+    def add_task(self, task: Task, now: float) -> None:
+        """Assign ``task`` to this core starting at ``now``."""
+        if self.locked:
+            raise RuntimeError(
+                f"core {self.core_id} is locked for migration; cannot accept task "
+                f"{task.task_id}"
+            )
+        if task.task_id in self._tasks:
+            raise RuntimeError(
+                f"task {task.task_id} is already assigned to core {self.core_id}"
+            )
+        if self.mode is CoreMode.DEDICATED and self._tasks:
+            raise RuntimeError(
+                f"dedicated core {self.core_id} already runs task "
+                f"{self.current_task.task_id}; cannot add task {task.task_id}"
+            )
+        self.sync(now)
+        if task.last_core is not None and task.last_core != self.core_id:
+            # Cold caches / queue manipulation charge for cross-core migration.
+            task.remaining += self._migration_cost
+            self.stats.migrations_in += 1
+        task.mark_running(now, self.core_id)
+        self._tasks[task.task_id] = task
+        self.stats.tasks_started += 1
+
+    def remove_task(self, task: Task, now: float, *, preempted: bool = False) -> Task:
+        """Detach ``task`` from this core at ``now``.
+
+        Args:
+            preempted: True when the removal is involuntary (counts as a
+                preemption on both the task and the core).
+        """
+        if task.task_id not in self._tasks:
+            raise RuntimeError(
+                f"task {task.task_id} is not assigned to core {self.core_id}"
+            )
+        self.sync(now)
+        del self._tasks[task.task_id]
+        if preempted:
+            task.mark_preempted()
+            self.stats.explicit_preemptions += 1
+            self.stats.migrations_out += 1
+        return task
+
+    def finish_ready_tasks(self, now: float) -> list[Task]:
+        """Complete and detach every task whose remaining service reached zero."""
+        self.sync(now)
+        finished: list[Task] = []
+        for task_id in [
+            tid for tid, t in self._tasks.items() if t.remaining <= REMAINING_EPSILON
+        ]:
+            task = self._tasks.pop(task_id)
+            task.mark_finished(now)
+            self.stats.tasks_completed += 1
+            finished.append(task)
+        return finished
+
+    def drain(self, now: float) -> list[Task]:
+        """Preempt and return every assigned task (used by core migration)."""
+        self.sync(now)
+        drained: list[Task] = []
+        for task in list(self._tasks.values()):
+            drained.append(self.remove_task(task, now, preempted=True))
+        return drained
+
+    # ------------------------------------------------------------ group moves
+
+    def lock(self) -> None:
+        """Prevent new task assignments (step 1 of the Fig. 8 protocol)."""
+        self.locked = True
+
+    def unlock(self) -> None:
+        """Re-enable task assignments (final step of the Fig. 8 protocol)."""
+        self.locked = False
+
+    def change_group(self, new_group: str, mode: Optional[CoreMode] = None) -> None:
+        """Move this core to another policy group."""
+        self.group = new_group
+        if mode is not None:
+            self.mode = mode
+
+    # -------------------------------------------------------------- utilities
+
+    def utilization_since(self, busy_snapshot: float, window: float) -> float:
+        """Utilization over a window given a previous ``busy_time`` snapshot."""
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        return max(0.0, min(1.0, (self.stats.busy_time - busy_snapshot) / window))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Core(id={self.core_id}, group={self.group!r}, mode={self.mode.value}, "
+            f"nr_running={self.nr_running})"
+        )

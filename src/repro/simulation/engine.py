@@ -1,0 +1,245 @@
+"""Discrete-event simulation engine.
+
+The :class:`Simulator` ties together the clock, the event queue, the machine
+and a scheduler.  Schedulers never touch cores directly — they start, stop
+and migrate tasks through the simulator so that pending completion events
+always stay consistent with the cores' task sets.
+
+Scheduler interface (duck-typed; see :class:`repro.schedulers.base.Scheduler`):
+
+* ``attach(simulator)`` — called once before the run.
+* ``on_start()`` — called when the simulation starts.
+* ``on_task_arrival(task)`` — a new invocation arrived.
+* ``on_task_finished(task, core)`` — a task completed on ``core``.
+* ``on_end()`` — called after the last event.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from typing import Iterable, List, Optional, Sequence
+
+from repro.simulation.clock import VirtualClock
+from repro.simulation.config import SimulationConfig
+from repro.simulation.cpu import Core
+from repro.simulation.events import EventHandle, EventPriority, EventQueue
+from repro.simulation.machine import Machine
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.results import SimulationResult, build_result
+from repro.simulation.task import Task, TaskState
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Simulator:
+    """Event-driven multicore scheduling simulator."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        scheduler,
+        config: Optional[SimulationConfig] = None,
+        collector: Optional[MetricsCollector] = None,
+    ) -> None:
+        self.machine = machine
+        self.scheduler = scheduler
+        self.config = config or machine.config
+        self.collector = collector or MetricsCollector()
+        self.clock = VirtualClock()
+        self.events = EventQueue()
+        self.tasks: List[Task] = []
+        self._unfinished = 0
+        self._pending_arrivals = 0
+        self._events_processed = 0
+        self._running = False
+        scheduler.attach(self)
+
+    # ------------------------------------------------------------------ clock
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    # --------------------------------------------------------------- workload
+
+    def submit(self, tasks: Iterable[Task]) -> None:
+        """Register tasks and schedule their arrival events."""
+        if self._running:
+            raise SimulationError("cannot submit tasks while the simulation is running")
+        for task in tasks:
+            self.tasks.append(task)
+            self._unfinished += 1
+            self._pending_arrivals += 1
+            self.events.push(
+                task.arrival_time,
+                lambda t=task: self._handle_arrival(t),
+                priority=EventPriority.ARRIVAL,
+                tag="arrival",
+            )
+
+    # ----------------------------------------------------------------- timers
+
+    def schedule_at(
+        self, time: float, callback, tag: str = "timer"
+    ) -> EventHandle:
+        """Schedule a callback at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule an event in the past: now={self.now}, requested={time}"
+            )
+        return self.events.push(time, callback, priority=EventPriority.TIMER, tag=tag)
+
+    def schedule_timer(self, delay: float, callback, tag: str = "timer") -> EventHandle:
+        """Schedule a callback ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"timer delay must be >= 0, got {delay!r}")
+        return self.schedule_at(self.now + delay, callback, tag=tag)
+
+    def record_series(self, name: str, value: float) -> None:
+        """Record one point of a named time series at the current time."""
+        self.collector.record_series(name, self.now, value)
+
+    # ----------------------------------------------------- task/core plumbing
+
+    def start_task(self, task: Task, core: Core) -> None:
+        """Begin (or resume) executing ``task`` on ``core``."""
+        core.add_task(task, self.now)
+        self._reschedule_completion(core)
+
+    def stop_task(self, task: Task, core: Core, *, preempted: bool = True) -> Task:
+        """Remove ``task`` from ``core`` (involuntarily unless stated otherwise)."""
+        removed = core.remove_task(task, self.now, preempted=preempted)
+        self._reschedule_completion(core)
+        return removed
+
+    def drain_core(self, core: Core) -> List[Task]:
+        """Preempt and return every task on ``core`` (core-migration protocol)."""
+        drained = core.drain(self.now)
+        self._reschedule_completion(core)
+        return drained
+
+    def sync_core(self, core: Core) -> None:
+        """Bring one core's accounting up to the current time."""
+        core.sync(self.now)
+
+    def refresh_core(self, core: Core) -> None:
+        """Re-evaluate a core's pending completion after an external change."""
+        core.sync(self.now)
+        self._reschedule_completion(core)
+
+    # ---------------------------------------------------------------- running
+
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Run the simulation to completion and return its result."""
+        limit = until if until is not None else self.config.max_simulated_time
+        started = _wallclock.perf_counter()
+        self._running = True
+        self.scheduler.on_start()
+        if self.config.record_utilization:
+            self.collector.start_utilization_window(self.machine.cores, self.now)
+            self._schedule_utilization_sample()
+
+        while True:
+            next_time = self.events.peek_time()
+            if next_time is None:
+                break
+            if limit is not None and next_time > limit:
+                self.clock.advance_to(limit)
+                break
+            event = self.events.pop()
+            if event is None:
+                break
+            self.clock.advance_to(event.time)
+            self._events_processed += 1
+            event.callback()
+            if self._unfinished == 0 and self._pending_arrivals == 0:
+                break
+
+        # Final utilization sample so short runs still get at least one point.
+        if self.config.record_utilization and self.machine.cores:
+            self.collector.sample_utilization(
+                self.machine.cores, self.now, window=None
+            )
+        self.scheduler.on_end()
+        self._running = False
+        wall = _wallclock.perf_counter() - started
+        return build_result(
+            scheduler_name=getattr(self.scheduler, "name", type(self.scheduler).__name__),
+            config=self.config,
+            tasks=self.tasks,
+            cores=self.machine.cores,
+            collector=self.collector,
+            simulated_time=self.now,
+            wall_clock_seconds=wall,
+            events_processed=self._events_processed,
+        )
+
+    # ----------------------------------------------------------- event logic
+
+    def _handle_arrival(self, task: Task) -> None:
+        self._pending_arrivals -= 1
+        task.mark_queued()
+        self.scheduler.on_task_arrival(task)
+
+    def _handle_completion(self, core: Core) -> None:
+        core._completion_handle = None
+        finished = core.finish_ready_tasks(self.now)
+        self._reschedule_completion(core)
+        for task in finished:
+            self._unfinished -= 1
+            self.collector.on_task_finished(task)
+            self.scheduler.on_task_finished(task, core)
+
+    def _reschedule_completion(self, core: Core) -> None:
+        if core._completion_handle is not None:
+            core._completion_handle.cancel()
+            core._completion_handle = None
+        delta = core.time_to_next_completion()
+        if delta is None:
+            return
+        core._completion_handle = self.events.push(
+            self.now + delta,
+            lambda c=core: self._handle_completion(c),
+            priority=EventPriority.COMPLETION,
+            tag=f"completion-core-{core.core_id}",
+        )
+
+    def _schedule_utilization_sample(self) -> None:
+        window = self.config.utilization_window
+
+        def _sample() -> None:
+            self.collector.sample_utilization(
+                self.machine.cores, self.now, window=window
+            )
+            if self._unfinished > 0 or self._pending_arrivals > 0:
+                self._schedule_utilization_sample()
+
+        self.events.push(
+            self.now + window,
+            _sample,
+            priority=EventPriority.CONTROL,
+            tag="utilization-sample",
+        )
+
+
+def simulate(
+    scheduler,
+    tasks: Sequence[Task],
+    config: Optional[SimulationConfig] = None,
+    machine: Optional[Machine] = None,
+    until: Optional[float] = None,
+) -> SimulationResult:
+    """One-call helper: build a machine, run ``scheduler`` over ``tasks``.
+
+    This is the main entry point used by examples, tests and the experiment
+    harness when no special machine topology is needed.
+    """
+    cfg = config or SimulationConfig()
+    target_machine = machine or Machine(
+        cfg, groups=scheduler.preferred_groups(cfg.num_cores)
+    )
+    simulator = Simulator(target_machine, scheduler, config=cfg)
+    simulator.submit(tasks)
+    return simulator.run(until=until)

@@ -1,0 +1,214 @@
+"""Machine and core-group model.
+
+A :class:`Machine` owns a fixed set of cores partitioned into named
+:class:`CoreGroup` s.  Schedulers address cores through their group ("fifo",
+"cfs", or a single "all" group for the non-hybrid baselines), and the
+rightsizing controller moves cores between groups at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.cpu import Core, CoreMode
+
+#: Default group name used by single-policy schedulers.
+DEFAULT_GROUP = "all"
+
+
+@dataclass
+class CoreGroup:
+    """A named set of cores sharing one scheduling policy."""
+
+    name: str
+    core_ids: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.core_ids)
+
+    def __contains__(self, core_id: int) -> bool:
+        return core_id in self.core_ids
+
+    def add(self, core_id: int) -> None:
+        if core_id in self.core_ids:
+            raise ValueError(f"core {core_id} is already in group {self.name!r}")
+        self.core_ids.append(core_id)
+
+    def remove(self, core_id: int) -> None:
+        try:
+            self.core_ids.remove(core_id)
+        except ValueError as exc:
+            raise ValueError(f"core {core_id} is not in group {self.name!r}") from exc
+
+
+class Machine:
+    """A multicore machine with named, dynamically resizable core groups."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        groups: Optional[Dict[str, int]] = None,
+        group_modes: Optional[Dict[str, CoreMode]] = None,
+    ) -> None:
+        """Build a machine.
+
+        Args:
+            config: Simulation configuration (core count, cost models).
+            groups: Mapping of group name to number of cores.  When omitted a
+                single group named ``"all"`` holds every core.  The sizes must
+                sum to ``config.num_cores``.
+            group_modes: Optional per-group :class:`CoreMode`; defaults to
+                ``FAIR_SHARE`` for every group.
+        """
+        self.config = config
+        group_sizes = dict(groups) if groups else {DEFAULT_GROUP: config.num_cores}
+        total = sum(group_sizes.values())
+        if total != config.num_cores:
+            raise ValueError(
+                f"group sizes {group_sizes} sum to {total}, expected "
+                f"{config.num_cores} cores"
+            )
+        for name, size in group_sizes.items():
+            if size < 0:
+                raise ValueError(f"group {name!r} cannot have negative size {size}")
+        modes = group_modes or {}
+
+        self.cores: List[Core] = []
+        self.groups: Dict[str, CoreGroup] = {name: CoreGroup(name) for name in group_sizes}
+        core_id = 0
+        for name, size in group_sizes.items():
+            mode = modes.get(name, CoreMode.FAIR_SHARE)
+            for _ in range(size):
+                core = Core(
+                    core_id=core_id,
+                    group=name,
+                    context_switch=config.context_switch,
+                    mode=mode,
+                    migration_cost=config.migration_cost,
+                )
+                self.cores.append(core)
+                self.groups[name].add(core_id)
+                core_id += 1
+
+    # ------------------------------------------------------------------ query
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def core(self, core_id: int) -> Core:
+        """Return the core with the given id."""
+        if core_id < 0 or core_id >= len(self.cores):
+            raise KeyError(f"no core with id {core_id}")
+        return self.cores[core_id]
+
+    def group(self, name: str) -> CoreGroup:
+        if name not in self.groups:
+            raise KeyError(f"no core group named {name!r}")
+        return self.groups[name]
+
+    def group_cores(self, name: str) -> List[Core]:
+        """All cores currently in the named group, in id order."""
+        return [self.cores[cid] for cid in sorted(self.group(name).core_ids)]
+
+    def group_size(self, name: str) -> int:
+        return len(self.group(name))
+
+    def idle_cores(self, group: Optional[str] = None) -> List[Core]:
+        """Idle, unlocked cores — optionally restricted to one group."""
+        cores = self.group_cores(group) if group else self.cores
+        return [core for core in cores if core.is_idle and not core.locked]
+
+    def busy_cores(self, group: Optional[str] = None) -> List[Core]:
+        cores = self.group_cores(group) if group else self.cores
+        return [core for core in cores if core.is_busy]
+
+    def least_loaded_core(self, group: Optional[str] = None) -> Optional[Core]:
+        """Unlocked core with the fewest runnable tasks (ties: lowest id)."""
+        cores = self.group_cores(group) if group else self.cores
+        candidates = [core for core in cores if not core.locked]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda core: (core.nr_running, core.core_id))
+
+    def total_running(self, group: Optional[str] = None) -> int:
+        cores = self.group_cores(group) if group else self.cores
+        return sum(core.nr_running for core in cores)
+
+    def sync_all(self, now: float, group: Optional[str] = None) -> None:
+        """Bring every core's service accounting up to ``now``."""
+        cores = self.group_cores(group) if group else self.cores
+        for core in cores:
+            core.sync(now)
+
+    def group_utilization(
+        self, name: str, busy_snapshots: Dict[int, float], window: float
+    ) -> float:
+        """Average utilization of a group over a window.
+
+        Args:
+            busy_snapshots: per-core ``stats.busy_time`` values captured at the
+                start of the window.
+            window: window length in seconds.
+        """
+        cores = self.group_cores(name)
+        if not cores:
+            return 0.0
+        total = 0.0
+        for core in cores:
+            snapshot = busy_snapshots.get(core.core_id, core.stats.busy_time)
+            total += core.utilization_since(snapshot, window)
+        return total / len(cores)
+
+    # ------------------------------------------------------------- core moves
+
+    def move_core(
+        self,
+        core_id: int,
+        from_group: str,
+        to_group: str,
+        mode: Optional[CoreMode] = None,
+    ) -> Core:
+        """Reassign a core from one group to another.
+
+        The caller (the rightsizing controller) is responsible for the
+        lock/drain/unlock choreography; this method only updates membership.
+        """
+        if from_group == to_group:
+            raise ValueError("from_group and to_group must differ")
+        source = self.group(from_group)
+        destination = self.group(to_group)
+        if core_id not in source:
+            raise ValueError(f"core {core_id} is not in group {from_group!r}")
+        source.remove(core_id)
+        destination.add(core_id)
+        core = self.core(core_id)
+        core.change_group(to_group, mode=mode)
+        return core
+
+    def ensure_group(self, name: str) -> CoreGroup:
+        """Create an empty group if it does not exist yet."""
+        if name not in self.groups:
+            self.groups[name] = CoreGroup(name)
+        return self.groups[name]
+
+    def group_sizes(self) -> Dict[str, int]:
+        """Current number of cores per group."""
+        return {name: len(group) for name, group in self.groups.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = ", ".join(f"{name}={len(group)}" for name, group in self.groups.items())
+        return f"Machine(cores={len(self.cores)}, groups=[{sizes}])"
+
+
+def build_machine(
+    num_cores: int,
+    groups: Optional[Dict[str, int]] = None,
+    config: Optional[SimulationConfig] = None,
+) -> Machine:
+    """Convenience constructor used throughout tests and examples."""
+    cfg = config or SimulationConfig(num_cores=num_cores)
+    if cfg.num_cores != num_cores:
+        cfg = cfg.with_cores(num_cores)
+    return Machine(cfg, groups=groups)

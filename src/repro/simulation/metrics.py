@@ -1,0 +1,218 @@
+"""Metric collection.
+
+The collector gathers everything the paper's figures need:
+
+* per-task execution / response / turnaround times (Figs. 4-6, 11, 12, 18, 21),
+* per-core preemption counts (Fig. 13),
+* per-core and per-group utilization time series (Figs. 14, 16, 17, 19),
+* arbitrary named time series recorded by schedulers, e.g. the adaptive FIFO
+  time limit (Figs. 16, 17) and the FIFO group size under rightsizing
+  (Fig. 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulation.cpu import Core
+from repro.simulation.task import Task
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    """Utilization observed during one sampling window ending at ``time``."""
+
+    time: float
+    per_core: Dict[int, float]
+    per_group: Dict[str, float]
+    group_sizes: Dict[str, int]
+
+    def group(self, name: str) -> float:
+        """Average utilization of a group during this window (0 when absent)."""
+        return self.per_group.get(name, 0.0)
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One point of a scheduler-recorded named time series."""
+
+    time: float
+    value: float
+
+
+@dataclass
+class TaskMetricsSummary:
+    """Aggregate statistics over a set of finished tasks."""
+
+    count: int
+    mean_execution: float
+    mean_response: float
+    mean_turnaround: float
+    p50_execution: float
+    p50_response: float
+    p50_turnaround: float
+    p90_execution: float
+    p90_response: float
+    p90_turnaround: float
+    p99_execution: float
+    p99_response: float
+    p99_turnaround: float
+    total_execution: float
+    total_service: float
+    makespan: float
+
+    @classmethod
+    def from_tasks(cls, tasks: Sequence[Task]) -> "TaskMetricsSummary":
+        finished = [t for t in tasks if t.is_finished]
+        if not finished:
+            return cls(
+                count=0,
+                mean_execution=0.0,
+                mean_response=0.0,
+                mean_turnaround=0.0,
+                p50_execution=0.0,
+                p50_response=0.0,
+                p50_turnaround=0.0,
+                p90_execution=0.0,
+                p90_response=0.0,
+                p90_turnaround=0.0,
+                p99_execution=0.0,
+                p99_response=0.0,
+                p99_turnaround=0.0,
+                total_execution=0.0,
+                total_service=0.0,
+                makespan=0.0,
+            )
+        execution = np.array([t.execution_time for t in finished])
+        response = np.array([t.response_time for t in finished])
+        turnaround = np.array([t.turnaround_time for t in finished])
+        return cls(
+            count=len(finished),
+            mean_execution=float(execution.mean()),
+            mean_response=float(response.mean()),
+            mean_turnaround=float(turnaround.mean()),
+            p50_execution=float(np.percentile(execution, 50)),
+            p50_response=float(np.percentile(response, 50)),
+            p50_turnaround=float(np.percentile(turnaround, 50)),
+            p90_execution=float(np.percentile(execution, 90)),
+            p90_response=float(np.percentile(response, 90)),
+            p90_turnaround=float(np.percentile(turnaround, 90)),
+            p99_execution=float(np.percentile(execution, 99)),
+            p99_response=float(np.percentile(response, 99)),
+            p99_turnaround=float(np.percentile(turnaround, 99)),
+            total_execution=float(execution.sum()),
+            total_service=float(sum(t.service_time for t in finished)),
+            makespan=float(max(t.completion_time for t in finished)),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_execution": self.mean_execution,
+            "mean_response": self.mean_response,
+            "mean_turnaround": self.mean_turnaround,
+            "p50_execution": self.p50_execution,
+            "p50_response": self.p50_response,
+            "p50_turnaround": self.p50_turnaround,
+            "p90_execution": self.p90_execution,
+            "p90_response": self.p90_response,
+            "p90_turnaround": self.p90_turnaround,
+            "p99_execution": self.p99_execution,
+            "p99_response": self.p99_response,
+            "p99_turnaround": self.p99_turnaround,
+            "total_execution": self.total_execution,
+            "total_service": self.total_service,
+            "makespan": self.makespan,
+        }
+
+
+class MetricsCollector:
+    """Accumulates measurements during a simulation run."""
+
+    def __init__(self) -> None:
+        self.finished_tasks: List[Task] = []
+        self.utilization_samples: List[UtilizationSample] = []
+        self.series: Dict[str, List[SeriesPoint]] = {}
+        self._busy_snapshots: Dict[int, float] = {}
+        self._last_sample_time: float = 0.0
+
+    # ----------------------------------------------------------------- tasks
+
+    def on_task_finished(self, task: Task) -> None:
+        if not task.is_finished:
+            raise ValueError(f"task {task.task_id} is not finished")
+        self.finished_tasks.append(task)
+
+    # ------------------------------------------------------------ time series
+
+    def record_series(self, name: str, time: float, value: float) -> None:
+        """Record one point of a named scheduler time series."""
+        self.series.setdefault(name, []).append(SeriesPoint(time=time, value=value))
+
+    def series_values(self, name: str) -> List[SeriesPoint]:
+        return list(self.series.get(name, []))
+
+    # ------------------------------------------------------------ utilization
+
+    def start_utilization_window(self, cores: Iterable[Core], now: float) -> None:
+        """Snapshot per-core busy time at the start of a sampling window."""
+        self._busy_snapshots = {core.core_id: core.stats.busy_time for core in cores}
+        self._last_sample_time = now
+
+    def sample_utilization(
+        self, cores: Sequence[Core], now: float, window: Optional[float] = None
+    ) -> UtilizationSample:
+        """Close the current window at ``now`` and record a utilization sample."""
+        effective_window = window if window is not None else now - self._last_sample_time
+        if effective_window <= 0:
+            effective_window = 1e-9
+        per_core: Dict[int, float] = {}
+        group_totals: Dict[str, float] = {}
+        group_counts: Dict[str, int] = {}
+        for core in cores:
+            core.sync(now)
+            snapshot = self._busy_snapshots.get(core.core_id, core.stats.busy_time)
+            utilization = core.utilization_since(snapshot, effective_window)
+            per_core[core.core_id] = utilization
+            group_totals[core.group] = group_totals.get(core.group, 0.0) + utilization
+            group_counts[core.group] = group_counts.get(core.group, 0) + 1
+        per_group = {
+            name: group_totals[name] / group_counts[name] for name in group_totals
+        }
+        sample = UtilizationSample(
+            time=now,
+            per_core=per_core,
+            per_group=per_group,
+            group_sizes=dict(group_counts),
+        )
+        self.utilization_samples.append(sample)
+        self.start_utilization_window(cores, now)
+        return sample
+
+    # -------------------------------------------------------------- summaries
+
+    def summary(self) -> TaskMetricsSummary:
+        return TaskMetricsSummary.from_tasks(self.finished_tasks)
+
+    def execution_times(self) -> np.ndarray:
+        return np.array([t.execution_time for t in self.finished_tasks])
+
+    def response_times(self) -> np.ndarray:
+        return np.array([t.response_time for t in self.finished_tasks])
+
+    def turnaround_times(self) -> np.ndarray:
+        return np.array([t.turnaround_time for t in self.finished_tasks])
+
+    def preemptions_per_core(self, cores: Sequence[Core]) -> Dict[int, float]:
+        """Total (explicit + estimated slice) preemptions per core (Fig. 13)."""
+        return {core.core_id: core.stats.total_preemptions for core in cores}
+
+    def group_utilization_series(self, group: str) -> List[SeriesPoint]:
+        """Utilization-over-time series for one core group (Figs. 14, 16, 17, 19)."""
+        return [
+            SeriesPoint(time=s.time, value=s.group(group))
+            for s in self.utilization_samples
+        ]

@@ -1,0 +1,180 @@
+"""Task model.
+
+A :class:`Task` is one serverless function invocation.  It carries the static
+attributes coming out of the workload generator (arrival time, CPU demand,
+memory size, Fibonacci argument) and the dynamic bookkeeping the simulator
+updates as the task is scheduled, preempted, migrated and completed.
+
+The three timing metrics follow the definitions of §II-B of the paper
+(borrowed from OSTEP):
+
+* ``execution  = completion - first_run``
+* ``response   = first_run - arrival``
+* ``turnaround = completion - arrival``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class TaskState(Enum):
+    """Lifecycle of a task inside the simulator."""
+
+    CREATED = "created"
+    QUEUED = "queued"
+    RUNNING = "running"
+    PREEMPTED = "preempted"
+    FINISHED = "finished"
+
+
+@dataclass
+class Task:
+    """A single serverless function invocation.
+
+    Attributes:
+        task_id: Unique, monotonically increasing identifier.
+        arrival_time: Simulation time (s) at which the invocation arrives.
+        service_time: Pure CPU demand (s) — the time the function needs on a
+            core with no interference and no context switches.
+        memory_mb: Memory size allocated to the function; drives the AWS
+            Lambda per-millisecond price.
+        name: Optional human-readable label (e.g. ``"fib(38)"``).
+        fibonacci_n: Fibonacci argument used to emulate this duration, if the
+            task came out of the calibration pipeline.
+        deadline: Optional absolute deadline, only used by the EDF policy.
+        metadata: Free-form dictionary for experiment-specific annotations.
+    """
+
+    task_id: int
+    arrival_time: float
+    service_time: float
+    memory_mb: int = 128
+    name: str = ""
+    fibonacci_n: Optional[int] = None
+    deadline: Optional[float] = None
+    metadata: dict = field(default_factory=dict)
+
+    # --- dynamic bookkeeping -------------------------------------------------
+    state: TaskState = TaskState.CREATED
+    remaining: float = field(default=0.0)
+    first_run_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    cpu_time_received: float = 0.0
+    preemptions: int = 0
+    migrations: int = 0
+    vruntime: float = 0.0
+    last_core: Optional[int] = None
+    groups_visited: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.service_time <= 0:
+            raise ValueError(
+                f"task {self.task_id} must have positive service time, "
+                f"got {self.service_time!r}"
+            )
+        if self.arrival_time < 0:
+            raise ValueError(
+                f"task {self.task_id} has negative arrival time {self.arrival_time!r}"
+            )
+        if self.memory_mb <= 0:
+            raise ValueError(
+                f"task {self.task_id} must have positive memory size, got {self.memory_mb!r}"
+            )
+        self.remaining = float(self.service_time)
+
+    # --- state transitions ---------------------------------------------------
+
+    def mark_queued(self) -> None:
+        """Record that the task entered a run queue."""
+        if self.state is TaskState.FINISHED:
+            raise RuntimeError(f"task {self.task_id} already finished; cannot queue")
+        if self.state in (TaskState.CREATED, TaskState.PREEMPTED, TaskState.RUNNING):
+            self.state = TaskState.QUEUED
+
+    def mark_running(self, now: float, core_id: int) -> None:
+        """Record that the task started (or resumed) receiving CPU time."""
+        if self.state is TaskState.FINISHED:
+            raise RuntimeError(f"task {self.task_id} already finished; cannot run")
+        if self.first_run_time is None:
+            self.first_run_time = now
+        if self.last_core is not None and self.last_core != core_id:
+            self.migrations += 1
+        self.last_core = core_id
+        self.state = TaskState.RUNNING
+
+    def mark_preempted(self) -> None:
+        """Record an involuntary deschedule."""
+        if self.state is TaskState.FINISHED:
+            raise RuntimeError(f"task {self.task_id} already finished; cannot preempt")
+        self.preemptions += 1
+        self.state = TaskState.PREEMPTED
+
+    def mark_finished(self, now: float) -> None:
+        """Record task completion."""
+        if self.first_run_time is None:
+            raise RuntimeError(
+                f"task {self.task_id} completed at {now} without ever running"
+            )
+        self.completion_time = now
+        self.remaining = 0.0
+        self.state = TaskState.FINISHED
+
+    def account_service(self, amount: float) -> None:
+        """Consume ``amount`` seconds of CPU service."""
+        if amount < 0:
+            raise ValueError(f"cannot account negative service {amount!r}")
+        self.cpu_time_received += amount
+        self.vruntime += amount
+        self.remaining = max(0.0, self.remaining - amount)
+
+    # --- metrics -------------------------------------------------------------
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state is TaskState.FINISHED
+
+    @property
+    def execution_time(self) -> Optional[float]:
+        """Completion minus first run (the metric users are billed for)."""
+        if self.completion_time is None or self.first_run_time is None:
+            return None
+        return self.completion_time - self.first_run_time
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """First run minus arrival (user-facing queueing latency)."""
+        if self.first_run_time is None:
+            return None
+        return self.first_run_time - self.arrival_time
+
+    @property
+    def turnaround_time(self) -> Optional[float]:
+        """Completion minus arrival (total time in the system)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        """Turnaround normalised by service time (>= 1 in an ideal system)."""
+        turnaround = self.turnaround_time
+        if turnaround is None:
+            return None
+        return turnaround / self.service_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Task(id={self.task_id}, arrival={self.arrival_time:.3f}, "
+            f"service={self.service_time:.3f}, state={self.state.value})"
+        )
+
+
+def make_tasks(specs: list[tuple[float, float]], memory_mb: int = 128) -> list["Task"]:
+    """Build tasks from ``(arrival_time, service_time)`` pairs (testing helper)."""
+    return [
+        Task(task_id=i, arrival_time=arrival, service_time=service, memory_mb=memory_mb)
+        for i, (arrival, service) in enumerate(specs)
+    ]

@@ -1,0 +1,162 @@
+"""Fibonacci duration calibration (§V-B "Calibration").
+
+The paper runs the Fibonacci binary with ``N = 36..46`` one hundred times
+each and records the mean duration per ``N``; those durations become the
+bucket boundaries used to discretise the Azure trace's function durations.
+
+Two calibrators are provided:
+
+* :class:`DeterministicCalibration` (default) — models the duration of
+  ``fib(N)`` as ``base_duration * cost(N) / cost(36)`` where ``cost`` is the
+  exact call count of the naive recursion.  This is machine-independent and
+  reproducible, which is what the simulation substrate needs.
+* :class:`MeasuredCalibration` — actually times :func:`fibonacci_recursive`
+  on the current host (used by live mode), matching the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.workload.fibonacci import fibonacci_recursive, fibonacci_recursive_cost
+
+#: Argument range used by the paper.
+DEFAULT_N_RANGE = tuple(range(36, 47))
+
+#: Mean duration of ``fib(36)`` on the paper's Xeon testbed, in seconds.  This
+#: anchors the deterministic model; the exact value only shifts every bucket
+#: proportionally and does not change any comparison between schedulers.
+DEFAULT_BASE_DURATION = 0.15
+
+
+@dataclass(frozen=True)
+class CalibrationEntry:
+    """Calibrated duration for one Fibonacci argument."""
+
+    n: int
+    duration: float
+
+
+class CalibrationTable:
+    """Mapping between Fibonacci arguments and calibrated durations."""
+
+    def __init__(self, entries: Sequence[CalibrationEntry]) -> None:
+        if not entries:
+            raise ValueError("a calibration table needs at least one entry")
+        ordered = sorted(entries, key=lambda e: e.duration)
+        durations = [e.duration for e in ordered]
+        if any(d <= 0 for d in durations):
+            raise ValueError("calibrated durations must be positive")
+        if len({e.n for e in ordered}) != len(ordered):
+            raise ValueError("calibration entries must have unique N values")
+        self.entries: List[CalibrationEntry] = list(ordered)
+        self._by_n: Dict[int, float] = {e.n: e.duration for e in ordered}
+
+    # ------------------------------------------------------------------ reads
+
+    @property
+    def n_values(self) -> List[int]:
+        return [e.n for e in self.entries]
+
+    @property
+    def durations(self) -> List[float]:
+        return [e.duration for e in self.entries]
+
+    def duration_of(self, n: int) -> float:
+        if n not in self._by_n:
+            raise KeyError(f"no calibration entry for N={n}")
+        return self._by_n[n]
+
+    def nearest_n(self, duration: float) -> int:
+        """Fibonacci argument whose calibrated duration is closest to ``duration``."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration!r}")
+        best = min(self.entries, key=lambda e: abs(e.duration - duration))
+        return best.n
+
+    def bucket_duration(self, duration: float) -> float:
+        """Calibrated duration of the bucket ``duration`` falls into."""
+        return self.duration_of(self.nearest_n(duration))
+
+    def as_dict(self) -> Dict[int, float]:
+        return dict(self._by_n)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lo, hi = self.entries[0], self.entries[-1]
+        return (
+            f"CalibrationTable(N={lo.n}..{hi.n}, "
+            f"durations={lo.duration:.3f}s..{hi.duration:.3f}s)"
+        )
+
+
+class DeterministicCalibration:
+    """Machine-independent calibration based on the recursion's call count."""
+
+    def __init__(
+        self,
+        base_duration: float = DEFAULT_BASE_DURATION,
+        n_values: Sequence[int] = DEFAULT_N_RANGE,
+        reference_n: int = 36,
+    ) -> None:
+        if base_duration <= 0:
+            raise ValueError(f"base_duration must be positive, got {base_duration!r}")
+        if not n_values:
+            raise ValueError("n_values must not be empty")
+        self.base_duration = base_duration
+        self.n_values = list(n_values)
+        self.reference_n = reference_n
+
+    def calibrate(self) -> CalibrationTable:
+        reference_cost = fibonacci_recursive_cost(self.reference_n)
+        entries = [
+            CalibrationEntry(
+                n=n,
+                duration=self.base_duration
+                * fibonacci_recursive_cost(n)
+                / reference_cost,
+            )
+            for n in self.n_values
+        ]
+        return CalibrationTable(entries)
+
+
+class MeasuredCalibration:
+    """Calibration by actually timing the naive recursion on this host.
+
+    Matches the paper's methodology (100 repetitions per N); the default
+    repetition count is lower because the purpose here is the live-mode demo,
+    not a benchmarking campaign.
+    """
+
+    def __init__(
+        self,
+        n_values: Sequence[int] = (25, 26, 27, 28, 29, 30),
+        repetitions: int = 3,
+    ) -> None:
+        if repetitions <= 0:
+            raise ValueError(f"repetitions must be positive, got {repetitions!r}")
+        if not n_values:
+            raise ValueError("n_values must not be empty")
+        self.n_values = list(n_values)
+        self.repetitions = repetitions
+
+    def calibrate(self) -> CalibrationTable:
+        entries = []
+        for n in self.n_values:
+            total = 0.0
+            for _ in range(self.repetitions):
+                start = time.perf_counter()
+                fibonacci_recursive(n)
+                total += time.perf_counter() - start
+            entries.append(CalibrationEntry(n=n, duration=total / self.repetitions))
+        return CalibrationTable(entries)
+
+
+def default_calibration_table() -> CalibrationTable:
+    """The deterministic table used by every simulated experiment."""
+    return DeterministicCalibration().calibrate()

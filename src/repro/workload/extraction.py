@@ -1,0 +1,189 @@
+"""Trace extraction pipeline (§V-B "Extracting Traces").
+
+The paper turns the raw Azure tables into a workload file through these
+steps, each of which is a method here so it can be tested in isolation:
+
+1. **Merge** the invocation-count and duration tables per function.
+2. **Clean** garbage rows (negative or absurdly large durations).
+3. **Group** rows by unique duration, summing their per-minute counts.
+4. **Bucket** durations by the calibrated Fibonacci durations and merge rows
+   falling into the same bucket.
+5. **Downscale** all counts by a constant factor (100 in the paper).
+
+The result is a list of :class:`TraceBucket` rows: one per Fibonacci
+argument, carrying the per-minute invocation counts the workload generator
+turns into arrival times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.workload.azure import SyntheticAzureTrace
+from repro.workload.calibration import CalibrationTable, default_calibration_table
+
+
+@dataclass
+class TraceBucket:
+    """All invocations whose duration falls into one calibrated bucket."""
+
+    fibonacci_n: int
+    duration: float
+    per_minute_counts: np.ndarray
+    memory_sizes_mb: List[int] = field(default_factory=list)
+    memory_weights: List[float] = field(default_factory=list)
+    source_functions: int = 0
+
+    @property
+    def total_invocations(self) -> int:
+        return int(self.per_minute_counts.sum())
+
+    def invocations_in_minute(self, minute: int) -> int:
+        if minute < 0 or minute >= len(self.per_minute_counts):
+            return 0
+        return int(self.per_minute_counts[minute])
+
+
+@dataclass(frozen=True)
+class CleaningReport:
+    """What the cleaning step removed (kept for provenance)."""
+
+    total_functions: int
+    dropped_nonpositive_duration: int
+    dropped_too_long: int
+    dropped_zero_invocations: int
+
+    @property
+    def kept(self) -> int:
+        return (
+            self.total_functions
+            - self.dropped_nonpositive_duration
+            - self.dropped_too_long
+            - self.dropped_zero_invocations
+        )
+
+
+class ExtractionPipeline:
+    """Turns a trace into calibrated, downscaled workload buckets."""
+
+    def __init__(
+        self,
+        calibration: Optional[CalibrationTable] = None,
+        downscale_factor: float = 100.0,
+        max_duration: float = 300.0,
+    ) -> None:
+        """Args:
+        calibration: Fibonacci duration table defining the buckets.
+        downscale_factor: Factor by which invocation counts are divided
+            (100 in the paper).
+        max_duration: Durations above this are treated as garbage.
+        """
+        if downscale_factor <= 0:
+            raise ValueError(f"downscale_factor must be positive, got {downscale_factor!r}")
+        if max_duration <= 0:
+            raise ValueError(f"max_duration must be positive, got {max_duration!r}")
+        self.calibration = calibration or default_calibration_table()
+        self.downscale_factor = downscale_factor
+        self.max_duration = max_duration
+        self.cleaning_report: Optional[CleaningReport] = None
+
+    # --------------------------------------------------------------- pipeline
+
+    def run(self, trace: SyntheticAzureTrace) -> List[TraceBucket]:
+        """Execute the full pipeline on ``trace``."""
+        rows = self.clean(trace)
+        buckets = self.bucket(rows, minutes=trace.minutes)
+        return self.downscale(buckets)
+
+    def clean(self, trace: SyntheticAzureTrace):
+        """Drop garbage rows; returns the surviving function profiles."""
+        kept = []
+        nonpositive = 0
+        too_long = 0
+        zero_invocations = 0
+        for function in trace.functions:
+            if function.average_duration <= 0:
+                nonpositive += 1
+                continue
+            if function.average_duration > self.max_duration:
+                too_long += 1
+                continue
+            if function.total_invocations == 0:
+                zero_invocations += 1
+                continue
+            kept.append(function)
+        self.cleaning_report = CleaningReport(
+            total_functions=len(trace.functions),
+            dropped_nonpositive_duration=nonpositive,
+            dropped_too_long=too_long,
+            dropped_zero_invocations=zero_invocations,
+        )
+        return kept
+
+    def bucket(self, functions, minutes: int) -> List[TraceBucket]:
+        """Group functions into calibrated duration buckets."""
+        by_n: Dict[int, TraceBucket] = {}
+        memory_counts: Dict[int, Dict[int, float]] = {}
+        for function in functions:
+            n = self.calibration.nearest_n(function.average_duration)
+            if n not in by_n:
+                by_n[n] = TraceBucket(
+                    fibonacci_n=n,
+                    duration=self.calibration.duration_of(n),
+                    per_minute_counts=np.zeros(minutes, dtype=np.float64),
+                )
+                memory_counts[n] = {}
+            bucket = by_n[n]
+            counts = function.per_minute_counts
+            if len(counts) < minutes:
+                padded = np.zeros(minutes, dtype=np.float64)
+                padded[: len(counts)] = counts
+                counts = padded
+            bucket.per_minute_counts += counts[:minutes]
+            bucket.source_functions += 1
+            weight = float(function.per_minute_counts.sum())
+            memory_counts[n][function.memory_mb] = (
+                memory_counts[n].get(function.memory_mb, 0.0) + weight
+            )
+        for n, bucket in by_n.items():
+            sizes = sorted(memory_counts[n])
+            total = sum(memory_counts[n].values())
+            bucket.memory_sizes_mb = sizes
+            if total > 0:
+                bucket.memory_weights = [memory_counts[n][s] / total for s in sizes]
+            else:
+                bucket.memory_weights = [1.0 / len(sizes)] * len(sizes) if sizes else []
+        return [by_n[n] for n in sorted(by_n)]
+
+    def downscale(self, buckets: Sequence[TraceBucket]) -> List[TraceBucket]:
+        """Divide every bucket's counts by the downscale factor and round."""
+        scaled: List[TraceBucket] = []
+        for bucket in buckets:
+            counts = np.floor(bucket.per_minute_counts / self.downscale_factor + 0.5)
+            scaled.append(
+                TraceBucket(
+                    fibonacci_n=bucket.fibonacci_n,
+                    duration=bucket.duration,
+                    per_minute_counts=counts.astype(np.int64),
+                    memory_sizes_mb=list(bucket.memory_sizes_mb),
+                    memory_weights=list(bucket.memory_weights),
+                    source_functions=bucket.source_functions,
+                )
+            )
+        return scaled
+
+    # ---------------------------------------------------------------- summary
+
+    @staticmethod
+    def total_invocations(buckets: Sequence[TraceBucket], minutes: Optional[int] = None) -> int:
+        """Total invocation count over the first ``minutes`` minutes."""
+        total = 0
+        for bucket in buckets:
+            counts = bucket.per_minute_counts
+            if minutes is not None:
+                counts = counts[:minutes]
+            total += int(np.asarray(counts).sum())
+        return total

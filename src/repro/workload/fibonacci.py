@@ -1,0 +1,65 @@
+"""Fibonacci workload functions.
+
+The paper emulates serverless functions of different durations with a
+CPU-bound recursive Fibonacci binary, varying the argument ``N`` between 36
+and 46 (§V-B).  We provide:
+
+* :func:`fibonacci` — an efficient iterative implementation used when a
+  correct value is all that is needed,
+* :func:`fibonacci_recursive` — the naive exponential-time recursion the
+  paper's binary uses, suitable for actually burning CPU in live mode,
+* :func:`fibonacci_recursive_cost` — the exact number of recursive calls the
+  naive version performs, which is the quantity that grows like φ^N and that
+  the duration calibration is built on.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+#: Golden ratio: the asymptotic per-increment growth factor of the naive
+#: recursion's running time.
+GOLDEN_RATIO = (1 + 5 ** 0.5) / 2
+
+
+def fibonacci(n: int) -> int:
+    """Return the ``n``-th Fibonacci number (iterative, O(n))."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n!r}")
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def fibonacci_recursive(n: int) -> int:
+    """Naive exponential-time recursion (the paper's CPU burner).
+
+    Only call this with small ``n`` in tests; live mode uses it to generate
+    real CPU load.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n!r}")
+    if n < 2:
+        return n
+    return fibonacci_recursive(n - 1) + fibonacci_recursive(n - 2)
+
+
+@lru_cache(maxsize=None)
+def fibonacci_recursive_cost(n: int) -> int:
+    """Number of function calls the naive recursion makes for argument ``n``.
+
+    ``calls(n) = calls(n-1) + calls(n-2) + 1`` with ``calls(0) = calls(1) = 1``,
+    which equals ``2 * fib(n+1) - 1`` and grows like φ^n — the growth law the
+    deterministic calibration model uses.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n!r}")
+    if n < 2:
+        return 1
+    return fibonacci_recursive_cost(n - 1) + fibonacci_recursive_cost(n - 2) + 1
+
+
+def relative_cost(n: int, reference: int = 36) -> float:
+    """Cost of ``fib(n)`` relative to ``fib(reference)`` under the naive recursion."""
+    return fibonacci_recursive_cost(n) / fibonacci_recursive_cost(reference)

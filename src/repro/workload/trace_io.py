@@ -1,0 +1,60 @@
+"""Workload file IO.
+
+The paper's workload generator writes a workload file (inter-arrival time and
+Fibonacci argument per line) that the launcher replays.  We persist the same
+information as CSV so workloads can be generated once and replayed by the
+examples, the live mode, and external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.workload.generator import WorkloadItem
+
+#: Column order of the workload CSV.
+CSV_FIELDS = ("arrival_time", "fibonacci_n", "duration", "memory_mb")
+
+
+def save_workload_csv(items: Sequence[WorkloadItem], path: Union[str, Path]) -> Path:
+    """Write workload items to ``path`` in CSV form; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_FIELDS)
+        for item in items:
+            writer.writerow(
+                [
+                    f"{item.arrival_time:.6f}",
+                    item.fibonacci_n,
+                    f"{item.duration:.6f}",
+                    item.memory_mb,
+                ]
+            )
+    return target
+
+
+def load_workload_csv(path: Union[str, Path]) -> List[WorkloadItem]:
+    """Read a workload CSV produced by :func:`save_workload_csv`."""
+    source = Path(path)
+    if not source.exists():
+        raise FileNotFoundError(f"workload file not found: {source}")
+    items: List[WorkloadItem] = []
+    with source.open("r", newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(CSV_FIELDS) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"workload file {source} is missing columns: {sorted(missing)}")
+        for row in reader:
+            items.append(
+                WorkloadItem(
+                    arrival_time=float(row["arrival_time"]),
+                    fibonacci_n=int(row["fibonacci_n"]),
+                    duration=float(row["duration"]),
+                    memory_mb=int(row["memory_mb"]),
+                )
+            )
+    return items

@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+from repro.simulation.task import Task
+
+
+def make_task(
+    task_id: int = 0,
+    arrival: float = 0.0,
+    service: float = 1.0,
+    memory_mb: int = 128,
+    deadline: Optional[float] = None,
+) -> Task:
+    """Build one task with sensible defaults."""
+    return Task(
+        task_id=task_id,
+        arrival_time=arrival,
+        service_time=service,
+        memory_mb=memory_mb,
+        deadline=deadline,
+    )
+
+
+def make_tasks(specs: Sequence[tuple]) -> List[Task]:
+    """Build tasks from (arrival, service) or (arrival, service, memory) tuples."""
+    tasks = []
+    for i, spec in enumerate(specs):
+        if len(spec) == 2:
+            arrival, service = spec
+            memory = 128
+        else:
+            arrival, service, memory = spec
+        tasks.append(make_task(task_id=i, arrival=arrival, service=service, memory_mb=memory))
+    return tasks
+
+
+def run_small(scheduler, specs, num_cores=2, **config_overrides):
+    """Simulate a small (arrival, service) workload and return the result."""
+    config = SimulationConfig(num_cores=num_cores, **config_overrides)
+    return simulate(scheduler, make_tasks(specs), config=config)
+
+
+@pytest.fixture
+def two_core_config() -> SimulationConfig:
+    return SimulationConfig(num_cores=2)
+
+
+@pytest.fixture
+def four_core_config() -> SimulationConfig:
+    return SimulationConfig(num_cores=4)

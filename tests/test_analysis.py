@@ -1,0 +1,117 @@
+"""Tests for the analysis helpers (CDF, percentiles, report rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import CDF, compute_cdf
+from repro.analysis.percentile import percentile, percentile_summary, weighted_percentile
+from repro.analysis.report import (
+    ComparisonTable,
+    format_seconds,
+    format_usd,
+    render_series,
+    render_table,
+)
+
+
+class TestCDF:
+    def test_at_and_quantile(self):
+        cdf = compute_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(2.0) == pytest.approx(0.5)
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(10.0) == 1.0
+        assert cdf.quantile(0.5) == pytest.approx(2.5)
+        assert cdf.percentile(100) == 4.0
+
+    def test_evaluate_vectorised(self):
+        cdf = compute_cdf([1.0, 2.0, 3.0])
+        values = cdf.evaluate([0.0, 1.5, 3.0])
+        assert list(values) == pytest.approx([0.0, 1 / 3, 1.0])
+
+    def test_dominates(self):
+        fast = compute_cdf([1.0, 1.0, 2.0])
+        slow = compute_cdf([5.0, 6.0, 7.0])
+        assert fast.dominates(slow)
+        assert not slow.dominates(fast)
+
+    def test_curve_shape(self):
+        xs, ys = compute_cdf(np.arange(10.0) + 1).curve(num_points=50)
+        assert len(xs) == 50
+        assert ys[0] <= ys[-1] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_cdf([])
+        with pytest.raises(ValueError):
+            compute_cdf([1.0]).quantile(1.5)
+        with pytest.raises(ValueError):
+            CDF(np.array([[1.0, 2.0]]))
+
+
+class TestPercentiles:
+    def test_percentile(self):
+        assert percentile(range(1, 101), 90) == pytest.approx(90.1, abs=0.5)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_weighted_percentile(self):
+        # 90% of the weight on 0.1s, 10% on 10s -> p50 is 0.1, p99 is 10.
+        values = [0.1, 10.0]
+        weights = [90.0, 10.0]
+        assert weighted_percentile(values, weights, 50) == pytest.approx(0.1)
+        assert weighted_percentile(values, weights, 99) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            weighted_percentile([1.0], [1.0, 2.0], 50)
+        with pytest.raises(ValueError):
+            weighted_percentile([1.0], [0.0], 50)
+
+    def test_percentile_summary(self):
+        summary = percentile_summary([1.0, 2.0, 3.0], percentiles=(50, 99))
+        assert summary["mean"] == pytest.approx(2.0)
+        assert set(summary) == {"mean", "p50", "p99"}
+
+
+class TestReport:
+    def test_format_helpers(self):
+        assert format_seconds(0.0005).endswith("us")
+        assert format_seconds(0.5).endswith("ms")
+        assert format_seconds(2.0) == "2.00s"
+        assert format_usd(0.1234) == "$0.1234"
+        assert format_usd(12.3) == "$12.30"
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+    def test_render_table_alignment_and_validation(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_render_series(self):
+        points = [(float(i), float(i % 5)) for i in range(50)]
+        chart = render_series(points, width=30, height=5, title="demo")
+        assert "demo" in chart
+        assert "*" in chart
+        with pytest.raises(ValueError):
+            render_series([], width=30, height=5)
+        with pytest.raises(ValueError):
+            render_series(points, width=5, height=2)
+
+    def test_comparison_table(self):
+        table = ComparisonTable(columns=("cost", "p99"))
+        table.add_row("fifo", {"cost": 1.0, "p99": 10.0})
+        table.add_row("cfs", {"cost": 10.0, "p99": 1.0})
+        assert table.metric("cfs", "cost") == 10.0
+        assert table.ratio("cost", "cfs", "fifo") == pytest.approx(10.0)
+        assert "fifo" in table.render()
+        assert table.as_dicts()[0]["scheduler"] == "fifo"
+        with pytest.raises(ValueError):
+            table.add_row("bad", {"cost": 1.0})
+        with pytest.raises(KeyError):
+            table.metric("missing", "cost")

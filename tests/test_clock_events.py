@@ -1,0 +1,129 @@
+"""Unit tests for the virtual clock and the event queue."""
+
+import pytest
+
+from repro.simulation.clock import TIME_EPSILON, VirtualClock, times_equal
+from repro.simulation.events import EventPriority, EventQueue
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advances_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_rejects_moving_backwards(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_tolerates_float_noise(self):
+        clock = VirtualClock(1.0)
+        clock.advance_to(1.0 - TIME_EPSILON / 2)
+        assert clock.now == 1.0
+
+    def test_reset(self):
+        clock = VirtualClock(4.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_times_equal_helper(self):
+        assert times_equal(1.0, 1.0 + TIME_EPSILON / 10)
+        assert not times_equal(1.0, 1.1)
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(3.0, lambda: fired.append("c"))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, priority=EventPriority.TIMER, tag="timer")
+        queue.push(1.0, lambda: None, priority=EventPriority.COMPLETION, tag="completion")
+        queue.push(1.0, lambda: None, priority=EventPriority.ARRIVAL, tag="arrival")
+        order = [queue.pop().tag for _ in range(3)]
+        assert order == ["completion", "arrival", "timer"]
+
+    def test_sequence_breaks_equal_priority_ties(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, tag="first")
+        queue.push(1.0, lambda: None, tag="second")
+        assert queue.pop().tag == "first"
+        assert queue.pop().tag == "second"
+
+    def test_cancellation_skips_event(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None, tag="cancel-me")
+        queue.push(2.0, lambda: None, tag="keep")
+        handle.cancel()
+        assert handle.cancelled
+        assert queue.pop().tag == "keep"
+        assert queue.pop() is None
+
+    def test_peek_time_ignores_cancelled(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        handle.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_len_counts_live_events_only(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_bool_reflects_liveness(self):
+        queue = EventQueue()
+        assert not queue
+        handle = queue.push(1.0, lambda: None)
+        assert queue
+        handle.cancel()
+        assert not queue
+
+    def test_cancel_pending_by_tag(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, tag="x")
+        queue.push(2.0, lambda: None, tag="x")
+        queue.push(3.0, lambda: None, tag="y")
+        assert queue.cancel_pending("x") == 2
+        assert [e.tag for e in iter(queue.pop, None)] == ["y"]
+
+    def test_rejects_negative_time(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(-0.1, lambda: None)
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert queue.pop() is None
+
+    def test_drain_times_sorted(self):
+        queue = EventQueue()
+        queue.push(3.0, lambda: None)
+        queue.push(1.0, lambda: None)
+        assert queue.drain_times() == [1.0, 3.0]

@@ -1,0 +1,72 @@
+"""Unit tests for the context-switch / time-slice cost model."""
+
+import pytest
+
+from repro.simulation.context_switch import DEFAULT_MODEL, ZERO_COST_MODEL, ContextSwitchModel
+
+
+class TestValidation:
+    def test_rejects_negative_switch_cost(self):
+        with pytest.raises(ValueError):
+            ContextSwitchModel(switch_cost=-1e-6)
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ValueError):
+            ContextSwitchModel(target_latency=0.0)
+
+    def test_rejects_granularity_above_latency(self):
+        with pytest.raises(ValueError):
+            ContextSwitchModel(target_latency=0.01, min_granularity=0.02)
+
+
+class TestTimeslice:
+    def test_single_task_gets_full_latency(self):
+        assert DEFAULT_MODEL.timeslice(1) == DEFAULT_MODEL.target_latency
+
+    def test_slice_shrinks_with_more_tasks(self):
+        assert DEFAULT_MODEL.timeslice(4) == pytest.approx(
+            DEFAULT_MODEL.target_latency / 4
+        )
+
+    def test_slice_clamped_at_min_granularity(self):
+        assert DEFAULT_MODEL.timeslice(1000) == DEFAULT_MODEL.min_granularity
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            DEFAULT_MODEL.timeslice(0)
+
+
+class TestEfficiency:
+    def test_single_task_is_fully_efficient(self):
+        assert DEFAULT_MODEL.efficiency(1) == 1.0
+
+    def test_efficiency_decreases_with_contention(self):
+        assert DEFAULT_MODEL.efficiency(2) > DEFAULT_MODEL.efficiency(100)
+
+    def test_efficiency_bounded(self):
+        for n in (1, 2, 10, 1000):
+            assert 0.0 < DEFAULT_MODEL.efficiency(n) <= 1.0
+
+    def test_zero_cost_model_is_always_efficient(self):
+        assert ZERO_COST_MODEL.efficiency(100) == 1.0
+
+
+class TestSwitchCounting:
+    def test_single_task_never_switches(self):
+        assert DEFAULT_MODEL.switch_rate(1) == 0.0
+        assert DEFAULT_MODEL.switches_over(1, 100.0) == 0.0
+
+    def test_switch_count_scales_with_time(self):
+        one_second = DEFAULT_MODEL.switches_over(10, 1.0)
+        two_seconds = DEFAULT_MODEL.switches_over(10, 2.0)
+        assert two_seconds == pytest.approx(2 * one_second)
+
+    def test_rejects_negative_elapsed(self):
+        with pytest.raises(ValueError):
+            DEFAULT_MODEL.switches_over(2, -1.0)
+
+    def test_scaled_copy(self):
+        doubled = DEFAULT_MODEL.scaled(2.0)
+        assert doubled.switch_cost == pytest.approx(2 * DEFAULT_MODEL.switch_cost)
+        with pytest.raises(ValueError):
+            DEFAULT_MODEL.scaled(-1.0)

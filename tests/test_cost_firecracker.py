@@ -1,0 +1,154 @@
+"""Tests for the cost model and the Firecracker microVM substrate."""
+
+import pytest
+
+from repro.cost.cost_model import CostModel
+from repro.cost.pricing import AWS_LAMBDA_X86_PRICING, LambdaPriceTable, price_per_ms
+from repro.firecracker.fleet import FirecrackerFleet
+from repro.firecracker.microvm import MicroVMSpec, ThreadRole
+from repro.schedulers.fifo import FIFOScheduler
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+from tests.conftest import make_task, make_tasks
+
+
+def finished_task(task_id=0, execution=1.0, memory_mb=1024):
+    task = make_task(task_id=task_id, arrival=0.0, service=execution, memory_mb=memory_mb)
+    task.mark_running(0.0, core_id=0)
+    task.account_service(execution)
+    task.mark_finished(execution)
+    return task
+
+
+class TestPricing:
+    def test_price_per_ms_linear_in_memory(self):
+        assert price_per_ms(2048) == pytest.approx(2 * price_per_ms(1024))
+
+    def test_gb_second_anchor(self):
+        # 1 GB for 1 second = the published GB-second price.
+        assert AWS_LAMBDA_X86_PRICING.execution_cost(1.0, 1024) == pytest.approx(
+            0.0000166667, rel=1e-6
+        )
+
+    def test_invocation_cost_adds_request_fee(self):
+        table = LambdaPriceTable()
+        execution_only = table.execution_cost(1.0, 128)
+        with_fee = table.invocation_cost(1.0, 128)
+        assert with_fee == pytest.approx(execution_only + 0.2e-6)
+
+    def test_published_tiers_sorted(self):
+        tiers = AWS_LAMBDA_X86_PRICING.published_tiers()
+        assert [t.memory_mb for t in tiers] == sorted(t.memory_mb for t in tiers)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            price_per_ms(0)
+        with pytest.raises(ValueError):
+            AWS_LAMBDA_X86_PRICING.execution_cost(-1.0, 128)
+        with pytest.raises(ValueError):
+            LambdaPriceTable(price_per_gb_second=0.0)
+
+
+class TestCostModel:
+    def test_task_cost_uses_execution_time_and_memory(self):
+        model = CostModel()
+        task = finished_task(execution=2.0, memory_mb=1024)
+        assert model.task_cost(task) == pytest.approx(2 * 0.0000166667, rel=1e-6)
+        # Billing at a different memory size scales linearly.
+        assert model.task_cost(task, memory_mb=2048) == pytest.approx(
+            2 * model.task_cost(task), rel=1e-6
+        )
+
+    def test_unfinished_task_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().task_cost(make_task())
+
+    def test_workload_cost_breakdown(self):
+        model = CostModel(include_request_fee=True)
+        tasks = [finished_task(i, execution=1.0) for i in range(3)]
+        breakdown = model.workload_cost(tasks)
+        assert breakdown.invocations == 3
+        assert breakdown.billed_seconds == pytest.approx(3.0)
+        assert breakdown.request_cost == pytest.approx(3 * 0.2e-6)
+        assert breakdown.total > breakdown.execution_cost
+
+    def test_cost_by_memory_size_scales(self):
+        model = CostModel()
+        tasks = [finished_task(i) for i in range(2)]
+        costs = model.cost_by_memory_size(tasks, [128, 256])
+        assert costs[256] == pytest.approx(2 * costs[128])
+
+    def test_cost_ratio(self):
+        model = CostModel()
+        cheap = [finished_task(0, execution=1.0)]
+        expensive = [finished_task(1, execution=10.0)]
+        assert model.cost_ratio(expensive, cheap) == pytest.approx(10.0)
+
+    def test_bill_turnaround_option(self):
+        task = make_task(arrival=0.0, service=1.0)
+        task.mark_running(5.0, core_id=0)
+        task.account_service(1.0)
+        task.mark_finished(6.0)
+        execution_billed = CostModel().billed_duration(task)
+        turnaround_billed = CostModel(bill_response_time=True).billed_duration(task)
+        assert execution_billed == pytest.approx(1.0)
+        assert turnaround_billed == pytest.approx(6.0)
+
+
+class TestMicroVM:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MicroVMSpec(boot_time=-1.0)
+        with pytest.raises(ValueError):
+            MicroVMSpec(guest_memory_mb=0)
+        with pytest.raises(ValueError):
+            MicroVMSpec(vmm_cpu_fraction=1.5)
+
+    def test_footprint(self):
+        spec = MicroVMSpec(guest_memory_mb=128, memory_overhead_mb=32)
+        assert spec.footprint_mb == 160
+
+
+class TestFirecrackerFleet:
+    def test_capacity_matches_paper_order(self):
+        fleet = FirecrackerFleet()
+        assert 2500 <= fleet.capacity() <= 3500
+
+    def test_admission_caps_at_capacity(self):
+        fleet = FirecrackerFleet(host_memory_mb=10 * 160, reserved_fraction=0.0)
+        invocations = make_tasks([(float(i), 0.5) for i in range(15)])
+        workload = fleet.admit(invocations)
+        assert workload.admission.capacity == 10
+        assert workload.admission.admitted == 10
+        assert workload.admission.failed == 5
+        assert workload.admission.failure_ratio == pytest.approx(5 / 15)
+
+    def test_thread_expansion(self):
+        fleet = FirecrackerFleet()
+        invocations = make_tasks([(0.0, 1.0), (1.0, 2.0)])
+        workload = fleet.admit(invocations)
+        assert len(workload.thread_tasks) == 6
+        vcpu = workload.vcpu_tasks()
+        assert len(vcpu) == 2
+        # The VCPU thread carries boot time on top of the function service.
+        assert vcpu[0].service_time == pytest.approx(1.0 + fleet.spec.boot_time)
+        overhead = FirecrackerFleet.overhead_tasks(workload)
+        assert all(t.metadata["role"] != ThreadRole.VCPU.value for t in overhead)
+        assert FirecrackerFleet.total_overhead_cpu_seconds(workload) > 0
+
+    def test_scheduling_thread_tasks_end_to_end(self):
+        fleet = FirecrackerFleet()
+        invocations = make_tasks([(0.0, 0.3), (0.1, 0.5), (0.2, 0.2)])
+        workload = fleet.admit(invocations)
+        result = simulate(
+            FIFOScheduler(), workload.thread_tasks, config=SimulationConfig(num_cores=4)
+        )
+        assert result.completion_ratio == 1.0
+        finished_vcpu = [t for t in workload.vcpu_tasks() if t.is_finished]
+        assert len(finished_vcpu) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FirecrackerFleet(host_memory_mb=0)
+        with pytest.raises(ValueError):
+            FirecrackerFleet(reserved_fraction=1.0)

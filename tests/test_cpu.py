@@ -1,0 +1,166 @@
+"""Unit tests for the processor-sharing core model."""
+
+import pytest
+
+from repro.simulation.context_switch import ContextSwitchModel
+from repro.simulation.cpu import Core, CoreMode
+from tests.conftest import make_task
+
+
+def make_core(core_id=0, group="all", mode=CoreMode.FAIR_SHARE, **kwargs) -> Core:
+    return Core(core_id=core_id, group=group, mode=mode, **kwargs)
+
+
+class TestSingleTask:
+    def test_runs_at_full_speed(self):
+        core = make_core()
+        task = make_task(service=2.0)
+        core.add_task(task, now=0.0)
+        core.sync(1.0)
+        assert task.remaining == pytest.approx(1.0)
+        assert core.stats.busy_time == pytest.approx(1.0)
+
+    def test_completion_time_prediction(self):
+        core = make_core()
+        task = make_task(service=3.0)
+        core.add_task(task, now=0.0)
+        assert core.time_to_next_completion() == pytest.approx(3.0)
+
+    def test_finish_ready_tasks(self):
+        core = make_core()
+        task = make_task(service=1.0)
+        core.add_task(task, now=0.0)
+        finished = core.finish_ready_tasks(now=1.0)
+        assert finished == [task]
+        assert task.is_finished
+        assert task.completion_time == pytest.approx(1.0)
+        assert core.is_idle
+
+    def test_no_context_switches_alone(self):
+        core = make_core()
+        task = make_task(service=5.0)
+        core.add_task(task, 0.0)
+        core.sync(5.0)
+        assert core.stats.estimated_context_switches == 0.0
+
+
+class TestFairSharing:
+    def test_two_tasks_share_equally(self):
+        core = make_core(context_switch=ContextSwitchModel(switch_cost=0.0))
+        a = make_task(task_id=1, service=1.0)
+        b = make_task(task_id=2, service=1.0)
+        core.add_task(a, 0.0)
+        core.add_task(b, 0.0)
+        core.sync(1.0)
+        assert a.remaining == pytest.approx(0.5)
+        assert b.remaining == pytest.approx(0.5)
+
+    def test_context_switch_overhead_slows_progress(self):
+        lossless = make_core(context_switch=ContextSwitchModel(switch_cost=0.0))
+        lossy = make_core(core_id=1, context_switch=ContextSwitchModel(switch_cost=0.002))
+        for core in (lossless, lossy):
+            core.add_task(make_task(task_id=10 + core.core_id, service=5.0), 0.0)
+            core.add_task(make_task(task_id=20 + core.core_id, service=5.0), 0.0)
+            core.sync(2.0)
+        lossless_remaining = min(t.remaining for t in lossless.tasks)
+        lossy_remaining = min(t.remaining for t in lossy.tasks)
+        assert lossy_remaining > lossless_remaining
+
+    def test_estimated_switches_accumulate(self):
+        core = make_core()
+        core.add_task(make_task(task_id=1, service=10.0), 0.0)
+        core.add_task(make_task(task_id=2, service=10.0), 0.0)
+        core.sync(1.0)
+        assert core.stats.estimated_context_switches > 0
+
+    def test_completion_prediction_accounts_for_sharing(self):
+        core = make_core(context_switch=ContextSwitchModel(switch_cost=0.0))
+        core.add_task(make_task(task_id=1, service=1.0), 0.0)
+        core.add_task(make_task(task_id=2, service=2.0), 0.0)
+        # Earliest completion: the 1 s task at half speed -> 2 s from now.
+        assert core.time_to_next_completion() == pytest.approx(2.0)
+
+
+class TestTaskMoves:
+    def test_remove_preempted_counts(self):
+        core = make_core()
+        task = make_task(service=2.0)
+        core.add_task(task, 0.0)
+        removed = core.remove_task(task, 1.0, preempted=True)
+        assert removed is task
+        assert task.preemptions == 1
+        assert core.stats.explicit_preemptions == 1
+        assert core.is_idle
+
+    def test_remove_unknown_task_rejected(self):
+        core = make_core()
+        with pytest.raises(RuntimeError):
+            core.remove_task(make_task(), 0.0)
+
+    def test_duplicate_add_rejected(self):
+        core = make_core()
+        task = make_task()
+        core.add_task(task, 0.0)
+        with pytest.raises(RuntimeError):
+            core.add_task(task, 0.0)
+
+    def test_dedicated_mode_rejects_second_task(self):
+        core = make_core(mode=CoreMode.DEDICATED)
+        core.add_task(make_task(task_id=1), 0.0)
+        with pytest.raises(RuntimeError):
+            core.add_task(make_task(task_id=2), 0.0)
+
+    def test_locked_core_rejects_tasks(self):
+        core = make_core()
+        core.lock()
+        with pytest.raises(RuntimeError):
+            core.add_task(make_task(), 0.0)
+        core.unlock()
+        core.add_task(make_task(), 0.0)
+
+    def test_migration_cost_charged_on_cross_core_move(self):
+        source = make_core(core_id=0, migration_cost=0.01)
+        target = make_core(core_id=1, migration_cost=0.01)
+        task = make_task(service=1.0)
+        source.add_task(task, 0.0)
+        source.remove_task(task, 0.5, preempted=True)
+        remaining_before = task.remaining
+        target.add_task(task, 0.5)
+        assert task.remaining == pytest.approx(remaining_before + 0.01)
+        assert task.migrations == 1
+
+    def test_drain_returns_all_tasks_preempted(self):
+        core = make_core()
+        tasks = [make_task(task_id=i, service=1.0) for i in range(3)]
+        for task in tasks:
+            core.add_task(task, 0.0)
+        drained = core.drain(0.5)
+        assert sorted(t.task_id for t in drained) == [0, 1, 2]
+        assert core.is_idle
+        assert all(t.preemptions == 1 for t in drained)
+
+    def test_sync_backwards_rejected(self):
+        core = make_core()
+        core.sync(1.0)
+        with pytest.raises(ValueError):
+            core.sync(0.5)
+
+    def test_change_group(self):
+        core = make_core(group="fifo")
+        core.change_group("cfs", mode=CoreMode.FAIR_SHARE)
+        assert core.group == "cfs"
+
+
+class TestUtilization:
+    def test_busy_fraction(self):
+        core = make_core()
+        task = make_task(service=0.5)
+        core.add_task(task, 0.0)
+        core.finish_ready_tasks(0.5)
+        core.sync(1.0)
+        assert core.utilization_since(0.0, 1.0) == pytest.approx(0.5)
+
+    def test_utilization_window_validation(self):
+        core = make_core()
+        with pytest.raises(ValueError):
+            core.utilization_since(0.0, 0.0)

@@ -1,0 +1,140 @@
+"""Unit and integration tests for the discrete-event engine."""
+
+import pytest
+
+from repro.schedulers.fifo import FIFOScheduler
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import SimulationError, Simulator, simulate
+from repro.simulation.machine import Machine
+from tests.conftest import make_task, make_tasks
+
+
+def build_sim(num_cores=2, scheduler=None, **config_kwargs):
+    config = SimulationConfig(num_cores=num_cores, **config_kwargs)
+    scheduler = scheduler or FIFOScheduler()
+    machine = Machine(config)
+    return Simulator(machine, scheduler, config=config)
+
+
+class TestBasicRuns:
+    def test_single_task_runs_to_completion(self):
+        sim = build_sim(num_cores=1)
+        task = make_task(arrival=0.0, service=2.0)
+        sim.submit([task])
+        result = sim.run()
+        assert task.is_finished
+        assert task.completion_time == pytest.approx(2.0)
+        assert result.simulated_time == pytest.approx(2.0)
+        assert len(result.finished_tasks) == 1
+
+    def test_queueing_on_single_core(self):
+        sim = build_sim(num_cores=1)
+        tasks = make_tasks([(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)])
+        sim.submit(tasks)
+        sim.run()
+        completions = sorted(t.completion_time for t in tasks)
+        assert completions == pytest.approx([1.0, 2.0, 3.0])
+        responses = sorted(t.response_time for t in tasks)
+        assert responses == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_parallel_cores_run_concurrently(self):
+        sim = build_sim(num_cores=2)
+        tasks = make_tasks([(0.0, 1.0), (0.0, 1.0)])
+        sim.submit(tasks)
+        sim.run()
+        assert all(t.completion_time == pytest.approx(1.0) for t in tasks)
+
+    def test_arrival_times_respected(self):
+        sim = build_sim(num_cores=1)
+        tasks = make_tasks([(0.0, 0.5), (10.0, 0.5)])
+        sim.submit(tasks)
+        result = sim.run()
+        assert tasks[1].first_run_time == pytest.approx(10.0)
+        assert result.simulated_time == pytest.approx(10.5)
+
+    def test_cannot_submit_while_running(self):
+        sim = build_sim(num_cores=1)
+
+        def submit_late():
+            sim.submit([make_task(task_id=99, arrival=0.5, service=0.1)])
+
+        sim.submit([make_task(service=1.0)])
+        sim.schedule_timer(0.2, submit_late)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestTimers:
+    def test_timer_fires_at_requested_time(self):
+        sim = build_sim(num_cores=1)
+        fired = []
+        sim.submit([make_task(service=1.0)])
+        sim.schedule_timer(0.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [pytest.approx(0.5)]
+
+    def test_timer_in_past_rejected(self):
+        sim = build_sim()
+        with pytest.raises(ValueError):
+            sim.schedule_timer(-1.0, lambda: None)
+
+    def test_record_series(self):
+        sim = build_sim(num_cores=1)
+        sim.submit([make_task(service=1.0)])
+        sim.schedule_timer(0.25, lambda: sim.record_series("queue", 3.0))
+        result = sim.run()
+        points = result.series_values("queue")
+        assert len(points) == 1
+        assert points[0].value == 3.0
+
+
+class TestLimitsAndSampling:
+    def test_max_simulated_time_truncates(self):
+        sim = build_sim(num_cores=1, max_simulated_time=1.0)
+        tasks = make_tasks([(0.0, 0.4), (0.0, 5.0)])
+        sim.submit(tasks)
+        result = sim.run()
+        assert result.simulated_time <= 1.0
+        assert len(result.finished_tasks) == 1
+        assert len(result.unfinished_tasks) == 1
+
+    def test_until_argument(self):
+        sim = build_sim(num_cores=1)
+        sim.submit(make_tasks([(0.0, 10.0)]))
+        result = sim.run(until=2.0)
+        assert result.simulated_time <= 2.0
+        assert result.completion_ratio == 0.0
+
+    def test_utilization_samples_collected(self):
+        sim = build_sim(num_cores=1, utilization_window=0.5)
+        sim.submit(make_tasks([(0.0, 2.0)]))
+        result = sim.run()
+        assert len(result.utilization_samples) >= 3
+        # The core is fully busy for the whole run.
+        assert all(s.per_core[0] > 0.99 for s in result.utilization_samples[:-1])
+
+    def test_utilization_sampling_can_be_disabled(self):
+        sim = build_sim(num_cores=1, record_utilization=False)
+        sim.submit(make_tasks([(0.0, 1.0)]))
+        result = sim.run()
+        assert result.utilization_samples == []
+
+
+class TestSimulateHelper:
+    def test_simulate_builds_machine_from_scheduler_preferences(self):
+        result = simulate(
+            FIFOScheduler(),
+            make_tasks([(0.0, 0.5), (0.1, 0.5)]),
+            config=SimulationConfig(num_cores=3),
+        )
+        assert result.config.num_cores == 3
+        assert result.completion_ratio == 1.0
+        assert result.scheduler_name == "fifo"
+
+    def test_events_processed_counted(self):
+        result = simulate(
+            FIFOScheduler(),
+            make_tasks([(0.0, 0.5)]),
+            config=SimulationConfig(num_cores=1),
+        )
+        assert result.events_processed >= 2

@@ -1,0 +1,90 @@
+"""Tests for CSV export of simulation results."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    export_comparison_table,
+    export_metric_cdf,
+    export_result_bundle,
+    export_series,
+    export_task_metrics,
+)
+from repro.analysis.report import ComparisonTable
+from repro.schedulers.fifo import FIFOScheduler
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+from tests.conftest import make_tasks
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return simulate(
+        FIFOScheduler(),
+        make_tasks([(0.0, 0.5), (0.1, 1.0), (0.2, 0.3)]),
+        config=SimulationConfig(num_cores=2),
+    )
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestTaskExport:
+    def test_one_row_per_finished_task(self, small_result, tmp_path):
+        path = export_task_metrics(small_result, tmp_path / "tasks.csv")
+        rows = read_csv(path)
+        assert rows[0][0] == "task_id"
+        assert len(rows) == 1 + len(small_result.finished_tasks)
+
+    def test_columns_parse_as_numbers(self, small_result, tmp_path):
+        path = export_task_metrics(small_result, tmp_path / "tasks.csv")
+        rows = read_csv(path)
+        header, first = rows[0], rows[1]
+        record = dict(zip(header, first))
+        assert float(record["execution_time"]) > 0
+        assert float(record["turnaround_time"]) >= float(record["execution_time"])
+
+
+class TestCDFExport:
+    def test_curve_is_monotone(self, small_result, tmp_path):
+        path = export_metric_cdf(small_result, "execution", tmp_path / "cdf.csv", points=50)
+        rows = read_csv(path)[1:]
+        fractions = [float(r[1]) for r in rows]
+        assert len(fractions) == 50
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_unknown_metric_rejected(self, small_result, tmp_path):
+        with pytest.raises(ValueError):
+            export_metric_cdf(small_result, "latency", tmp_path / "cdf.csv")
+
+
+class TestSeriesExport:
+    def test_utilization_series_included(self, small_result, tmp_path):
+        path = export_series(small_result, tmp_path / "series.csv")
+        rows = read_csv(path)[1:]
+        series_names = {row[0] for row in rows}
+        assert any(name.startswith("utilization:") for name in series_names)
+
+
+class TestTableAndBundle:
+    def test_comparison_table_export(self, tmp_path):
+        table = ComparisonTable(columns=("cost",))
+        table.add_row("fifo", {"cost": 1.0})
+        table.add_row("cfs", {"cost": 10.0})
+        path = export_comparison_table(table, tmp_path / "table.csv")
+        rows = read_csv(path)
+        assert rows[0] == ["scheduler", "cost"]
+        assert rows[1][0] == "fifo"
+
+    def test_bundle_writes_all_files(self, small_result, tmp_path):
+        written = export_result_bundle(small_result, tmp_path, prefix="demo")
+        assert set(written) == {
+            "tasks", "series", "cdf_execution", "cdf_response", "cdf_turnaround",
+        }
+        for path in written.values():
+            assert path.exists()
+            assert path.name.startswith("demo")

@@ -1,0 +1,164 @@
+"""Unit tests for the ghOSt-like delegation layer."""
+
+import pytest
+
+from repro.ghost.agent import AgentGroup, GlobalAgent, PerCpuAgent
+from repro.ghost.channel import ChannelOverflowError, MessageChannel
+from repro.ghost.enclave import Enclave
+from repro.ghost.messages import Message, MessageType
+from repro.ghost.status_word import StatusWord, TaskRunState
+
+
+class RecordingPolicy:
+    """Minimal policy that records which handler got which message."""
+
+    def __init__(self):
+        self.calls = []
+
+    def handle_task_new(self, message):
+        self.calls.append(("new", message.task_id))
+
+    def handle_task_dead(self, message):
+        self.calls.append(("dead", message.task_id))
+
+    def handle_task_preempt(self, message):
+        self.calls.append(("preempt", message.task_id))
+
+    def handle_cpu_tick(self, message):
+        self.calls.append(("tick", message.cpu_id))
+
+
+class TestMessages:
+    def test_task_message_classification(self):
+        new = Message(MessageType.TASK_NEW, timestamp=0.0, task_id=1)
+        tick = Message(MessageType.CPU_TICK, timestamp=0.0, cpu_id=3)
+        assert new.is_task_message()
+        assert not tick.is_task_message()
+
+    def test_sequence_numbers_increase(self):
+        first = Message(MessageType.TASK_NEW, timestamp=0.0, task_id=1)
+        second = Message(MessageType.TASK_NEW, timestamp=0.0, task_id=2)
+        assert second.seq > first.seq
+
+
+class TestChannel:
+    def test_fifo_delivery(self):
+        channel = MessageChannel()
+        for i in range(3):
+            channel.post(Message(MessageType.TASK_NEW, timestamp=float(i), task_id=i))
+        assert [m.task_id for m in channel.drain()] == [0, 1, 2]
+        assert channel.messages_delivered == 3
+
+    def test_capacity_overflow(self):
+        channel = MessageChannel(capacity=1)
+        channel.post(Message(MessageType.TASK_NEW, timestamp=0.0, task_id=0))
+        with pytest.raises(ChannelOverflowError):
+            channel.post(Message(MessageType.TASK_NEW, timestamp=0.0, task_id=1))
+
+    def test_dispatch_handles_reentrant_posts(self):
+        channel = MessageChannel()
+        handled = []
+
+        def handler(message):
+            handled.append(message.task_id)
+            if message.task_id == 0:
+                channel.post(Message(MessageType.TASK_DEAD, timestamp=1.0, task_id=99))
+
+        channel.post(Message(MessageType.TASK_NEW, timestamp=0.0, task_id=0))
+        processed = channel.dispatch(handler)
+        assert processed == 2
+        assert handled == [0, 99]
+
+    def test_high_watermark(self):
+        channel = MessageChannel()
+        channel.post(Message(MessageType.TASK_NEW, timestamp=0.0, task_id=0))
+        channel.post(Message(MessageType.TASK_NEW, timestamp=0.0, task_id=1))
+        channel.drain()
+        assert channel.high_watermark == 2
+
+
+class TestStatusWord:
+    def test_runtime_accumulates_across_stints(self):
+        word = StatusWord(task_id=1)
+        word.mark_queued("fifo")
+        word.mark_on_cpu(0, now=1.0)
+        word.mark_preempted(now=3.0)
+        word.mark_on_cpu(1, now=5.0)
+        word.mark_dead(now=6.0)
+        assert word.runtime == pytest.approx(3.0)
+        assert word.dispatch_count == 2
+        assert word.is_dead
+
+    def test_current_run_length(self):
+        word = StatusWord(task_id=1)
+        word.mark_on_cpu(0, now=2.0)
+        assert word.current_run_length(3.5) == pytest.approx(1.5)
+        word.mark_preempted(3.5)
+        assert word.current_run_length(10.0) == 0.0
+
+
+class TestEnclave:
+    def test_policy_group_assignment(self):
+        enclave = Enclave(cpu_ids=range(4))
+        enclave.assign_policy_group("fifo", [0, 1])
+        enclave.assign_policy_group("cfs", [2, 3])
+        assert enclave.group_cpus("fifo") == [0, 1]
+        with pytest.raises(ValueError):
+            enclave.assign_policy_group("other", [1])  # already in fifo
+        with pytest.raises(ValueError):
+            enclave.assign_policy_group("bad", [99])  # not in enclave
+
+    def test_move_cpu_between_groups(self):
+        enclave = Enclave(cpu_ids=range(2))
+        enclave.assign_policy_group("fifo", [0])
+        enclave.assign_policy_group("cfs", [1])
+        enclave.move_cpu(0, "fifo", "cfs")
+        assert enclave.group_cpus("cfs") == [0, 1]
+        with pytest.raises(ValueError):
+            enclave.move_cpu(0, "fifo", "cfs")
+
+    def test_publish_and_register(self):
+        enclave = Enclave(cpu_ids=[0])
+        word = enclave.publish_task_new(7, now=0.5)
+        assert isinstance(word, StatusWord)
+        enclave.publish_task_dead(7, now=1.0)
+        messages = enclave.channel.drain()
+        assert [m.msg_type for m in messages] == [MessageType.TASK_NEW, MessageType.TASK_DEAD]
+        stats = enclave.stats()
+        assert stats["registered_tasks"] == 1
+
+    def test_needs_at_least_one_cpu(self):
+        with pytest.raises(ValueError):
+            Enclave(cpu_ids=[])
+
+    def test_status_word_lookup(self):
+        enclave = Enclave(cpu_ids=[0])
+        with pytest.raises(KeyError):
+            enclave.status_word(1)
+
+
+class TestAgents:
+    def test_global_agent_routes_messages(self):
+        enclave = Enclave(cpu_ids=[0, 1])
+        policy = RecordingPolicy()
+        agent = GlobalAgent(enclave, policy)
+        enclave.publish_task_new(1, now=0.0)
+        enclave.publish_task_preempt(1, now=1.0)
+        enclave.publish_task_dead(1, now=2.0)
+        enclave.publish_cpu_tick(0, now=3.0)
+        processed = agent.process_pending()
+        assert processed == 4
+        assert policy.calls == [("new", 1), ("preempt", 1), ("dead", 1), ("tick", 0)]
+
+    def test_per_cpu_agents_stay_passive(self):
+        enclave = Enclave(cpu_ids=[0])
+        policy = RecordingPolicy()
+        group = AgentGroup(enclave, policy)
+        enclave.publish_task_new(1, now=0.0)
+        assert group.agent_for(0).process_pending() == 0
+        assert group.process_pending() == 1
+
+    def test_per_cpu_agent_requires_member_cpu(self):
+        enclave = Enclave(cpu_ids=[0])
+        with pytest.raises(ValueError):
+            PerCpuAgent(enclave, RecordingPolicy(), cpu_id=5)

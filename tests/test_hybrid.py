@@ -1,0 +1,148 @@
+"""Behavioural tests for the hybrid FIFO+CFS scheduler."""
+
+import pytest
+
+from repro.core.config import CFS_GROUP, CFSPlacement, FIFO_GROUP, HybridConfig
+from repro.core.hybrid import HybridScheduler
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+from repro.simulation.machine import Machine
+from tests.conftest import make_tasks
+
+
+def run_hybrid(specs, config=None, num_cores=4, **sim_kwargs):
+    hconfig = config or HybridConfig(fifo_cores=num_cores // 2, cfs_cores=num_cores - num_cores // 2)
+    scheduler = HybridScheduler(hconfig)
+    sim_config = SimulationConfig(num_cores=num_cores, **sim_kwargs)
+    result = simulate(scheduler, make_tasks(specs), config=sim_config)
+    return scheduler, result
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            HybridConfig(fifo_cores=0)
+        with pytest.raises(ValueError):
+            HybridConfig(time_limit=0.0)
+        with pytest.raises(ValueError):
+            HybridConfig(time_limit_percentile=0)
+        with pytest.raises(ValueError):
+            HybridConfig(rightsizing_threshold=1.5)
+        with pytest.raises(ValueError):
+            HybridConfig(min_group_size=30)
+
+    def test_with_helpers(self):
+        config = HybridConfig()
+        assert config.with_split(10, 40).fifo_cores == 10
+        assert config.with_time_limit(0.5).time_limit == 0.5
+        adaptive = config.with_adaptive_limit(75)
+        assert adaptive.adaptive_time_limit and adaptive.time_limit_percentile == 75
+        assert config.with_rightsizing().rightsizing
+
+    def test_total_cores(self):
+        assert HybridConfig(fifo_cores=10, cfs_cores=15).total_cores == 25
+
+
+class TestGroupWiring:
+    def test_preferred_groups_exact(self):
+        scheduler = HybridScheduler(HybridConfig(fifo_cores=25, cfs_cores=25))
+        assert scheduler.preferred_groups(50) == {"fifo": 25, "cfs": 25}
+
+    def test_preferred_groups_rescaled(self):
+        scheduler = HybridScheduler(HybridConfig(fifo_cores=25, cfs_cores=25))
+        groups = scheduler.preferred_groups(10)
+        assert groups["fifo"] + groups["cfs"] == 10
+        assert groups["fifo"] == 5
+
+    def test_attach_requires_named_groups(self):
+        scheduler = HybridScheduler(HybridConfig(fifo_cores=1, cfs_cores=1))
+        config = SimulationConfig(num_cores=2)
+        machine = Machine(config)  # single "all" group
+        with pytest.raises(ValueError):
+            simulate(scheduler, make_tasks([(0.0, 1.0)]), config=config, machine=machine)
+
+
+class TestShortTasks:
+    def test_short_tasks_run_to_completion_on_fifo_cores(self):
+        scheduler, result = run_hybrid([(0.0, 0.2), (0.0, 0.3), (0.05, 0.1)])
+        assert result.completion_ratio == 1.0
+        assert scheduler.tasks_preempted_to_cfs == 0
+        assert scheduler.tasks_completed_in_fifo == 3
+        for task in result.finished_tasks:
+            assert task.execution_time == pytest.approx(task.service_time, rel=1e-6)
+
+    def test_queueing_when_fifo_cores_busy(self):
+        # 2 FIFO cores, 4 short tasks arriving together: two must wait.
+        scheduler, result = run_hybrid([(0.0, 0.5)] * 4)
+        responses = sorted(t.response_time for t in result.finished_tasks)
+        assert responses[0] == pytest.approx(0.0)
+        assert responses[-1] == pytest.approx(0.5, abs=0.01)
+
+
+class TestLongTasks:
+    def test_long_task_preempted_to_cfs_group(self):
+        config = HybridConfig(fifo_cores=2, cfs_cores=2, time_limit=0.2)
+        scheduler, result = run_hybrid([(0.0, 1.0)], config=config)
+        task = result.finished_tasks[0]
+        assert scheduler.tasks_preempted_to_cfs == 1
+        assert task.preemptions == 1
+        assert task.last_core in result.cores_in_group(CFS_GROUP)
+        # Total work is conserved (modulo the small migration charge).
+        assert task.cpu_time_received == pytest.approx(1.0, abs=0.01)
+
+    def test_fifo_core_freed_after_preemption(self):
+        config = HybridConfig(fifo_cores=1, cfs_cores=1, time_limit=0.2)
+        scheduler, result = run_hybrid([(0.0, 5.0), (0.05, 0.1)], config=config, num_cores=2)
+        short = next(t for t in result.finished_tasks if t.service_time == 0.1)
+        # The short task starts right after the long one is preempted at 0.2 s,
+        # not after it would have finished (5 s).
+        assert short.first_run_time == pytest.approx(0.2, abs=0.02)
+
+    def test_preempted_tasks_round_robin_across_cfs_cores(self):
+        config = HybridConfig(
+            fifo_cores=2, cfs_cores=2, time_limit=0.1,
+            cfs_placement=CFSPlacement.ROUND_ROBIN,
+        )
+        scheduler, result = run_hybrid([(0.0, 1.0), (0.0, 1.0)], config=config)
+        cfs_core_ids = set(result.cores_in_group(CFS_GROUP))
+        used = {t.last_core for t in result.finished_tasks}
+        assert used == cfs_core_ids
+
+    def test_least_loaded_placement_option(self):
+        config = HybridConfig(
+            fifo_cores=2, cfs_cores=2, time_limit=0.1,
+            cfs_placement=CFSPlacement.LEAST_LOADED,
+        )
+        scheduler, result = run_hybrid([(0.0, 0.5), (0.0, 0.5)], config=config)
+        assert result.completion_ratio == 1.0
+        assert scheduler.tasks_preempted_to_cfs == 2
+
+    def test_stats_counters(self):
+        config = HybridConfig(fifo_cores=2, cfs_cores=2, time_limit=0.2)
+        scheduler, result = run_hybrid([(0.0, 1.0), (0.0, 0.1)], config=config)
+        stats = scheduler.stats()
+        assert stats["tasks_preempted_to_cfs"] == 1
+        assert stats["tasks_completed_in_fifo"] == 1
+        assert stats["tasks_completed_in_cfs"] == 1
+        assert stats["messages_posted"] >= 4
+
+
+class TestAdaptiveLimitIntegration:
+    def test_limit_series_recorded(self):
+        config = HybridConfig(fifo_cores=2, cfs_cores=2).with_adaptive_limit(90, window=10)
+        scheduler, result = run_hybrid([(0.1 * i, 0.2) for i in range(20)], config=config)
+        series = result.series_values("time_limit")
+        assert len(series) >= 20
+        # After enough short completions the adaptive limit converges near the
+        # observed durations, far below the 1,633 ms default.
+        assert series[-1].value < 1.0
+
+
+class TestGhostIntegration:
+    def test_status_words_reflect_lifecycle(self):
+        config = HybridConfig(fifo_cores=1, cfs_cores=1, time_limit=0.2)
+        scheduler, result = run_hybrid([(0.0, 1.0)], config=config, num_cores=2)
+        word = scheduler.enclave.status_word(0)
+        assert word.is_dead
+        assert word.dispatch_count == 2  # FIFO dispatch + CFS re-dispatch
+        assert scheduler.enclave.stats()["live_tasks"] == 0

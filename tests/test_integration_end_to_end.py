@@ -1,0 +1,98 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the paper's central claims on a mid-sized workload (large
+enough for queueing effects, small enough for the unit-test budget):
+trace synthesis → extraction → scheduling under FIFO / CFS / hybrid →
+metrics → cost.
+"""
+
+import pytest
+
+from repro import (
+    CFSScheduler,
+    FIFOScheduler,
+    HybridConfig,
+    HybridScheduler,
+    SimulationConfig,
+    simulate,
+)
+from repro.cost.cost_model import CostModel
+from repro.workload.azure import AzureTraceConfig
+from repro.workload.generator import build_workload
+
+NUM_CORES = 10
+NUM_TASKS = 1500
+
+
+def workload():
+    """A fresh mid-sized workload with the paper's duration mix, scaled so a
+    10-core machine sees a comparable overload to the paper's 50-core one."""
+    config = AzureTraceConfig(
+        minutes=2,
+        num_functions=400,
+        target_invocations_first_two_minutes=NUM_TASKS * 100,
+        seed=11,
+    )
+    return build_workload(minutes=2, limit=NUM_TASKS, trace_config=config, seed=11)
+
+
+def run(scheduler):
+    return simulate(scheduler, workload(), config=SimulationConfig(num_cores=NUM_CORES))
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "fifo": run(FIFOScheduler()),
+        "cfs": run(CFSScheduler()),
+        "hybrid": run(HybridScheduler(HybridConfig(fifo_cores=5, cfs_cores=5))),
+    }
+
+
+class TestEndToEnd:
+    def test_every_policy_finishes_the_workload(self, results):
+        for result in results.values():
+            assert result.completion_ratio == 1.0
+
+    def test_cfs_inflates_execution_time(self, results):
+        fifo_exec = results["fifo"].summary().total_execution
+        cfs_exec = results["cfs"].summary().total_execution
+        assert cfs_exec > 3.0 * fifo_exec
+
+    def test_cfs_has_best_response_fifo_worst(self, results):
+        fifo_resp = results["fifo"].summary().p99_response
+        cfs_resp = results["cfs"].summary().p99_response
+        hybrid_resp = results["hybrid"].summary().p99_response
+        assert cfs_resp < hybrid_resp
+        assert cfs_resp < fifo_resp
+
+    def test_hybrid_execution_far_below_cfs(self, results):
+        hybrid_exec = results["hybrid"].summary().p99_execution
+        cfs_exec = results["cfs"].summary().p99_execution
+        assert hybrid_exec < cfs_exec
+
+    def test_cost_ordering_matches_paper(self, results):
+        model = CostModel()
+        costs = {
+            name: model.workload_cost(result.finished_tasks).total
+            for name, result in results.items()
+        }
+        assert costs["cfs"] > costs["hybrid"]
+        assert costs["cfs"] > 2.0 * costs["fifo"]
+        # The hybrid stays within a small factor of the FIFO lower bound.
+        assert costs["hybrid"] < 5.0 * costs["fifo"]
+
+    def test_preemption_counts(self, results):
+        assert results["fifo"].total_preemptions() == 0
+        assert results["cfs"].total_preemptions() > results["hybrid"].total_preemptions()
+
+    def test_hybrid_group_bookkeeping(self, results):
+        hybrid = results["hybrid"]
+        fifo_cores = hybrid.cores_in_group("fifo")
+        cfs_cores = hybrid.cores_in_group("cfs")
+        assert len(fifo_cores) == 5 and len(cfs_cores) == 5
+        # FIFO cores see (almost) no preemptions compared to the CFS cores.
+        per_core = hybrid.preemptions_per_core()
+        fifo_preempt = sum(per_core[c] for c in fifo_cores)
+        cfs_preempt = sum(per_core[c] for c in cfs_cores)
+        assert cfs_preempt >= fifo_preempt

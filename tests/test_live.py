@@ -1,0 +1,94 @@
+"""Tests for the live mode (real processes, real scheduling syscalls).
+
+Everything here must pass without elevated privileges: real-time switching is
+only *attempted* when the probe says it is possible, and the process runner
+degrades gracefully when it is not.
+"""
+
+import os
+
+import pytest
+
+from repro.live.process_runner import LiveRunResult, ProcessRunner
+from repro.live.sched_policy import (
+    SchedulingPolicy,
+    can_set_affinity,
+    can_set_realtime,
+    describe_current_policy,
+    set_affinity,
+    set_policy,
+)
+from repro.workload.generator import WorkloadItem
+
+
+class TestSchedPolicy:
+    def test_probes_do_not_raise(self):
+        assert isinstance(can_set_realtime(), bool)
+        assert isinstance(can_set_affinity(), bool)
+
+    def test_describe_current_policy(self):
+        description = describe_current_policy()
+        assert isinstance(description, str) and description
+
+    def test_policy_constants_resolve(self):
+        if not hasattr(os, "SCHED_FIFO"):
+            pytest.skip("platform has no scheduling policy constants")
+        assert SchedulingPolicy.FIFO.to_constant() == os.SCHED_FIFO
+        assert SchedulingPolicy.OTHER.to_constant() == os.SCHED_OTHER
+
+    def test_set_policy_validates_priority(self):
+        if not hasattr(os, "sched_setscheduler"):
+            pytest.skip("platform has no sched_setscheduler")
+        with pytest.raises(ValueError):
+            set_policy(0, SchedulingPolicy.FIFO, priority=0)
+
+    def test_set_affinity_requires_cpus(self):
+        if not can_set_affinity():
+            pytest.skip("platform has no sched_setaffinity")
+        with pytest.raises(ValueError):
+            set_affinity(0, [])
+
+    def test_set_affinity_to_current_cpus_is_safe(self):
+        if not can_set_affinity():
+            pytest.skip("platform has no sched_setaffinity")
+        current = os.sched_getaffinity(0)
+        set_affinity(0, current)
+        assert os.sched_getaffinity(0) == current
+
+    def test_realtime_switch_when_permitted(self):
+        if not can_set_realtime():
+            pytest.skip("host does not allow SCHED_FIFO (needs CAP_SYS_NICE)")
+        original_policy = os.sched_getscheduler(0)
+        original_param = os.sched_getparam(0)
+        try:
+            set_policy(0, SchedulingPolicy.FIFO, priority=1)
+            assert os.sched_getscheduler(0) == os.SCHED_FIFO
+        finally:
+            os.sched_setscheduler(0, original_policy, original_param)
+
+
+class TestProcessRunner:
+    def test_runner_validation(self):
+        with pytest.raises(ValueError):
+            ProcessRunner(fibonacci_cap=0)
+        with pytest.raises(ValueError):
+            ProcessRunner().run([], speedup=0.0)
+
+    def test_empty_workload(self):
+        result = ProcessRunner().run([])
+        assert isinstance(result, LiveRunResult)
+        assert result.count == 0
+
+    def test_runs_real_processes(self):
+        items = [
+            WorkloadItem(arrival_time=0.0, fibonacci_n=18, duration=0.01, memory_mb=128),
+            WorkloadItem(arrival_time=0.05, fibonacci_n=19, duration=0.01, memory_mb=128),
+        ]
+        runner = ProcessRunner(fibonacci_cap=20, cpu_ids=[0] if can_set_affinity() else None)
+        result = runner.run(items, speedup=10.0)
+        assert result.count == 2
+        assert all(inv.succeeded for inv in result.invocations)
+        assert all(inv.execution_time > 0 for inv in result.invocations)
+        assert all(inv.turnaround_time >= inv.execution_time for inv in result.invocations)
+        assert len(result.execution_times()) == 2
+        assert len(result.turnaround_times()) == 2

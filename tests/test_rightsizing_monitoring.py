@@ -1,0 +1,157 @@
+"""Tests for utilization monitoring and the core-rightsizing controller."""
+
+import pytest
+
+from repro.core.config import CFS_GROUP, FIFO_GROUP, HybridConfig
+from repro.core.hybrid import HybridScheduler
+from repro.core.rightsizing import RightsizingController
+from repro.monitoring.monitor import GroupUtilizationMonitor
+from repro.monitoring.sampler import UtilizationSampler
+from repro.monitoring.shared_memory import UtilizationStore
+from repro.simulation.config import SimulationConfig
+from repro.simulation.cpu import Core
+from repro.simulation.engine import simulate
+from repro.simulation.machine import Machine
+from tests.conftest import make_task, make_tasks
+
+
+class TestUtilizationStore:
+    def test_write_and_latest(self):
+        store = UtilizationStore()
+        store.write(0, time=1.0, utilization=0.7)
+        store.write(0, time=2.0, utilization=0.9)
+        assert store.latest(0).utilization == 0.9
+        assert store.latest(5) is None
+        assert store.core_ids() == [0]
+
+    def test_values_clamped(self):
+        store = UtilizationStore()
+        store.write(0, 1.0, 1.5)
+        store.write(0, 2.0, -0.5)
+        history = store.history(0)
+        assert history[0].utilization == 1.0
+        assert history[1].utilization == 0.0
+
+    def test_window_average(self):
+        store = UtilizationStore()
+        store.write(0, 1.0, 0.2)
+        store.write(0, 2.0, 0.4)
+        store.write(0, 3.0, 0.6)
+        assert store.average_since(0, since=1.5) == pytest.approx(0.5)
+        # No sample after `since` -> falls back to the latest value.
+        assert store.average_since(0, since=10.0) == pytest.approx(0.6)
+
+    def test_group_average_missing_core_counts_idle(self):
+        store = UtilizationStore()
+        store.write(0, 1.0, 1.0)
+        assert store.group_average_since([0, 1], since=0.0) == pytest.approx(0.5)
+
+    def test_capacity_bounds_history(self):
+        store = UtilizationStore(capacity_per_core=2)
+        for i in range(5):
+            store.write(0, float(i), 0.1 * i)
+        assert len(store.history(0)) == 2
+
+
+class TestSampler:
+    def test_samples_busy_fraction(self):
+        store = UtilizationStore()
+        sampler = UtilizationSampler(store)
+        core = Core(core_id=0, group="fifo")
+        sampler.prime([core], now=0.0)
+        core.add_task(make_task(service=0.5), 0.0)
+        core.finish_ready_tasks(0.5)
+        values = sampler.sample([core], now=1.0)
+        assert values[0] == pytest.approx(0.5)
+        assert store.latest(0).utilization == pytest.approx(0.5)
+
+    def test_first_sample_primes_only(self):
+        sampler = UtilizationSampler()
+        core = Core(core_id=0, group="fifo")
+        assert sampler.sample([core], now=1.0) == {}
+
+
+class TestMonitor:
+    def test_group_utilization_and_imbalance(self):
+        store = UtilizationStore()
+        store.write(0, 1.0, 1.0)
+        store.write(1, 1.0, 0.2)
+        monitor = GroupUtilizationMonitor(store, window=5.0)
+        assert monitor.group_utilization([0], now=2.0) == pytest.approx(1.0)
+        assert monitor.imbalance([0], [1], now=2.0) == pytest.approx(0.8)
+        groups = monitor.all_groups({"fifo": [0], "cfs": [1]}, now=2.0)
+        assert groups["fifo"] > groups["cfs"]
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            GroupUtilizationMonitor(UtilizationStore(), window=0.0)
+
+
+def _controller(fifo_util, cfs_util, **config_kwargs):
+    config = HybridConfig(fifo_cores=2, cfs_cores=2, **config_kwargs)
+    machine = Machine(SimulationConfig(num_cores=4), groups={FIFO_GROUP: 2, CFS_GROUP: 2})
+    store = UtilizationStore()
+    for core_id in machine.group(FIFO_GROUP).core_ids:
+        store.write(core_id, 1.0, fifo_util)
+    for core_id in machine.group(CFS_GROUP).core_ids:
+        store.write(core_id, 1.0, cfs_util)
+    monitor = GroupUtilizationMonitor(store, window=10.0)
+    return RightsizingController(machine, monitor, config), machine
+
+
+class TestRightsizingController:
+    def test_no_decision_when_balanced(self):
+        controller, _ = _controller(0.8, 0.8)
+        assert controller.evaluate(now=2.0) is None
+
+    def test_moves_core_towards_busy_fifo(self):
+        controller, _ = _controller(1.0, 0.2)
+        decision = controller.evaluate(now=2.0)
+        assert decision is not None
+        assert decision.source == CFS_GROUP and decision.target == FIFO_GROUP
+
+    def test_moves_core_towards_busy_cfs(self):
+        controller, _ = _controller(0.2, 1.0)
+        decision = controller.evaluate(now=2.0)
+        assert decision.source == FIFO_GROUP and decision.target == CFS_GROUP
+
+    def test_min_group_size_respected(self):
+        controller, machine = _controller(1.0, 0.2, min_group_size=2)
+        assert machine.group_size(CFS_GROUP) == 2
+        assert controller.evaluate(now=2.0) is None
+
+    def test_cooldown(self):
+        controller, _ = _controller(1.0, 0.2, rightsizing_cooldown=5.0)
+        decision = controller.evaluate(now=2.0)
+        controller.record_migration(2.0, decision, core_id=2)
+        assert controller.evaluate(now=3.0) is None
+        assert controller.evaluate(now=8.0) is not None
+        assert controller.migration_count == 1
+        assert controller.migrations_towards(FIFO_GROUP) == 1
+
+
+class TestRightsizingEndToEnd:
+    def test_cores_migrate_towards_loaded_group(self):
+        # Only short tasks: the CFS group never receives work, so cores should
+        # migrate from CFS to FIFO over time.
+        config = HybridConfig(
+            fifo_cores=2,
+            cfs_cores=2,
+            time_limit=5.0,
+            rightsizing=True,
+            rightsizing_interval=0.2,
+            rightsizing_cooldown=0.2,
+            rightsizing_threshold=0.3,
+            utilization_sample_interval=0.1,
+            utilization_window=0.5,
+        )
+        scheduler = HybridScheduler(config)
+        specs = [(0.05 * i, 0.3) for i in range(80)]
+        result = simulate(
+            scheduler, make_tasks(specs), config=SimulationConfig(num_cores=4)
+        )
+        assert result.completion_ratio == 1.0
+        assert scheduler.rightsizer.migration_count >= 1
+        assert scheduler.machine.group_size(FIFO_GROUP) > 2
+        series = result.series_values("fifo_cores")
+        assert max(p.value for p in series) > 2

@@ -1,0 +1,112 @@
+"""Behavioural tests for EDF, SJF, SRTF, Shinjuku and the registry."""
+
+import pytest
+
+from repro.schedulers.edf import EDFScheduler
+from repro.schedulers.registry import available_schedulers, create_scheduler, register_scheduler
+from repro.schedulers.shinjuku import ShinjukuScheduler
+from repro.schedulers.sjf import SJFScheduler
+from repro.schedulers.srtf import SRTFScheduler
+from tests.conftest import make_task, run_small
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+
+
+class TestEDF:
+    def test_earlier_deadline_runs_first(self):
+        scheduler = EDFScheduler()
+        tasks = [
+            make_task(task_id=0, arrival=0.0, service=1.0, deadline=100.0),
+            make_task(task_id=1, arrival=0.0, service=1.0, deadline=1.0),
+            make_task(task_id=2, arrival=0.0, service=1.0, deadline=50.0),
+        ]
+        result = simulate(scheduler, tasks, config=SimulationConfig(num_cores=1))
+        order = sorted(result.finished_tasks, key=lambda t: t.completion_time)
+        assert [t.task_id for t in order] == [1, 2, 0]
+
+    def test_preempts_later_deadline(self):
+        scheduler = EDFScheduler()
+        tasks = [
+            make_task(task_id=0, arrival=0.0, service=5.0, deadline=100.0),
+            make_task(task_id=1, arrival=0.5, service=0.5, deadline=2.0),
+        ]
+        result = simulate(scheduler, tasks, config=SimulationConfig(num_cores=1))
+        urgent = next(t for t in result.finished_tasks if t.task_id == 1)
+        assert urgent.completion_time == pytest.approx(1.0, abs=0.01)
+        victim = next(t for t in result.finished_tasks if t.task_id == 0)
+        assert victim.preemptions >= 1
+
+    def test_implicit_deadline_for_plain_tasks(self):
+        scheduler = EDFScheduler(slack_factor=2.0, default_relative_deadline=5.0)
+        task = make_task(arrival=1.0, service=1.0)
+        assert scheduler.deadline_of(task) == pytest.approx(3.0)
+        long_task = make_task(arrival=1.0, service=100.0)
+        assert scheduler.deadline_of(long_task) == pytest.approx(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EDFScheduler(slack_factor=0.0)
+        with pytest.raises(ValueError):
+            EDFScheduler(default_relative_deadline=0.0)
+
+
+class TestSJF:
+    def test_shortest_waiting_job_runs_first(self):
+        result = run_small(
+            SJFScheduler(), [(0.0, 5.0), (0.1, 2.0), (0.2, 0.5)], num_cores=1
+        )
+        short = next(t for t in result.tasks if t.service_time == 0.5)
+        medium = next(t for t in result.tasks if t.service_time == 2.0)
+        assert short.completion_time < medium.completion_time
+
+    def test_non_preemptive(self):
+        result = run_small(SJFScheduler(), [(0.0, 5.0), (0.1, 0.1)], num_cores=1)
+        long_task = next(t for t in result.tasks if t.service_time == 5.0)
+        assert long_task.preemptions == 0
+
+
+class TestSRTF:
+    def test_short_arrival_preempts_long_running(self):
+        result = run_small(SRTFScheduler(), [(0.0, 5.0), (0.5, 0.2)], num_cores=1)
+        short = next(t for t in result.tasks if t.service_time == 0.2)
+        long_task = next(t for t in result.tasks if t.service_time == 5.0)
+        assert short.completion_time == pytest.approx(0.7, abs=0.01)
+        assert long_task.preemptions >= 1
+
+    def test_preemption_margin_damps_thrashing(self):
+        scheduler = SRTFScheduler(preemption_margin=10.0)
+        result = run_small(scheduler, [(0.0, 1.0), (0.1, 0.9)], num_cores=1)
+        first = next(t for t in result.tasks if t.task_id == 0)
+        assert first.preemptions == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SRTFScheduler(preemption_margin=-1.0)
+
+
+class TestShinjuku:
+    def test_small_quantum_bounds_short_task_latency(self):
+        shinjuku = run_small(
+            ShinjukuScheduler(quantum=0.02), [(0.0, 5.0), (0.0, 0.05)], num_cores=1
+        )
+        short = next(t for t in shinjuku.tasks if t.service_time == 0.05)
+        assert short.turnaround_time < 0.5
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_schedulers()
+        for expected in ("fifo", "cfs", "round_robin", "edf", "sjf", "srtf", "shinjuku", "hybrid"):
+            assert expected in names
+
+    def test_create_by_name_with_kwargs(self):
+        scheduler = create_scheduler("fifo_preempt", quantum=0.2)
+        assert scheduler.quantum == 0.2
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            create_scheduler("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_scheduler("fifo", lambda: None)

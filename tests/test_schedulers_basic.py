@@ -1,0 +1,106 @@
+"""Behavioural tests for the baseline schedulers (FIFO, FIFO-100ms, CFS, RR)."""
+
+import pytest
+
+from repro.schedulers.cfs import CFSScheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.fifo_preempt import FIFOPreemptScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from tests.conftest import run_small
+
+
+class TestFIFO:
+    def test_runs_in_arrival_order(self):
+        result = run_small(FIFOScheduler(), [(0.0, 1.0), (0.1, 1.0), (0.2, 1.0)], num_cores=1)
+        tasks = sorted(result.tasks, key=lambda t: t.task_id)
+        assert tasks[0].completion_time < tasks[1].completion_time < tasks[2].completion_time
+
+    def test_no_preemptions_ever(self):
+        result = run_small(FIFOScheduler(), [(0.0, 0.5)] * 6, num_cores=2)
+        assert result.total_preemptions() == 0
+        assert all(t.preemptions == 0 for t in result.tasks)
+
+    def test_execution_equals_service(self):
+        result = run_small(FIFOScheduler(), [(0.0, 0.5), (0.0, 1.5), (0.0, 2.5)], num_cores=1)
+        for task in result.finished_tasks:
+            assert task.execution_time == pytest.approx(task.service_time)
+
+    def test_head_of_line_blocking(self):
+        # A long task at the head delays the short one behind it.
+        result = run_small(FIFOScheduler(), [(0.0, 10.0), (0.1, 0.1)], num_cores=1)
+        short = next(t for t in result.tasks if t.service_time == 0.1)
+        assert short.response_time == pytest.approx(9.9, rel=1e-3)
+
+
+class TestFIFOPreempt:
+    def test_rejects_nonpositive_quantum(self):
+        with pytest.raises(ValueError):
+            FIFOPreemptScheduler(quantum=0.0)
+
+    def test_long_task_preempted_when_queue_nonempty(self):
+        result = run_small(
+            FIFOPreemptScheduler(quantum=0.1), [(0.0, 1.0), (0.0, 0.1)], num_cores=1
+        )
+        long_task = next(t for t in result.tasks if t.service_time == 1.0)
+        short_task = next(t for t in result.tasks if t.service_time == 0.1)
+        assert long_task.preemptions >= 1
+        # The short task gets the core after the first quantum instead of
+        # waiting a full second.
+        assert short_task.first_run_time == pytest.approx(0.1, abs=0.02)
+
+    def test_improves_response_at_cost_of_execution(self):
+        specs = [(0.0, 2.0)] + [(0.01 * i, 0.05) for i in range(1, 20)]
+        fifo = run_small(FIFOScheduler(), specs, num_cores=1)
+        preempt = run_small(FIFOPreemptScheduler(quantum=0.1), specs, num_cores=1)
+        assert preempt.summary().p99_response < fifo.summary().p99_response
+        assert preempt.summary().total_execution >= fifo.summary().total_execution
+
+    def test_no_preemption_when_alone(self):
+        result = run_small(FIFOPreemptScheduler(quantum=0.1), [(0.0, 1.0)], num_cores=1)
+        task = result.finished_tasks[0]
+        assert task.preemptions == 0
+        assert task.execution_time == pytest.approx(1.0)
+
+
+class TestCFS:
+    def test_tasks_start_immediately(self):
+        result = run_small(CFSScheduler(), [(0.0, 1.0)] * 4, num_cores=2)
+        assert all(t.response_time == pytest.approx(0.0) for t in result.finished_tasks)
+
+    def test_sharing_stretches_execution(self):
+        alone = run_small(CFSScheduler(), [(0.0, 1.0)], num_cores=1)
+        shared = run_small(CFSScheduler(), [(0.0, 1.0), (0.0, 1.0)], num_cores=1)
+        alone_exec = alone.finished_tasks[0].execution_time
+        shared_exec = max(t.execution_time for t in shared.finished_tasks)
+        assert shared_exec > 1.8 * alone_exec
+
+    def test_least_loaded_placement(self):
+        result = run_small(CFSScheduler(), [(0.0, 1.0), (0.0, 1.0)], num_cores=2)
+        cores_used = {t.last_core for t in result.finished_tasks}
+        assert len(cores_used) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CFSScheduler(balance_interval=0.0)
+        with pytest.raises(ValueError):
+            CFSScheduler(balance_threshold=0)
+
+    def test_load_balancer_moves_tasks(self):
+        scheduler = CFSScheduler(balance_interval=0.05, balance_threshold=2)
+        # All tasks arrive while core 0 is the least loaded only initially;
+        # later arrivals spread, but a burst at t=0 lands imbalanced once the
+        # first completions skew queue lengths.
+        result = run_small(scheduler, [(0.0, 0.5)] * 8 + [(0.01, 2.0)] * 4, num_cores=2)
+        assert result.completion_ratio == 1.0
+
+
+class TestRoundRobin:
+    def test_is_a_preempting_fifo(self):
+        scheduler = RoundRobinScheduler(quantum=0.05)
+        assert scheduler.quantum == 0.05
+        result = run_small(scheduler, [(0.0, 0.5), (0.0, 0.5)], num_cores=1)
+        assert result.completion_ratio == 1.0
+        assert any(t.preemptions > 0 for t in result.tasks)
+
+    def test_describe_mentions_quantum(self):
+        assert "50" in RoundRobinScheduler(quantum=0.05).describe()

@@ -1,0 +1,94 @@
+"""Unit tests for the task model and its metric definitions."""
+
+import pytest
+
+from repro.simulation.task import Task, TaskState, make_tasks
+from tests.conftest import make_task
+
+
+class TestTaskValidation:
+    def test_rejects_nonpositive_service(self):
+        with pytest.raises(ValueError):
+            make_task(service=0.0)
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError):
+            make_task(arrival=-1.0)
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ValueError):
+            make_task(memory_mb=0)
+
+    def test_remaining_initialised_to_service(self):
+        task = make_task(service=2.5)
+        assert task.remaining == 2.5
+        assert task.state is TaskState.CREATED
+
+
+class TestTaskLifecycle:
+    def test_metrics_follow_ostep_definitions(self):
+        task = make_task(arrival=10.0, service=2.0)
+        task.mark_queued()
+        task.mark_running(now=13.0, core_id=0)
+        task.account_service(2.0)
+        task.mark_finished(now=16.0)
+        assert task.response_time == pytest.approx(3.0)
+        assert task.execution_time == pytest.approx(3.0)
+        assert task.turnaround_time == pytest.approx(6.0)
+        assert task.slowdown == pytest.approx(3.0)
+
+    def test_first_run_recorded_once(self):
+        task = make_task(arrival=0.0)
+        task.mark_running(1.0, core_id=0)
+        task.mark_preempted()
+        task.mark_running(5.0, core_id=1)
+        assert task.first_run_time == 1.0
+        assert task.migrations == 1
+        assert task.preemptions == 1
+
+    def test_metrics_none_before_events(self):
+        task = make_task()
+        assert task.execution_time is None
+        assert task.response_time is None
+        assert task.turnaround_time is None
+        assert task.slowdown is None
+
+    def test_cannot_finish_without_running(self):
+        task = make_task()
+        with pytest.raises(RuntimeError):
+            task.mark_finished(1.0)
+
+    def test_cannot_requeue_finished_task(self):
+        task = make_task()
+        task.mark_running(0.0, core_id=0)
+        task.mark_finished(1.0)
+        with pytest.raises(RuntimeError):
+            task.mark_queued()
+        with pytest.raises(RuntimeError):
+            task.mark_running(2.0, core_id=0)
+        with pytest.raises(RuntimeError):
+            task.mark_preempted()
+
+    def test_account_service_reduces_remaining(self):
+        task = make_task(service=1.0)
+        task.account_service(0.4)
+        assert task.remaining == pytest.approx(0.6)
+        assert task.cpu_time_received == pytest.approx(0.4)
+        assert task.vruntime == pytest.approx(0.4)
+
+    def test_account_service_clamps_at_zero(self):
+        task = make_task(service=1.0)
+        task.account_service(5.0)
+        assert task.remaining == 0.0
+
+    def test_account_negative_service_rejected(self):
+        task = make_task()
+        with pytest.raises(ValueError):
+            task.account_service(-0.1)
+
+
+class TestMakeTasks:
+    def test_builds_sequential_ids(self):
+        tasks = make_tasks([(0.0, 1.0), (1.0, 2.0)])
+        assert [t.task_id for t in tasks] == [0, 1]
+        assert tasks[1].service_time == 2.0

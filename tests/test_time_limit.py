@@ -1,0 +1,104 @@
+"""Unit tests for the FIFO preemption time-limit policies."""
+
+import pytest
+
+from repro.core.time_limit import (
+    AdaptivePercentileTimeLimit,
+    FixedTimeLimit,
+    build_time_limit_policy,
+)
+
+
+class TestFixedLimit:
+    def test_constant(self):
+        policy = FixedTimeLimit(1.633)
+        assert policy.current() == 1.633
+        policy.observe(10.0, now=1.0)  # no-op
+        assert policy.current() == 1.633
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FixedTimeLimit(0.0)
+
+    def test_describe(self):
+        assert "1633" in FixedTimeLimit(1.633).describe()
+
+
+class TestAdaptiveLimit:
+    def test_uses_initial_limit_until_enough_observations(self):
+        policy = AdaptivePercentileTimeLimit(percentile=90, initial_limit=2.0, min_observations=5)
+        for i in range(4):
+            policy.observe(0.1, now=float(i))
+        assert policy.current() == 2.0
+        policy.observe(0.1, now=5.0)
+        assert policy.current() == pytest.approx(0.1)
+
+    def test_tracks_percentile_of_window(self):
+        policy = AdaptivePercentileTimeLimit(percentile=50, window=100, min_observations=1)
+        for i in range(100):
+            policy.observe(float(i + 1) / 100.0, now=float(i))
+        assert policy.current() == pytest.approx(0.505, abs=0.02)
+
+    def test_sliding_window_forgets_old_durations(self):
+        policy = AdaptivePercentileTimeLimit(percentile=90, window=10, min_observations=1)
+        for i in range(10):
+            policy.observe(10.0, now=float(i))
+        for i in range(10):
+            policy.observe(0.1, now=float(10 + i))
+        assert policy.current() == pytest.approx(0.1)
+
+    def test_min_limit_floor(self):
+        policy = AdaptivePercentileTimeLimit(
+            percentile=50, min_limit=0.5, min_observations=1
+        )
+        for i in range(20):
+            policy.observe(0.001, now=float(i))
+        assert policy.current() == 0.5
+
+    def test_higher_percentile_gives_higher_limit(self):
+        low = AdaptivePercentileTimeLimit(percentile=25, min_observations=1)
+        high = AdaptivePercentileTimeLimit(percentile=95, min_observations=1)
+        durations = [0.1, 0.2, 0.5, 1.0, 2.0, 5.0] * 5
+        for i, duration in enumerate(durations):
+            low.observe(duration, now=float(i))
+            high.observe(duration, now=float(i))
+        assert high.current() > low.current()
+
+    def test_limit_history_recorded(self):
+        policy = AdaptivePercentileTimeLimit(percentile=90, min_observations=1)
+        policy.observe(1.0, now=3.0)
+        history = policy.limit_history()
+        assert len(history) == 1
+        assert history[0][0] == 3.0
+
+    def test_rejects_negative_duration(self):
+        policy = AdaptivePercentileTimeLimit(percentile=90)
+        with pytest.raises(ValueError):
+            policy.observe(-1.0, now=0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"percentile": 0},
+            {"percentile": 101},
+            {"percentile": 90, "window": 0},
+            {"percentile": 90, "initial_limit": 0.0},
+            {"percentile": 90, "min_limit": 0.0},
+            {"percentile": 90, "min_observations": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptivePercentileTimeLimit(**kwargs)
+
+
+class TestFactory:
+    def test_builds_fixed(self):
+        policy = build_time_limit_policy(False, 1.0, 90, 100)
+        assert isinstance(policy, FixedTimeLimit)
+
+    def test_builds_adaptive_with_initial_from_fixed(self):
+        policy = build_time_limit_policy(True, 2.5, 75, 50)
+        assert isinstance(policy, AdaptivePercentileTimeLimit)
+        assert policy.initial_limit == 2.5
+        assert policy.window == 50

@@ -1,0 +1,56 @@
+"""Benchmark + shape check for the cluster layer.
+
+Measures fleet-simulation throughput (the dispatch path sits on top of the
+same event engine the single-machine benchmarks time) and asserts the
+qualitative load-balancing result: probing dispatchers beat the oblivious
+baseline on tail latency.
+"""
+
+from conftest import run_once
+
+from repro.cluster import ClusterConfig, simulate_cluster
+from repro.experiments.common import ten_minute_workload
+
+
+def _run_fleet(dispatcher: str, scale: float):
+    config = ClusterConfig(
+        num_nodes=4, cores_per_node=24, scheduler="fifo", dispatcher=dispatcher
+    )
+    return simulate_cluster(ten_minute_workload(scale), config=config)
+
+
+def test_bench_cluster_dispatch_tail(benchmark, bench_scale):
+    """4-node fleet, 10-minute workload: power-of-two vs random on p99."""
+
+    def sweep():
+        return {
+            policy: _run_fleet(policy, bench_scale)
+            for policy in ("random", "power_of_two")
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for result in results.values():
+        assert result.completion_ratio == 1.0
+    p2c = results["power_of_two"].summary().p99_turnaround
+    random_tail = results["random"].summary().p99_turnaround
+    assert p2c < random_tail
+
+
+def test_bench_cluster_autoscaler(benchmark, bench_scale):
+    """Reactive autoscaler run: the fleet grows under the morning burst."""
+    from repro.cluster import AutoscalerConfig, ReactiveAutoscaler
+
+    def run():
+        autoscaler = ReactiveAutoscaler(
+            AutoscalerConfig(min_nodes=2, max_nodes=12, scale_up_load=1.0)
+        )
+        config = ClusterConfig(
+            num_nodes=2, cores_per_node=12, scheduler="fifo", dispatcher="jsq"
+        )
+        return simulate_cluster(
+            ten_minute_workload(bench_scale), config=config, autoscaler=autoscaler
+        )
+
+    result = run_once(benchmark, run)
+    assert result.completion_ratio == 1.0
+    assert result.nodes_added > 0

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Cluster demo: the paper's 10-minute workload on a multi-node fleet.
+
+Routes the 10-minute Azure-like workload across a fleet of FIFO nodes under
+several dispatch policies and reports fleet-wide p50/p99 latency per policy —
+the classic load-balancing result (power-of-two-choices beats random on the
+tail) on top of the paper's per-node scheduling substrate.  With
+``--autoscale`` the fleet instead starts small and grows reactively, paying
+Firecracker-style cold-start delays.
+
+Run with::
+
+    python examples/cluster_demo.py [--nodes 4] [--cores 24] [--scale 1.0]
+    python examples/cluster_demo.py --autoscale
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.fleet import jains_fairness_index, policy_comparison_table
+from repro.cluster import (
+    AutoscalerConfig,
+    ClusterConfig,
+    ReactiveAutoscaler,
+    available_dispatchers,
+    simulate_cluster,
+)
+from repro.experiments.common import ten_minute_workload
+
+DEFAULT_POLICIES = ("random", "round_robin", "jsq", "power_of_two")
+
+
+def run_policy_sweep(args: argparse.Namespace) -> None:
+    policies = available_dispatchers() if args.all_policies else DEFAULT_POLICIES
+    results = {}
+    for policy in policies:
+        config = ClusterConfig(
+            num_nodes=args.nodes,
+            cores_per_node=args.cores,
+            scheduler=args.scheduler,
+            dispatcher=policy,
+        )
+        tasks = ten_minute_workload(args.scale)  # fresh tasks: mutated in place
+        result = simulate_cluster(tasks, config=config)
+        results[policy] = result
+        print(
+            f"ran {policy:<16s}: {len(result.finished_tasks)} invocations on "
+            f"{result.num_nodes} nodes, simulated {result.simulated_time:.1f}s "
+            f"({result.wall_clock_seconds:.1f}s wall)"
+        )
+
+    print()
+    print(
+        policy_comparison_table(results).render(
+            title=f"Fleet-wide latency by dispatch policy "
+            f"({args.nodes} nodes x {args.cores} cores, seconds)"
+        )
+    )
+    p2c = results["power_of_two"].summary().p99_turnaround
+    rnd = results["random"].summary().p99_turnaround
+    print(
+        f"\npower-of-two-choices p99 turnaround is {rnd / p2c:.2f}x better than "
+        f"random ({p2c:.2f}s vs {rnd:.2f}s)."
+    )
+
+
+def run_autoscale(args: argparse.Namespace) -> None:
+    config = ClusterConfig(
+        num_nodes=2,
+        cores_per_node=args.cores,
+        scheduler=args.scheduler,
+        dispatcher="jsq",
+    )
+    autoscaler = ReactiveAutoscaler(
+        AutoscalerConfig(min_nodes=2, max_nodes=args.nodes * 2, scale_up_load=1.0)
+    )
+    result = simulate_cluster(
+        ten_minute_workload(args.scale), config=config, autoscaler=autoscaler
+    )
+    print(result.describe())
+    sizes = result.series_values("cluster.active_nodes")
+    peak = max(int(p.value) for p in sizes)
+    print(
+        f"\nfleet grew from 2 to a peak of {peak} nodes "
+        f"(+{result.nodes_added} added, -{result.nodes_removed} drained); "
+        f"dispatch fairness {jains_fairness_index(list(result.tasks_per_node().values())):.3f}"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=4, help="nodes in the fleet")
+    parser.add_argument("--cores", type=int, default=24, help="cores per node")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="fraction of the 10-minute workload to run")
+    parser.add_argument("--scheduler", default="fifo",
+                        help="per-node scheduling policy (registry name)")
+    parser.add_argument("--all-policies", action="store_true",
+                        help="sweep every registered dispatcher, not just the headline four")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="run the reactive-autoscaler demo instead of the policy sweep")
+    args = parser.parse_args()
+
+    if args.autoscale:
+        run_autoscale(args)
+    else:
+        run_policy_sweep(args)
+
+
+if __name__ == "__main__":
+    main()

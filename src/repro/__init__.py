@@ -22,8 +22,34 @@ Quick example::
     result = simulate(HybridScheduler(), tasks)
     print(result.describe())
     print(CostModel().workload_cost(result.finished_tasks))
+
+Cluster
+=======
+
+:mod:`repro.cluster` scales the same substrate to a multi-node fleet: a
+:class:`~repro.cluster.ClusterSimulator` drives N machines (each with its own
+per-node scheduler from the registry) off one shared virtual clock, routes
+invocations through a pluggable dispatch policy (random, round-robin,
+least-loaded, join-shortest-queue, power-of-two-choices, consistent hashing
+on the function id), and optionally grows/shrinks the fleet with a reactive
+autoscaler paying Firecracker-style cold-start delays::
+
+    from repro import paper_workload_10min
+    from repro.cluster import ClusterConfig, simulate_cluster
+
+    config = ClusterConfig(num_nodes=4, cores_per_node=24,
+                           scheduler="fifo", dispatcher="power_of_two")
+    print(simulate_cluster(paper_workload_10min(), config=config).describe())
 """
 
+from repro.cluster import (
+    ClusterConfig,
+    ClusterResult,
+    ClusterSimulator,
+    available_dispatchers,
+    create_dispatcher,
+    simulate_cluster,
+)
 from repro.core import HybridConfig, HybridScheduler
 from repro.schedulers import (
     CFSScheduler,
@@ -49,6 +75,12 @@ from repro.workload.generator import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ClusterConfig",
+    "ClusterResult",
+    "ClusterSimulator",
+    "available_dispatchers",
+    "create_dispatcher",
+    "simulate_cluster",
     "HybridConfig",
     "HybridScheduler",
     "CFSScheduler",

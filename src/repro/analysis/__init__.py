@@ -8,6 +8,12 @@ those artefacts, rendered as text tables and CSV-friendly rows.
 """
 
 from repro.analysis.cdf import CDF, compute_cdf
+from repro.analysis.fleet import (
+    fleet_metric_row,
+    jains_fairness_index,
+    per_node_table,
+    policy_comparison_table,
+)
 from repro.analysis.percentile import percentile, percentile_summary, weighted_percentile
 from repro.analysis.report import (
     ComparisonTable,
@@ -20,6 +26,10 @@ from repro.analysis.report import (
 __all__ = [
     "CDF",
     "compute_cdf",
+    "fleet_metric_row",
+    "jains_fairness_index",
+    "per_node_table",
+    "policy_comparison_table",
     "percentile",
     "percentile_summary",
     "weighted_percentile",

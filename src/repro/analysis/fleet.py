@@ -1,0 +1,83 @@
+"""Fleet-wide aggregation of cluster results.
+
+Turns :class:`~repro.cluster.results.ClusterResult` objects into the
+comparison rows the cluster experiments report: fleet-wide latency
+percentiles per dispatch policy, per-node breakdowns, and a load-balance
+fairness index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.report import ComparisonTable
+
+#: Columns of the per-policy fleet comparison table.
+FLEET_COLUMNS = (
+    "p50_turnaround",
+    "p99_turnaround",
+    "p50_response",
+    "p99_response",
+    "fairness",
+    "completed",
+)
+
+
+def jains_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index over per-node loads.
+
+    1.0 means perfectly even; 1/n means all load on one of n nodes.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot compute fairness of an empty sample")
+    if np.any(array < 0):
+        raise ValueError("fairness is defined over non-negative loads")
+    total_sq = float(array.sum()) ** 2
+    sq_total = float((array**2).sum())
+    if sq_total == 0.0:
+        return 1.0
+    return total_sq / (array.size * sq_total)
+
+
+def fleet_metric_row(result) -> Dict[str, float]:
+    """One comparison-table row summarising a cluster run."""
+    summary = result.summary()
+    return {
+        "p50_turnaround": summary.p50_turnaround,
+        "p99_turnaround": summary.p99_turnaround,
+        "p50_response": summary.p50_response,
+        "p99_response": summary.p99_response,
+        "fairness": jains_fairness_index(list(result.tasks_per_node().values())),
+        "completed": float(len(result.finished_tasks)),
+    }
+
+
+def policy_comparison_table(results: Mapping[str, object]) -> ComparisonTable:
+    """Dispatch policies as rows, fleet-wide latency metrics as columns."""
+    table = ComparisonTable(columns=FLEET_COLUMNS)
+    for label, result in results.items():
+        table.add_row(label, fleet_metric_row(result))
+    return table
+
+
+def per_node_table(result) -> ComparisonTable:
+    """One row per node: completed invocations and latency percentiles."""
+    table = ComparisonTable(
+        columns=("completed", "p50_turnaround", "p99_turnaround", "p99_response")
+    )
+    counts = result.tasks_per_node()
+    for node_id in sorted(result.node_results):
+        summary = result.node_summary(node_id)
+        table.add_row(
+            f"node-{node_id}",
+            {
+                "completed": float(counts.get(node_id, 0)),
+                "p50_turnaround": summary.p50_turnaround,
+                "p99_turnaround": summary.p99_turnaround,
+                "p99_response": summary.p99_response,
+            },
+        )
+    return table

@@ -1,0 +1,66 @@
+"""Multi-node cluster simulation: dispatchers, nodes, autoscaling.
+
+The paper studies scheduling on one machine; this package scales the same
+discrete-event substrate to a *fleet*.  A :class:`ClusterSimulator` drives N
+:class:`~repro.cluster.node.ClusterNode` s — each a full machine running its
+own per-node scheduler from :mod:`repro.schedulers.registry` — off one shared
+virtual clock and event queue.  Arriving invocations are routed by a
+pluggable dispatch policy (random, round-robin, least-loaded,
+join-shortest-queue, power-of-two-choices, consistent hashing on the function
+id), and an optional reactive autoscaler adds/removes nodes with Firecracker
+cold-start delays.
+
+Quick example::
+
+    from repro.cluster import ClusterConfig, simulate_cluster
+    from repro.workload.generator import paper_workload_10min
+
+    config = ClusterConfig(num_nodes=4, cores_per_node=12,
+                           scheduler="fifo", dispatcher="power_of_two")
+    result = simulate_cluster(paper_workload_10min(limit=5000), config=config)
+    print(result.describe())
+"""
+
+from repro.cluster.autoscaler import AutoscalerConfig, ReactiveAutoscaler
+from repro.cluster.config import ClusterConfig, DEFAULT_NODE_BOOT_TIME
+from repro.cluster.dispatchers import (
+    ConsistentHashDispatcher,
+    Dispatcher,
+    JoinShortestQueueDispatcher,
+    LeastLoadedDispatcher,
+    PowerOfTwoDispatcher,
+    RandomDispatcher,
+    RoundRobinDispatcher,
+    function_key,
+)
+from repro.cluster.node import ClusterNode, NodeState
+from repro.cluster.registry import (
+    available_dispatchers,
+    create_dispatcher,
+    register_dispatcher,
+)
+from repro.cluster.results import ClusterResult
+from repro.cluster.simulator import ClusterSimulator, simulate_cluster
+
+__all__ = [
+    "AutoscalerConfig",
+    "ReactiveAutoscaler",
+    "ClusterConfig",
+    "DEFAULT_NODE_BOOT_TIME",
+    "Dispatcher",
+    "RandomDispatcher",
+    "RoundRobinDispatcher",
+    "LeastLoadedDispatcher",
+    "JoinShortestQueueDispatcher",
+    "PowerOfTwoDispatcher",
+    "ConsistentHashDispatcher",
+    "function_key",
+    "ClusterNode",
+    "NodeState",
+    "available_dispatchers",
+    "create_dispatcher",
+    "register_dispatcher",
+    "ClusterResult",
+    "ClusterSimulator",
+    "simulate_cluster",
+]

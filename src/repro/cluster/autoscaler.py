@@ -1,0 +1,108 @@
+"""Reactive fleet autoscaler.
+
+Watches the fleet's load (inflight invocations per core, averaged over the
+active nodes) on a fixed control interval and adds or drains nodes when the
+load leaves a target band — the classic reactive loop of serverless control
+planes.  New nodes pay the cold-start delay from
+:class:`~repro.cluster.config.ClusterConfig.node_boot_time` (modeled on the
+Firecracker microVM boot figure) before they accept work; removed nodes
+drain first so no running invocation is killed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Tuning knobs of the reactive autoscaler.
+
+    Attributes:
+        min_nodes: Never drain below this many active nodes.
+        max_nodes: Never grow the fleet beyond this many nodes.
+        check_interval: Seconds between control decisions.
+        scale_up_load: Add a node when fleet load (inflight per core) exceeds
+            this threshold.
+        scale_down_load: Drain a node when fleet load falls below this
+            threshold.
+        cooldown: Minimum seconds between two scaling actions, so one burst
+            does not trigger a flapping add/drain sequence.
+    """
+
+    min_nodes: int = 1
+    max_nodes: int = 16
+    check_interval: float = 1.0
+    scale_up_load: float = 1.5
+    scale_down_load: float = 0.4
+    cooldown: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1:
+            raise ValueError(f"min_nodes must be >= 1, got {self.min_nodes!r}")
+        if self.max_nodes < self.min_nodes:
+            raise ValueError(
+                f"max_nodes ({self.max_nodes}) must be >= min_nodes ({self.min_nodes})"
+            )
+        if self.check_interval <= 0:
+            raise ValueError(
+                f"check_interval must be positive, got {self.check_interval!r}"
+            )
+        if self.scale_down_load >= self.scale_up_load:
+            raise ValueError(
+                f"scale_down_load ({self.scale_down_load}) must be below "
+                f"scale_up_load ({self.scale_up_load})"
+            )
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown!r}")
+
+
+class ReactiveAutoscaler:
+    """Threshold autoscaler driven by the cluster's control timer."""
+
+    def __init__(self, config: AutoscalerConfig | None = None) -> None:
+        self.config = config or AutoscalerConfig()
+        self.cluster = None
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._last_action_time: float = float("-inf")
+
+    def attach(self, cluster) -> None:
+        """Bind this autoscaler to a cluster (called by the cluster)."""
+        self.cluster = cluster
+
+    # ----------------------------------------------------------------- signal
+
+    def fleet_load(self) -> float:
+        """Inflight invocations per core, averaged over non-retired nodes.
+
+        Booting and draining nodes count in the denominator: capacity that
+        was already paid for should damp further scale-ups.
+        """
+        nodes = [n for n in self.cluster.nodes if n.state.value != "retired"]
+        if not nodes:
+            return 0.0
+        total_cores = sum(len(n.machine) for n in nodes)
+        total_inflight = sum(n.inflight for n in nodes)
+        waiting = len(self.cluster.waiting_tasks)
+        return (total_inflight + waiting) / max(1, total_cores)
+
+    # ------------------------------------------------------------------- tick
+
+    def on_tick(self, now: float) -> None:
+        """One control decision; called by the cluster every check interval."""
+        load = self.fleet_load()
+        self.cluster.record_series("autoscaler.load", load)
+        if now - self._last_action_time < self.config.cooldown:
+            return
+        growable = [n for n in self.cluster.nodes if n.state.value != "retired"]
+        active = self.cluster.active_nodes()
+        if load > self.config.scale_up_load and len(growable) < self.config.max_nodes:
+            self.cluster.add_node(booting=True)
+            self.scale_ups += 1
+            self._last_action_time = now
+        elif load < self.config.scale_down_load and len(active) > self.config.min_nodes:
+            victim = min(active, key=lambda n: (n.inflight, -n.node_id))
+            self.cluster.drain_node(victim)
+            self.scale_downs += 1
+            self._last_action_time = now

@@ -1,0 +1,80 @@
+"""Cluster configuration.
+
+A cluster is N identical nodes, each a :class:`~repro.simulation.machine.Machine`
+running its own per-node scheduler, fed by one dispatcher.  The defaults model
+the paper's enclave split across a small fleet: 4 nodes of 12 cores ≈ the
+50-core testbed, with node cold-start delay taken from the published
+Firecracker boot figure (:class:`repro.firecracker.microvm.MicroVMSpec`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.firecracker.microvm import MicroVMSpec
+from repro.simulation.config import SimulationConfig
+
+#: Default node cold-start delay: one Firecracker microVM boot (~125 ms).
+DEFAULT_NODE_BOOT_TIME = MicroVMSpec().boot_time
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs shared by every cluster simulation run.
+
+    Attributes:
+        num_nodes: Number of nodes alive when the simulation starts.
+        cores_per_node: Cores on each node.
+        scheduler: Registry name of the per-node scheduling policy.
+        scheduler_kwargs: Extra keyword arguments for the scheduler factory.
+        dispatcher: Registry name of the cluster-level dispatch policy.
+        dispatcher_kwargs: Extra keyword arguments for the dispatcher factory.
+        node_boot_time: Seconds between a scale-up decision and the new node
+            accepting work (cold-start delay).
+        seed: Seed for every randomized dispatcher; two runs with the same
+            config and workload are bit-identical.
+        node_config: Per-node simulation configuration; when omitted a
+            default config sized to ``cores_per_node`` is used (with
+            utilization recording off — the fleet has its own series).
+    """
+
+    num_nodes: int = 4
+    cores_per_node: int = 12
+    scheduler: str = "fifo"
+    scheduler_kwargs: Dict[str, object] = field(default_factory=dict)
+    dispatcher: str = "round_robin"
+    dispatcher_kwargs: Dict[str, object] = field(default_factory=dict)
+    node_boot_time: float = DEFAULT_NODE_BOOT_TIME
+    seed: int = 7
+    node_config: Optional[SimulationConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {self.num_nodes!r}")
+        if self.cores_per_node <= 0:
+            raise ValueError(
+                f"cores_per_node must be positive, got {self.cores_per_node!r}"
+            )
+        if self.node_boot_time < 0:
+            raise ValueError(
+                f"node_boot_time must be >= 0, got {self.node_boot_time!r}"
+            )
+
+    def build_node_config(self) -> SimulationConfig:
+        """Simulation config used for each node's machine and engine."""
+        if self.node_config is not None:
+            if self.node_config.num_cores != self.cores_per_node:
+                return self.node_config.with_cores(self.cores_per_node)
+            return self.node_config
+        return SimulationConfig(
+            num_cores=self.cores_per_node, record_utilization=False, seed=self.seed
+        )
+
+    def with_dispatcher(self, name: str, **kwargs) -> "ClusterConfig":
+        """Copy of this config using a different dispatch policy."""
+        return replace(self, dispatcher=name, dispatcher_kwargs=kwargs)
+
+    def with_nodes(self, num_nodes: int) -> "ClusterConfig":
+        """Copy of this config with a different initial fleet size."""
+        return replace(self, num_nodes=num_nodes)

@@ -1,0 +1,167 @@
+"""Cluster-level dispatch policies.
+
+The dispatcher is the layer the paper's single-machine study abstracts away:
+given an arriving invocation and the currently active nodes, pick the node
+that runs it.  Six classic policies are provided — the same spectrum the
+load-balancing literature sweeps, from oblivious (random, round-robin)
+through load-aware (least-loaded, join-shortest-queue, power-of-two-choices)
+to locality-aware (consistent hashing on the function id).
+
+All randomness is seeded so cluster runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.node import ClusterNode
+from repro.simulation.task import Task
+
+
+def function_key(task: Task) -> str:
+    """Stable identifier of the serverless function a task invokes."""
+    function_id = task.metadata.get("function_id")
+    if function_id is not None:
+        return str(function_id)
+    if task.name:
+        return task.name
+    return f"task-{task.task_id}"
+
+
+class Dispatcher(ABC):
+    """Abstract base for cluster dispatch policies."""
+
+    #: Short machine-readable name, used by the registry and result labels.
+    name: str = "base"
+
+    @abstractmethod
+    def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
+        """Pick the node that should run ``task``.
+
+        Args:
+            task: The arriving invocation.
+            nodes: Non-empty sequence of *active* nodes, in node-id order.
+        """
+
+    def describe(self) -> str:
+        """One-line human description used in reports."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class RandomDispatcher(Dispatcher):
+    """Uniform random node choice (the oblivious baseline)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 7) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
+        return nodes[int(self.rng.integers(len(nodes)))]
+
+
+class RoundRobinDispatcher(Dispatcher):
+    """Cyclic assignment over the active nodes."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
+        node = nodes[self._next % len(nodes)]
+        self._next += 1
+        return node
+
+
+class LeastLoadedDispatcher(Dispatcher):
+    """Node with the fewest busy cores (instantaneous utilization)."""
+
+    name = "least_loaded"
+
+    def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
+        return min(nodes, key=lambda n: (n.busy_core_count(), n.node_id))
+
+
+class JoinShortestQueueDispatcher(Dispatcher):
+    """Node with the fewest jobs in the system (classic JSQ)."""
+
+    name = "jsq"
+
+    def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
+        return min(nodes, key=lambda n: (n.inflight, n.node_id))
+
+
+class PowerOfTwoDispatcher(Dispatcher):
+    """Sample two random nodes, keep the less loaded one.
+
+    Mitzenmacher's "power of two choices": near-JSQ tail latency at the
+    probing cost of a random policy.
+    """
+
+    name = "power_of_two"
+
+    def __init__(self, seed: int = 7, choices: int = 2) -> None:
+        if choices < 2:
+            raise ValueError(f"choices must be >= 2, got {choices!r}")
+        self.rng = np.random.default_rng(seed)
+        self.choices = choices
+
+    def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
+        if len(nodes) == 1:
+            return nodes[0]
+        count = min(self.choices, len(nodes))
+        picks = self.rng.choice(len(nodes), size=count, replace=False)
+        sampled = [nodes[int(i)] for i in picks]
+        return min(sampled, key=lambda n: (n.inflight, n.node_id))
+
+
+class ConsistentHashDispatcher(Dispatcher):
+    """Route each function id to a fixed node via a consistent-hash ring.
+
+    Repeat invocations of one function land on one node (warm locality);
+    when nodes join or leave, only the keys on the affected arc move.  The
+    ring uses CRC32 (stable across processes, unlike Python's salted
+    ``hash``) with ``replicas`` virtual points per node.
+    """
+
+    name = "consistent_hash"
+
+    def __init__(self, replicas: int = 32) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas!r}")
+        self.replicas = replicas
+        self._ring: List[Tuple[int, int]] = []  # (point, node_id), sorted
+        self._ring_ids: Optional[Tuple[int, ...]] = None
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return zlib.crc32(key.encode("utf-8"))
+
+    def _rebuild(self, nodes: Sequence[ClusterNode]) -> None:
+        self._ring = sorted(
+            (self._hash(f"node-{node.node_id}/{replica}"), node.node_id)
+            for node in nodes
+            for replica in range(self.replicas)
+        )
+        self._ring_ids = tuple(node.node_id for node in nodes)
+
+    def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
+        ids = tuple(node.node_id for node in nodes)
+        if ids != self._ring_ids:
+            self._rebuild(nodes)
+        point = self._hash(function_key(task))
+        index = bisect_right(self._ring, (point, -1)) % len(self._ring)
+        target_id = self._ring[index][1]
+        for node in nodes:
+            if node.node_id == target_id:
+                return node
+        raise RuntimeError(f"consistent-hash ring is stale: node {target_id} missing")

@@ -1,0 +1,198 @@
+"""Cluster node: one machine + one per-node scheduler on the shared clock.
+
+A node wraps a full single-machine :class:`~repro.simulation.engine.Simulator`
+whose clock and event queue are *injected* by the cluster, so completions and
+scheduler timers on every node interleave on one global timeline.  The node
+adds the fleet-level lifecycle (booting → active → draining → retired) and
+the load accounting dispatchers select on.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, List, Optional
+
+from repro.simulation.clock import VirtualClock
+from repro.simulation.config import SimulationConfig
+from repro.simulation.cpu import Core
+from repro.simulation.engine import Simulator
+from repro.simulation.events import EventQueue
+from repro.simulation.machine import Machine
+from repro.simulation.results import SimulationResult, build_result
+from repro.simulation.task import Task
+
+
+class NodeState(Enum):
+    """Lifecycle of a node inside the cluster."""
+
+    BOOTING = "booting"
+    ACTIVE = "active"
+    DRAINING = "draining"
+    RETIRED = "retired"
+
+
+class _NodeEngine(Simulator):
+    """Per-node simulator sharing the cluster clock and event queue.
+
+    Two deviations from the standalone engine:
+
+    * finished tasks are reported to the cluster through a callback, so the
+      cluster can track fleet-wide completion and node load;
+    * ``_pending_arrivals`` proxies the *cluster's* pending-arrival count, so
+      periodic scheduler timers (CFS load balancing, the hybrid's adaptive
+      limit) keep re-arming while the workload is still arriving — exactly
+      the condition they observe in a standalone run.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        scheduler,
+        config: SimulationConfig,
+        clock: VirtualClock,
+        events: EventQueue,
+    ) -> None:
+        self._cluster_pending: Optional[Callable[[], int]] = None
+        self._finished_callback: Optional[Callable[[Task], None]] = None
+        super().__init__(machine, scheduler, config=config, clock=clock, events=events)
+
+    # ``Simulator.__init__`` assigns ``_pending_arrivals = 0``; accept the
+    # write but answer reads with the cluster-wide count once bound.
+    @property
+    def _pending_arrivals(self) -> int:
+        if self._cluster_pending is not None:
+            return self._cluster_pending()
+        return self._own_pending_arrivals
+
+    @_pending_arrivals.setter
+    def _pending_arrivals(self, value: int) -> None:
+        self._own_pending_arrivals = value
+
+    def bind_cluster(
+        self,
+        pending_arrivals: Callable[[], int],
+        finished_callback: Callable[[Task], None],
+    ) -> None:
+        self._cluster_pending = pending_arrivals
+        self._finished_callback = finished_callback
+
+    def _handle_completion(self, core: Core) -> None:
+        before = len(self.collector.finished_tasks)
+        super()._handle_completion(core)
+        if self._finished_callback is not None:
+            for task in self.collector.finished_tasks[before:]:
+                self._finished_callback(task)
+
+
+class ClusterNode:
+    """One node of the cluster: lifecycle, load accounting, local engine."""
+
+    def __init__(
+        self,
+        node_id: int,
+        machine: Machine,
+        scheduler,
+        config: SimulationConfig,
+        clock: VirtualClock,
+        events: EventQueue,
+        state: NodeState = NodeState.ACTIVE,
+    ) -> None:
+        self.node_id = node_id
+        self.state = state
+        self.engine = _NodeEngine(machine, scheduler, config, clock, events)
+        self.inflight = 0
+        self.tasks_assigned = 0
+        self.tasks_completed = 0
+        self.activated_at: Optional[float] = None
+        self.retired_at: Optional[float] = None
+        self._started = False
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def scheduler(self):
+        return self.engine.scheduler
+
+    @property
+    def machine(self) -> Machine:
+        return self.engine.machine
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is NodeState.ACTIVE
+
+    def activate(self, now: float) -> None:
+        """Bring the node into service (boot finished, or initial start).
+
+        Idempotent: the scheduler's ``on_start`` fires exactly once per node,
+        including for nodes that begin life ACTIVE (the initial fleet).
+        """
+        if self.state is not NodeState.ACTIVE:
+            self.state = NodeState.ACTIVE
+        if self.activated_at is None:
+            self.activated_at = now
+        if not self._started:
+            self._started = True
+            self.scheduler.on_start()
+
+    def start_draining(self) -> None:
+        """Stop receiving new work; the node retires once it runs dry."""
+        if self.state in (NodeState.ACTIVE, NodeState.BOOTING):
+            self.state = NodeState.DRAINING
+
+    def retire(self, now: float) -> None:
+        if self.inflight > 0:
+            raise RuntimeError(
+                f"node {self.node_id} cannot retire with {self.inflight} tasks inflight"
+            )
+        self.state = NodeState.RETIRED
+        self.retired_at = now
+
+    # ------------------------------------------------------------------- load
+
+    def busy_core_count(self) -> int:
+        """Cores currently executing at least one task."""
+        return len(self.machine.busy_cores())
+
+    # --------------------------------------------------------------- dispatch
+
+    def deliver(self, task: Task, now: float) -> None:
+        """Hand one dispatched task to the node's scheduler."""
+        if self.state is not NodeState.ACTIVE:
+            raise RuntimeError(
+                f"cannot dispatch to node {self.node_id} in state {self.state.value}"
+            )
+        task.metadata["node_id"] = self.node_id
+        self.inflight += 1
+        self.tasks_assigned += 1
+        self.engine._unfinished += 1
+        task.mark_queued()
+        self.scheduler.on_task_arrival(task)
+
+    def on_task_finished(self, task: Task) -> None:
+        """Cluster-side accounting when one of this node's tasks completes."""
+        self.inflight -= 1
+        self.tasks_completed += 1
+
+    # ---------------------------------------------------------------- results
+
+    def build_result(self, simulated_time: float) -> SimulationResult:
+        """Freeze this node's run into a standard single-machine result."""
+        return build_result(
+            scheduler_name=getattr(
+                self.scheduler, "name", type(self.scheduler).__name__
+            ),
+            config=self.engine.config,
+            tasks=list(self.engine.collector.finished_tasks),
+            cores=self.machine.cores,
+            collector=self.engine.collector,
+            simulated_time=simulated_time,
+            wall_clock_seconds=0.0,
+            events_processed=0,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterNode(id={self.node_id}, state={self.state.value}, "
+            f"inflight={self.inflight}, completed={self.tasks_completed})"
+        )

@@ -1,0 +1,68 @@
+"""Dispatcher registry.
+
+Experiments refer to dispatch policies by name, mirroring
+:mod:`repro.schedulers.registry`: the registry maps names to factories so new
+policies (including user-defined ones) plug into the cluster harness without
+touching experiment code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.cluster.dispatchers import (
+    ConsistentHashDispatcher,
+    Dispatcher,
+    JoinShortestQueueDispatcher,
+    LeastLoadedDispatcher,
+    PowerOfTwoDispatcher,
+    RandomDispatcher,
+    RoundRobinDispatcher,
+)
+
+DispatcherFactory = Callable[..., Dispatcher]
+
+_REGISTRY: Dict[str, DispatcherFactory] = {}
+
+
+def register_dispatcher(
+    name: str, factory: DispatcherFactory, *, overwrite: bool = False
+) -> None:
+    """Register a dispatcher factory under ``name``.
+
+    Args:
+        name: Registry key (e.g. ``"power_of_two"``).
+        factory: Callable returning a fresh dispatcher instance.
+        overwrite: Allow replacing an existing registration.
+    """
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"dispatcher {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def create_dispatcher(name: str, **kwargs) -> Dispatcher:
+    """Instantiate a registered dispatcher by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown dispatcher {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def available_dispatchers() -> List[str]:
+    """Names of every registered dispatcher, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    register_dispatcher("random", RandomDispatcher, overwrite=True)
+    register_dispatcher("round_robin", RoundRobinDispatcher, overwrite=True)
+    register_dispatcher("least_loaded", LeastLoadedDispatcher, overwrite=True)
+    register_dispatcher("jsq", JoinShortestQueueDispatcher, overwrite=True)
+    register_dispatcher("power_of_two", PowerOfTwoDispatcher, overwrite=True)
+    register_dispatcher("consistent_hash", ConsistentHashDispatcher, overwrite=True)
+
+
+_register_builtins()

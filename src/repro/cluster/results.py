@@ -1,0 +1,106 @@
+"""Cluster simulation result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.simulation.metrics import SeriesPoint, TaskMetricsSummary
+from repro.simulation.results import SimulationResult
+from repro.simulation.task import Task
+
+
+@dataclass
+class ClusterResult:
+    """Everything produced by one cluster simulation run.
+
+    Like :class:`~repro.simulation.results.SimulationResult` this is a value
+    object: per-node results plus fleet-wide aggregates, with no reference to
+    the engine.
+    """
+
+    dispatcher_name: str
+    scheduler_name: str
+    config: ClusterConfig
+    tasks: List[Task]
+    node_results: Dict[int, SimulationResult]
+    series: Dict[str, List[SeriesPoint]] = field(default_factory=dict)
+    simulated_time: float = 0.0
+    wall_clock_seconds: float = 0.0
+    events_processed: int = 0
+    nodes_added: int = 0
+    nodes_removed: int = 0
+
+    # ------------------------------------------------------------------ tasks
+
+    @property
+    def finished_tasks(self) -> List[Task]:
+        return [t for t in self.tasks if t.is_finished]
+
+    @property
+    def completion_ratio(self) -> float:
+        if not self.tasks:
+            return 0.0
+        return len(self.finished_tasks) / len(self.tasks)
+
+    def summary(self) -> TaskMetricsSummary:
+        """Fleet-wide task metrics (all nodes pooled)."""
+        return TaskMetricsSummary.from_tasks(self.tasks)
+
+    def turnaround_times(self) -> np.ndarray:
+        return np.array([t.turnaround_time for t in self.finished_tasks], dtype=float)
+
+    def response_times(self) -> np.ndarray:
+        return np.array([t.response_time for t in self.finished_tasks], dtype=float)
+
+    # ------------------------------------------------------------------ nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_results)
+
+    def tasks_per_node(self) -> Dict[int, int]:
+        """Completed invocations per node (dispatch balance)."""
+        counts = {node_id: 0 for node_id in self.node_results}
+        for task in self.finished_tasks:
+            node_id = task.metadata.get("node_id")
+            if node_id in counts:
+                counts[node_id] += 1
+        return counts
+
+    def node_summary(self, node_id: int) -> TaskMetricsSummary:
+        if node_id not in self.node_results:
+            raise KeyError(f"no node with id {node_id}")
+        return self.node_results[node_id].summary()
+
+    # ------------------------------------------------------------- timeseries
+
+    def series_values(self, name: str) -> List[SeriesPoint]:
+        return list(self.series.get(name, []))
+
+    # ------------------------------------------------------------------ misc
+
+    def describe(self) -> str:
+        """Short human-readable summary used by examples and the runner."""
+        summary = self.summary()
+        counts = self.tasks_per_node()
+        spread = (
+            f"{min(counts.values())}..{max(counts.values())}" if counts else "n/a"
+        )
+        lines = [
+            f"dispatcher           : {self.dispatcher_name}",
+            f"per-node scheduler   : {self.scheduler_name}",
+            f"nodes (final fleet)  : {self.num_nodes}"
+            f" (+{self.nodes_added}/-{self.nodes_removed} scaled)",
+            f"tasks (finished/all) : {len(self.finished_tasks)}/{len(self.tasks)}",
+            f"tasks per node       : {spread}",
+            f"simulated time       : {self.simulated_time:.2f} s",
+            f"p50 turnaround time  : {summary.p50_turnaround:.4f} s",
+            f"p99 turnaround time  : {summary.p99_turnaround:.4f} s",
+            f"p50 response time    : {summary.p50_response:.4f} s",
+            f"p99 response time    : {summary.p99_response:.4f} s",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,325 @@
+"""Multi-node cluster simulator.
+
+One shared :class:`~repro.simulation.clock.VirtualClock` and
+:class:`~repro.simulation.events.EventQueue` drive N nodes, each running its
+own per-node scheduler from the scheduler registry.  Arrivals are routed by a
+pluggable dispatch policy (see :mod:`repro.cluster.dispatchers`), and an
+optional reactive autoscaler grows and shrinks the fleet with cold-start
+delays.  Everything stays deterministic: same config + same workload ⇒
+bit-identical results.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from typing import Iterable, List, Optional, Sequence
+
+from repro.cluster.autoscaler import ReactiveAutoscaler
+from repro.cluster.config import ClusterConfig
+from repro.cluster.dispatchers import Dispatcher
+from repro.cluster.node import ClusterNode, NodeState
+from repro.cluster.registry import create_dispatcher
+from repro.cluster.results import ClusterResult
+from repro.schedulers.registry import create_scheduler
+from repro.simulation.clock import VirtualClock
+from repro.simulation.engine import SimulationError
+from repro.simulation.events import EventPriority, EventQueue
+from repro.simulation.machine import Machine
+from repro.simulation.metrics import SeriesPoint
+from repro.simulation.task import Task
+
+
+class ClusterSimulator:
+    """Event-driven fleet simulator: dispatcher + N machines + autoscaler."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        dispatcher: Optional[Dispatcher] = None,
+        autoscaler: Optional[ReactiveAutoscaler] = None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self.clock = VirtualClock()
+        self.events = EventQueue()
+        self.dispatcher = dispatcher or self._build_dispatcher()
+        self.autoscaler = autoscaler
+        if self.autoscaler is not None:
+            self.autoscaler.attach(self)
+        self.nodes: List[ClusterNode] = []
+        self.tasks: List[Task] = []
+        self.series: dict = {}
+        self.waiting_tasks: List[Task] = []
+        self.nodes_added = 0
+        self.nodes_removed = 0
+        self._unfinished = 0
+        self._pending_arrivals = 0
+        self._events_processed = 0
+        self._running = False
+        self._next_node_id = 0
+        for _ in range(self.config.num_nodes):
+            self._create_node(NodeState.ACTIVE)
+
+    # ------------------------------------------------------------------ wiring
+
+    def _build_dispatcher(self) -> Dispatcher:
+        kwargs = dict(self.config.dispatcher_kwargs)
+        if "seed" not in kwargs:
+            # Randomized dispatchers take a seed; deterministic ones do not.
+            try:
+                return create_dispatcher(
+                    self.config.dispatcher, seed=self.config.seed, **kwargs
+                )
+            except TypeError:
+                pass
+        return create_dispatcher(self.config.dispatcher, **kwargs)
+
+    def _create_node(self, state: NodeState) -> ClusterNode:
+        scheduler = create_scheduler(
+            self.config.scheduler, **self.config.scheduler_kwargs
+        )
+        node_config = self.config.build_node_config()
+        machine = Machine(
+            node_config, groups=scheduler.preferred_groups(node_config.num_cores)
+        )
+        node = ClusterNode(
+            node_id=self._next_node_id,
+            machine=machine,
+            scheduler=scheduler,
+            config=node_config,
+            clock=self.clock,
+            events=self.events,
+            state=state,
+        )
+        self._next_node_id += 1
+        node.engine.bind_cluster(
+            pending_arrivals=lambda: self._pending_arrivals,
+            finished_callback=lambda task, n=node: self._on_task_finished(n, task),
+        )
+        self.nodes.append(node)
+        return node
+
+    # ------------------------------------------------------------------- clock
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def record_series(self, name: str, value: float) -> None:
+        """Record one point of a named fleet-level time series."""
+        self.series.setdefault(name, []).append(SeriesPoint(time=self.now, value=value))
+
+    # ------------------------------------------------------------------- fleet
+
+    def active_nodes(self) -> List[ClusterNode]:
+        """Nodes accepting work, in node-id order (deterministic)."""
+        return [node for node in self.nodes if node.is_active]
+
+    def add_node(self, booting: bool = True) -> ClusterNode:
+        """Grow the fleet by one node.
+
+        With ``booting`` (the default) the node pays the configured
+        cold-start delay before accepting work; otherwise it is active
+        immediately (warm start).
+        """
+        state = NodeState.BOOTING if booting else NodeState.ACTIVE
+        node = self._create_node(state)
+        self.nodes_added += 1
+        if booting:
+            self.events.push(
+                self.now + self.config.node_boot_time,
+                lambda n=node: self._activate_node(n),
+                priority=EventPriority.CONTROL,
+                tag=f"node-{node.node_id}-boot",
+            )
+        else:
+            self._activate_node(node)
+        return node
+
+    def _activate_node(self, node: ClusterNode) -> None:
+        if node.state is NodeState.RETIRED:
+            return
+        node.activate(self.now)
+        self._record_fleet_size()
+        if self.waiting_tasks:
+            backlog, self.waiting_tasks = self.waiting_tasks, []
+            for task in backlog:
+                self._dispatch(task)
+
+    def drain_node(self, node: ClusterNode) -> None:
+        """Stop dispatching to ``node``; it retires once it runs dry."""
+        node.start_draining()
+        if node.inflight == 0:
+            self._retire_node(node)
+        self._record_fleet_size()
+
+    def _retire_node(self, node: ClusterNode) -> None:
+        node.retire(self.now)
+        self.nodes_removed += 1
+        self._record_fleet_size()
+
+    def _record_fleet_size(self) -> None:
+        self.record_series("cluster.active_nodes", float(len(self.active_nodes())))
+
+    # --------------------------------------------------------------- workload
+
+    def submit(self, tasks: Iterable[Task]) -> None:
+        """Register tasks and schedule their cluster arrival events."""
+        if self._running:
+            raise SimulationError("cannot submit tasks while the simulation is running")
+        for task in tasks:
+            self.tasks.append(task)
+            self._unfinished += 1
+            self._pending_arrivals += 1
+            self.events.push(
+                task.arrival_time,
+                lambda t=task: self._handle_arrival(t),
+                priority=EventPriority.ARRIVAL,
+                tag="cluster-arrival",
+            )
+
+    def _handle_arrival(self, task: Task) -> None:
+        self._pending_arrivals -= 1
+        self._dispatch(task)
+
+    def _dispatch(self, task: Task) -> None:
+        active = self.active_nodes()
+        if not active:
+            if not any(node.state is NodeState.BOOTING for node in self.nodes):
+                raise SimulationError(
+                    f"task {task.task_id} arrived with no active or booting node"
+                )
+            self.waiting_tasks.append(task)
+            return
+        node = self.dispatcher.select_node(task, active)
+        node.deliver(task, self.now)
+
+    def _on_task_finished(self, node: ClusterNode, task: Task) -> None:
+        node.on_task_finished(task)
+        self._unfinished -= 1
+        if node.state is NodeState.DRAINING and node.inflight == 0:
+            self._retire_node(node)
+
+    # ---------------------------------------------------------------- running
+
+    def run(self, until: Optional[float] = None) -> ClusterResult:
+        """Run the cluster to completion and return the fleet-wide result."""
+        node_config = self.config.build_node_config()
+        limit = until if until is not None else node_config.max_simulated_time
+        started = _wallclock.perf_counter()
+        self._running = True
+        for node in self.active_nodes():
+            node.activate(self.now)  # already ACTIVE; fires scheduler.on_start once
+        self._record_fleet_size()
+        if self.autoscaler is not None:
+            self._schedule_autoscaler_tick()
+        if node_config.record_utilization:
+            for node in self.nodes:
+                node.engine.collector.start_utilization_window(
+                    node.machine.cores, self.now
+                )
+            self._schedule_utilization_sample(node_config.utilization_window)
+
+        while True:
+            next_time = self.events.peek_time()
+            if next_time is None:
+                break
+            if limit is not None and next_time > limit:
+                self.clock.advance_to(limit)
+                break
+            event = self.events.pop()
+            if event is None:
+                break
+            self.clock.advance_to(event.time)
+            self._events_processed += 1
+            event.callback()
+            if self._unfinished == 0 and self._pending_arrivals == 0:
+                break
+
+        # Final utilization sample so short runs still get at least one point.
+        if node_config.record_utilization:
+            for node in self.nodes:
+                if node.machine.cores:
+                    node.engine.collector.sample_utilization(
+                        node.machine.cores, self.now, window=None
+                    )
+        for node in self.nodes:
+            node.scheduler.on_end()
+        self._running = False
+        wall = _wallclock.perf_counter() - started
+        return ClusterResult(
+            dispatcher_name=getattr(
+                self.dispatcher, "name", type(self.dispatcher).__name__
+            ),
+            scheduler_name=self.config.scheduler,
+            config=self.config,
+            tasks=list(self.tasks),
+            node_results={
+                node.node_id: node.build_result(self.now) for node in self.nodes
+            },
+            series={name: list(points) for name, points in self.series.items()},
+            simulated_time=self.now,
+            wall_clock_seconds=wall,
+            events_processed=self._events_processed,
+            nodes_added=self.nodes_added,
+            nodes_removed=self.nodes_removed,
+        )
+
+    # ------------------------------------------------------------ utilization
+
+    def _schedule_utilization_sample(self, window: float) -> None:
+        """Periodically close every live node's utilization window.
+
+        Mirrors :meth:`Simulator._schedule_utilization_sample`, which never
+        runs for node engines because the cluster owns the event loop.
+        """
+
+        def _sample() -> None:
+            for node in self.nodes:
+                if node.state is not NodeState.RETIRED and node.machine.cores:
+                    node.engine.collector.sample_utilization(
+                        node.machine.cores, self.now, window=window
+                    )
+            if self._unfinished > 0 or self._pending_arrivals > 0:
+                self._schedule_utilization_sample(window)
+
+        self.events.push(
+            self.now + window,
+            _sample,
+            priority=EventPriority.CONTROL,
+            tag="cluster-utilization-sample",
+        )
+
+    # ------------------------------------------------------------- autoscaler
+
+    def _schedule_autoscaler_tick(self) -> None:
+        interval = self.autoscaler.config.check_interval
+
+        def _tick() -> None:
+            self.autoscaler.on_tick(self.now)
+            if self._unfinished > 0 or self._pending_arrivals > 0:
+                self._schedule_autoscaler_tick()
+
+        self.events.push(
+            self.now + interval,
+            _tick,
+            priority=EventPriority.CONTROL,
+            tag="autoscaler-tick",
+        )
+
+
+def simulate_cluster(
+    tasks: Sequence[Task],
+    config: Optional[ClusterConfig] = None,
+    dispatcher: Optional[Dispatcher] = None,
+    autoscaler: Optional[ReactiveAutoscaler] = None,
+    until: Optional[float] = None,
+) -> ClusterResult:
+    """One-call helper: build a cluster, route ``tasks`` through it, run it.
+
+    The cluster-level analogue of :func:`repro.simulation.engine.simulate`.
+    """
+    cluster = ClusterSimulator(
+        config=config, dispatcher=dispatcher, autoscaler=autoscaler
+    )
+    cluster.submit(tasks)
+    return cluster.run(until=until)

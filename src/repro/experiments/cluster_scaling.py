@@ -1,0 +1,100 @@
+"""Cluster scaling: dispatch policy × fleet size on the 10-minute workload.
+
+The single-machine experiments fix the fleet at one 50-core enclave; this
+experiment opens the cluster axis.  The paper's 10-minute workload is routed
+across a fleet of FIFO nodes under every registered dispatch policy, at two
+fleet sizes, and the fleet-wide latency percentiles are compared.
+
+Expected shape: load-aware probing (join-shortest-queue, power-of-two-choices)
+beats oblivious policies (random, round-robin) on p99 latency; the
+busy-core-count heuristic (least-loaded) and the locality router
+(consistent-hash) win p50 but pay a heavy tail because they ignore queue
+depth.  Doubling the fleet at fixed arrival rate collapses queueing delay
+for every pooling policy; consistent hashing is the exception — it partitions
+capacity by function id, so its hot partition can get hotter as nodes join.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fleet import policy_comparison_table
+from repro.cluster import ClusterConfig, available_dispatchers, simulate_cluster
+from repro.experiments.common import (
+    ExperimentOutput,
+    register_experiment,
+    ten_minute_workload,
+)
+
+EXPERIMENT_ID = "cluster_scaling"
+TITLE = "Dispatch policy vs fleet size on the 10-minute workload"
+
+#: Fleet sizes swept (nodes of CORES_PER_NODE cores each).
+NODE_COUNTS = (4, 8)
+
+#: Node size: 4 nodes ≈ 2x the paper's 50-core enclave, a moderately loaded
+#: fleet where dispatch quality dominates the tail.
+CORES_PER_NODE = 24
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    policies = available_dispatchers()
+    sections = []
+    data: dict = {"policies": policies, "node_counts": list(NODE_COUNTS)}
+    for num_nodes in NODE_COUNTS:
+        results = {}
+        for policy in policies:
+            config = ClusterConfig(
+                num_nodes=num_nodes,
+                cores_per_node=CORES_PER_NODE,
+                scheduler="fifo",
+                dispatcher=policy,
+            )
+            results[policy] = simulate_cluster(ten_minute_workload(scale), config=config)
+        table = policy_comparison_table(results)
+        sections.append(
+            table.render(
+                title=f"{num_nodes} nodes x {CORES_PER_NODE} cores (seconds / index)"
+            )
+        )
+        data[f"nodes{num_nodes}"] = {
+            policy: {
+                "p99_turnaround": table.metric(policy, "p99_turnaround"),
+                "p50_turnaround": table.metric(policy, "p50_turnaround"),
+                "fairness": table.metric(policy, "fairness"),
+            }
+            for policy in policies
+        }
+        if num_nodes == NODE_COUNTS[0]:
+            data["p2c_beats_random_p99"] = table.metric(
+                "power_of_two", "p99_turnaround"
+            ) < table.metric("random", "p99_turnaround")
+            data["jsq_beats_random_p99"] = table.metric(
+                "jsq", "p99_turnaround"
+            ) < table.metric("random", "p99_turnaround")
+
+    small = data[f"nodes{NODE_COUNTS[0]}"]
+    large = data[f"nodes{NODE_COUNTS[1]}"]
+    # Consistent hashing partitions capacity by function id, so adding nodes
+    # shrinks each function's slice instead of pooling the fleet — its tail
+    # can legitimately grow with fleet size.  Every pooling policy must improve.
+    pooling = [p for p in policies if p != "consistent_hash"]
+    data["scaling_collapses_tail"] = all(
+        large[p]["p99_turnaround"] <= small[p]["p99_turnaround"] for p in pooling
+    )
+    text = "\n\n".join(sections)
+    text += (
+        "\n\npower-of-two-choices beats random on p99 turnaround: "
+        f"{data['p2c_beats_random_p99']}"
+        "\njoin-shortest-queue beats random on p99 turnaround: "
+        f"{data['jsq_beats_random_p99']}"
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text=text,
+        tables={},
+        data=data,
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

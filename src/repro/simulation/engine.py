@@ -42,13 +42,17 @@ class Simulator:
         scheduler,
         config: Optional[SimulationConfig] = None,
         collector: Optional[MetricsCollector] = None,
+        clock: Optional[VirtualClock] = None,
+        events: Optional[EventQueue] = None,
     ) -> None:
         self.machine = machine
         self.scheduler = scheduler
         self.config = config or machine.config
         self.collector = collector or MetricsCollector()
-        self.clock = VirtualClock()
-        self.events = EventQueue()
+        # The cluster layer injects a shared clock/event queue so that many
+        # per-node engines advance in lockstep; standalone runs own both.
+        self.clock = clock if clock is not None else VirtualClock()
+        self.events = events if events is not None else EventQueue()
         self.tasks: List[Task] = []
         self._unfinished = 0
         self._pending_arrivals = 0

@@ -144,7 +144,13 @@ class WorkloadGenerator:
 
 
 def items_to_tasks(items: Sequence[WorkloadItem]) -> List[Task]:
-    """Convert workload items into simulator tasks (ids follow arrival order)."""
+    """Convert workload items into simulator tasks (ids follow arrival order).
+
+    Each task carries a ``function_id`` in its metadata identifying the
+    serverless function it is an invocation of (same Fibonacci argument and
+    memory size ⇒ same function).  Locality-aware cluster dispatchers route
+    on this id so repeat invocations land on the same node.
+    """
     return [
         Task(
             task_id=i,
@@ -153,6 +159,7 @@ def items_to_tasks(items: Sequence[WorkloadItem]) -> List[Task]:
             memory_mb=item.memory_mb,
             fibonacci_n=item.fibonacci_n,
             name=f"fib({item.fibonacci_n})",
+            metadata={"function_id": f"fib({item.fibonacci_n})/{item.memory_mb}mb"},
         )
         for i, item in enumerate(items)
     ]

@@ -115,3 +115,49 @@ class TestReport:
             table.add_row("bad", {"cost": 1.0})
         with pytest.raises(KeyError):
             table.metric("missing", "cost")
+
+
+class TestFleetAnalysis:
+    def _cluster_result(self):
+        from repro.cluster import ClusterConfig, simulate_cluster
+        from repro.simulation.task import make_tasks
+
+        config = ClusterConfig(
+            num_nodes=2, cores_per_node=2, scheduler="fifo", dispatcher="round_robin"
+        )
+        return simulate_cluster(
+            make_tasks([(i * 0.1, 0.5) for i in range(8)]), config=config
+        )
+
+    def test_jains_fairness_index(self):
+        from repro.analysis.fleet import jains_fairness_index
+
+        assert jains_fairness_index([5, 5, 5, 5]) == pytest.approx(1.0)
+        assert jains_fairness_index([10, 0, 0, 0]) == pytest.approx(0.25)
+        assert jains_fairness_index([0, 0]) == 1.0
+        with pytest.raises(ValueError):
+            jains_fairness_index([])
+        with pytest.raises(ValueError):
+            jains_fairness_index([-1.0, 2.0])
+
+    def test_fleet_metric_row_and_tables(self):
+        from repro.analysis.fleet import (
+            fleet_metric_row,
+            per_node_table,
+            policy_comparison_table,
+        )
+
+        result = self._cluster_result()
+        row = fleet_metric_row(result)
+        assert row["completed"] == 8.0
+        assert 0.0 < row["fairness"] <= 1.0
+        assert row["p50_turnaround"] <= row["p99_turnaround"]
+
+        comparison = policy_comparison_table({"round_robin": result})
+        assert comparison.metric("round_robin", "completed") == 8.0
+
+        nodes = per_node_table(result)
+        assert "node-0" in nodes.render()
+        assert sum(
+            nodes.metric(f"node-{i}", "completed") for i in range(2)
+        ) == pytest.approx(8.0)

@@ -1,0 +1,133 @@
+"""Reactive autoscaler: thresholds, cold starts, bounds."""
+
+import pytest
+
+from repro.simulation.task import make_tasks
+from repro.cluster import (
+    AutoscalerConfig,
+    ClusterConfig,
+    ReactiveAutoscaler,
+    simulate_cluster,
+)
+
+
+def burst(count, service=1.0, spacing=0.0):
+    """``count`` tasks arriving (near-)simultaneously."""
+    return make_tasks([(i * spacing, service) for i in range(count)])
+
+
+def cluster_config(**overrides) -> ClusterConfig:
+    defaults = dict(num_nodes=1, cores_per_node=2, scheduler="fifo", dispatcher="jsq")
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+class TestAutoscalerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_nodes=0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_nodes=4, max_nodes=2)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(check_interval=0.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(scale_up_load=1.0, scale_down_load=1.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(cooldown=-1.0)
+
+
+class TestScaling:
+    def test_scales_up_under_overload(self):
+        autoscaler = ReactiveAutoscaler(
+            AutoscalerConfig(min_nodes=1, max_nodes=6, check_interval=0.5, cooldown=0.0)
+        )
+        result = simulate_cluster(
+            burst(40, service=4.0), config=cluster_config(), autoscaler=autoscaler
+        )
+        assert result.completion_ratio == 1.0
+        assert autoscaler.scale_ups > 0
+        assert result.nodes_added == autoscaler.scale_ups
+        peak = max(p.value for p in result.series_values("cluster.active_nodes"))
+        assert peak > 1
+
+    def test_respects_max_nodes(self):
+        autoscaler = ReactiveAutoscaler(
+            AutoscalerConfig(min_nodes=1, max_nodes=3, check_interval=0.2, cooldown=0.0)
+        )
+        result = simulate_cluster(
+            burst(80, service=4.0), config=cluster_config(), autoscaler=autoscaler
+        )
+        peak = max(p.value for p in result.series_values("cluster.active_nodes"))
+        assert peak <= 3
+        assert result.nodes_added <= 2
+
+    def test_scales_down_when_idle(self):
+        """A tail of light traffic after a burst lets the fleet drain."""
+        tasks = burst(30, service=2.0) + make_tasks(
+            [(20.0 + i, 0.05) for i in range(15)]
+        )
+        autoscaler = ReactiveAutoscaler(
+            AutoscalerConfig(
+                min_nodes=1,
+                max_nodes=6,
+                check_interval=0.5,
+                cooldown=0.0,
+                scale_down_load=0.2,
+            )
+        )
+        result = simulate_cluster(
+            tasks, config=cluster_config(num_nodes=2), autoscaler=autoscaler
+        )
+        assert result.completion_ratio == 1.0
+        assert autoscaler.scale_downs > 0
+        assert result.nodes_removed > 0
+        final = result.series_values("cluster.active_nodes")[-1].value
+        assert final >= 1  # never below min_nodes
+
+    def test_cooldown_limits_action_rate(self):
+        eager = ReactiveAutoscaler(
+            AutoscalerConfig(min_nodes=1, max_nodes=16, check_interval=0.25, cooldown=0.0)
+        )
+        calm = ReactiveAutoscaler(
+            AutoscalerConfig(min_nodes=1, max_nodes=16, check_interval=0.25, cooldown=5.0)
+        )
+        simulate_cluster(burst(60, service=3.0), config=cluster_config(), autoscaler=eager)
+        simulate_cluster(burst(60, service=3.0), config=cluster_config(), autoscaler=calm)
+        assert calm.scale_ups < eager.scale_ups
+
+    def test_new_nodes_pay_cold_start(self):
+        """Scale-up capacity only helps after the configured boot delay."""
+        config = cluster_config(node_boot_time=5.0)
+        autoscaler = ReactiveAutoscaler(
+            AutoscalerConfig(min_nodes=1, max_nodes=4, check_interval=0.2, cooldown=0.0)
+        )
+        result = simulate_cluster(
+            burst(20, service=2.0), config=config, autoscaler=autoscaler
+        )
+        assert result.nodes_added > 0
+        growth = [
+            p for p in result.series_values("cluster.active_nodes") if p.value > 1
+        ]
+        assert growth
+        # First extra capacity cannot appear before one boot delay has passed.
+        assert growth[0].time >= 5.0
+
+    def test_load_signal_counts_waiting_backlog(self):
+        autoscaler = ReactiveAutoscaler()
+
+        class FakeNode:
+            state = type("S", (), {"value": "active"})()
+            inflight = 0
+
+            def __init__(self):
+                self.machine = [None] * 4
+
+        class FakeCluster:
+            nodes = [FakeNode()]
+            waiting_tasks = [object()] * 8
+
+            def active_nodes(self):
+                return self.nodes
+
+        autoscaler.attach(FakeCluster())
+        assert autoscaler.fleet_load() == pytest.approx(2.0)

@@ -1,0 +1,238 @@
+"""Cluster simulator: dispatch plumbing, lifecycle, determinism."""
+
+import pytest
+
+from repro.simulation.task import make_tasks
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulator,
+    NodeState,
+    simulate_cluster,
+)
+from repro.cluster.config import DEFAULT_NODE_BOOT_TIME
+from repro.schedulers.fifo import FIFOScheduler
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import SimulationError, simulate
+from repro.workload.generator import scaled_workload
+
+
+def small_config(**overrides) -> ClusterConfig:
+    defaults = dict(num_nodes=2, cores_per_node=2, scheduler="fifo", dispatcher="round_robin")
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+class TestDispatchPlumbing:
+    def test_all_tasks_finish_and_carry_node_ids(self):
+        tasks = make_tasks([(0.0, 1.0), (0.0, 1.0), (0.1, 0.5), (0.2, 0.5)])
+        result = simulate_cluster(tasks, config=small_config())
+        assert result.completion_ratio == 1.0
+        for task in result.finished_tasks:
+            assert task.metadata["node_id"] in result.node_results
+
+    def test_round_robin_spreads_across_nodes(self):
+        tasks = make_tasks([(i * 0.01, 0.1) for i in range(8)])
+        result = simulate_cluster(tasks, config=small_config(num_nodes=4))
+        counts = result.tasks_per_node()
+        assert all(count == 2 for count in counts.values())
+
+    def test_node_results_partition_the_fleet(self):
+        tasks = make_tasks([(i * 0.05, 0.3) for i in range(10)])
+        result = simulate_cluster(tasks, config=small_config(num_nodes=3))
+        per_node = sum(
+            len(node_result.finished_tasks)
+            for node_result in result.node_results.values()
+        )
+        assert per_node == len(result.finished_tasks) == 10
+
+    def test_fleet_summary_pools_all_nodes(self):
+        tasks = make_tasks([(0.0, 1.0), (0.0, 2.0), (0.0, 3.0)])
+        result = simulate_cluster(tasks, config=small_config(num_nodes=3))
+        summary = result.summary()
+        assert summary.count == 3
+        assert summary.makespan == pytest.approx(3.0)
+
+    def test_single_node_cluster_matches_single_machine(self):
+        """A 1-node cluster is exactly the standalone simulator."""
+        specs = [(i * 0.1, 0.4 + (i % 3) * 0.3) for i in range(20)]
+        cluster = simulate_cluster(
+            make_tasks(specs), config=small_config(num_nodes=1, cores_per_node=3)
+        )
+        single = simulate(
+            FIFOScheduler(),
+            make_tasks(specs),
+            config=SimulationConfig(num_cores=3, record_utilization=False),
+        )
+        assert cluster.summary().p99_turnaround == pytest.approx(
+            single.summary().p99_turnaround
+        )
+        assert cluster.summary().total_execution == pytest.approx(
+            single.summary().total_execution
+        )
+
+    def test_submit_while_running_rejected(self):
+        cluster = ClusterSimulator(config=small_config())
+        cluster._running = True
+        with pytest.raises(SimulationError):
+            cluster.submit(make_tasks([(0.0, 1.0)]))
+
+
+class TestNodeLifecycle:
+    def test_deliver_to_draining_node_rejected(self):
+        cluster = ClusterSimulator(config=small_config())
+        node = cluster.nodes[0]
+        node.start_draining()
+        with pytest.raises(RuntimeError):
+            node.deliver(make_tasks([(0.0, 1.0)])[0], now=0.0)
+
+    def test_retire_with_inflight_rejected(self):
+        cluster = ClusterSimulator(config=small_config())
+        node = cluster.nodes[0]
+        node.inflight = 1
+        with pytest.raises(RuntimeError):
+            node.retire(now=0.0)
+
+    def test_booting_node_pays_cold_start(self):
+        """Work arriving before any node is up waits for the boot to finish."""
+        cluster = ClusterSimulator(config=small_config(num_nodes=1))
+        cluster.drain_node(cluster.nodes[0])  # idle, retires immediately
+        assert cluster.nodes[0].state is NodeState.RETIRED
+        cluster.add_node(booting=True)
+        tasks = make_tasks([(0.0, 0.5)])
+        cluster.submit(tasks)
+        result = cluster.run()
+        assert result.completion_ratio == 1.0
+        task = result.finished_tasks[0]
+        assert task.response_time >= DEFAULT_NODE_BOOT_TIME
+        assert result.nodes_added == 1
+        assert result.nodes_removed == 1
+
+    def test_arrival_with_no_nodes_at_all_is_an_error(self):
+        cluster = ClusterSimulator(config=small_config(num_nodes=1))
+        cluster.drain_node(cluster.nodes[0])
+        cluster.submit(make_tasks([(0.0, 0.5)]))
+        with pytest.raises(SimulationError):
+            cluster.run()
+
+    def test_draining_node_finishes_its_work_then_retires(self):
+        cluster = ClusterSimulator(config=small_config(num_nodes=2))
+        cluster.submit(make_tasks([(0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]))
+        # Drain node 1 half-way through the run via a scheduled event.
+        node = cluster.nodes[1]
+        cluster.events.push(0.5, lambda: cluster.drain_node(node))
+        result = cluster.run()
+        assert result.completion_ratio == 1.0
+        assert node.state is NodeState.RETIRED
+        assert node.tasks_completed > 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("dispatcher", ["random", "power_of_two", "consistent_hash"])
+    def test_same_seed_same_fleet_p99(self, dispatcher):
+        config = small_config(
+            num_nodes=4, cores_per_node=4, dispatcher=dispatcher, seed=11
+        )
+        first = simulate_cluster(scaled_workload(600, minutes=2), config=config)
+        second = simulate_cluster(scaled_workload(600, minutes=2), config=config)
+        assert first.summary().p99_turnaround == second.summary().p99_turnaround
+        assert first.summary().p99_response == second.summary().p99_response
+        assert first.tasks_per_node() == second.tasks_per_node()
+
+    def test_different_seed_changes_random_routing(self):
+        workload = [(i * 0.01, 0.2) for i in range(64)]
+        first = simulate_cluster(
+            make_tasks(workload),
+            config=small_config(num_nodes=4, dispatcher="random", seed=1),
+        )
+        second = simulate_cluster(
+            make_tasks(workload),
+            config=small_config(num_nodes=4, dispatcher="random", seed=2),
+        )
+        assert first.tasks_per_node() != second.tasks_per_node()
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(cores_per_node=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(node_boot_time=-1.0)
+
+    def test_with_dispatcher_and_with_nodes(self):
+        config = ClusterConfig(num_nodes=4, dispatcher="random")
+        assert config.with_dispatcher("jsq").dispatcher == "jsq"
+        assert config.with_nodes(8).num_nodes == 8
+
+    def test_node_config_resized_to_cores_per_node(self):
+        config = ClusterConfig(
+            cores_per_node=6, node_config=SimulationConfig(num_cores=50)
+        )
+        assert config.build_node_config().num_cores == 6
+
+    def test_hybrid_scheduler_runs_per_node(self):
+        """Per-node schedulers come from the registry — including the hybrid."""
+        config = small_config(
+            num_nodes=2,
+            cores_per_node=4,
+            scheduler="fifo_preempt",
+            scheduler_kwargs={"quantum": 0.5},
+        )
+        result = simulate_cluster(make_tasks([(0.0, 1.0)] * 8), config=config)
+        assert result.completion_ratio == 1.0
+        assert result.scheduler_name == "fifo_preempt"
+
+
+class TestFleetSeries:
+    def test_active_node_series_recorded(self):
+        result = simulate_cluster(
+            make_tasks([(0.0, 0.5), (0.1, 0.5)]), config=small_config()
+        )
+        points = result.series_values("cluster.active_nodes")
+        assert points
+        assert points[0].value == 2.0
+
+
+class TestEngineParity:
+    """Cluster nodes must honour the same engine contract as standalone runs."""
+
+    def test_scheduler_on_start_fires_for_initial_fleet(self):
+        """CFS load balancing / hybrid sampling arm via on_start — it must run."""
+        cluster = ClusterSimulator(config=small_config(scheduler="cfs"))
+        cluster.submit(make_tasks([(0.0, 0.5), (0.0, 0.5)]))
+        cluster.run()
+        for node in cluster.nodes:
+            assert node._started
+            assert node.activated_at == 0.0
+
+    def test_cfs_balance_timer_actually_armed(self):
+        """Activating a CFS node must put its periodic balance timer on the
+        shared event queue (the regression was on_start never firing)."""
+        config = small_config(num_nodes=1, cores_per_node=4, scheduler="cfs")
+        cluster = ClusterSimulator(config=config)
+        cluster.nodes[0].activate(0.0)
+        tags = [event.tag for _, event in cluster.events._heap if not event.cancelled]
+        assert "cfs-load-balance" in tags
+
+    def test_node_config_record_utilization_produces_samples(self):
+        config = small_config(
+            num_nodes=2,
+            node_config=SimulationConfig(
+                num_cores=2, record_utilization=True, utilization_window=0.25
+            ),
+        )
+        result = simulate_cluster(make_tasks([(0.0, 1.0)] * 4), config=config)
+        for node_result in result.node_results.values():
+            assert node_result.utilization_samples
+
+    def test_node_config_max_simulated_time_is_honoured(self):
+        config = small_config(
+            num_nodes=1,
+            node_config=SimulationConfig(
+                num_cores=2, record_utilization=False, max_simulated_time=1.0
+            ),
+        )
+        result = simulate_cluster(make_tasks([(0.0, 5.0)]), config=config)
+        assert result.simulated_time == pytest.approx(1.0)
+        assert result.completion_ratio < 1.0

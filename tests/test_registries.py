@@ -1,0 +1,98 @@
+"""Error-path coverage shared by the scheduler and dispatcher registries.
+
+Both registries follow the same contract: case-insensitive names, duplicate
+registration rejected unless ``overwrite=True``, unknown names raise KeyError
+listing the alternatives.
+"""
+
+import pytest
+
+from repro.cluster.dispatchers import Dispatcher
+from repro.cluster.registry import (
+    available_dispatchers,
+    create_dispatcher,
+    register_dispatcher,
+)
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.registry import (
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
+)
+
+
+class _ProbeDispatcher(Dispatcher):
+    name = "probe"
+
+    def select_node(self, task, nodes):
+        return nodes[0]
+
+
+REGISTRIES = {
+    "scheduler": (
+        register_scheduler,
+        create_scheduler,
+        available_schedulers,
+        FIFOScheduler,
+    ),
+    "dispatcher": (
+        register_dispatcher,
+        create_dispatcher,
+        available_dispatchers,
+        _ProbeDispatcher,
+    ),
+}
+
+
+@pytest.fixture(params=sorted(REGISTRIES))
+def registry(request):
+    return REGISTRIES[request.param]
+
+
+class TestRegistryContract:
+    def test_duplicate_registration_rejected(self, registry):
+        register, _, available, factory = registry
+        existing = available()[0]
+        with pytest.raises(ValueError, match="already registered"):
+            register(existing, factory)
+
+    def test_overwrite_flag_allows_replacement(self, registry):
+        register, create, available, factory = registry
+        existing = available()[0]
+        original = create(existing)
+        try:
+            register(existing, factory, overwrite=True)
+            assert isinstance(create(existing), factory)
+        finally:
+            register(existing, type(original), overwrite=True)
+
+    def test_unknown_name_rejected_with_alternatives(self, registry):
+        _, create, available, _ = registry
+        with pytest.raises(KeyError, match="available"):
+            create("definitely-not-registered")
+        # The error message names every real alternative.
+        with pytest.raises(KeyError, match=available()[0]):
+            create("definitely-not-registered")
+
+    def test_names_are_case_insensitive(self, registry):
+        _, create, available, _ = registry
+        name = available()[0]
+        assert type(create(name.upper())) is type(create(name))
+
+    def test_available_sorted_and_nonempty(self, registry):
+        _, _, available, _ = registry
+        names = available()
+        assert names
+        assert names == sorted(names)
+
+
+class TestBuiltinCoverage:
+    def test_builtin_schedulers_present(self):
+        expected = {"fifo", "fifo_preempt", "cfs", "round_robin", "edf", "sjf",
+                    "srtf", "shinjuku"}
+        assert expected.issubset(set(available_schedulers()))
+
+    def test_builtin_dispatchers_present(self):
+        expected = {"random", "round_robin", "least_loaded", "jsq",
+                    "power_of_two", "consistent_hash"}
+        assert expected.issubset(set(available_dispatchers()))

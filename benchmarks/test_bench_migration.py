@@ -1,0 +1,52 @@
+"""Benchmark + shape check for work-stealing migration.
+
+Times the heterogeneous big/little fleet with and without migration so the
+stealing machinery's overhead enters the perf trajectory, and asserts the
+qualitative results: capacity-normalised JSQ beats raw JSQ, and work
+stealing beats no-migration under an oblivious dispatcher.
+"""
+
+from conftest import run_once
+
+from repro.cluster import simulate_cluster
+from repro.experiments.cluster_scaling import heterogeneous_config
+from repro.experiments.common import ten_minute_workload
+
+
+def _run_fleet(dispatcher: str, scale: float, migration=None, **dispatcher_kwargs):
+    config = heterogeneous_config(
+        dispatcher=dispatcher,
+        dispatcher_kwargs=dispatcher_kwargs,
+        migration=migration,
+    )
+    return simulate_cluster(ten_minute_workload(scale), config=config)
+
+
+def test_bench_migration_work_stealing(benchmark, bench_scale):
+    """Round-robin + stealing on the big/little fleet: the timed hot path
+    includes the migration ticks, steals and delayed re-deliveries."""
+
+    result = run_once(
+        benchmark, _run_fleet, dispatcher="round_robin",
+        scale=bench_scale, migration="work_stealing",
+    )
+    assert result.completion_ratio == 1.0
+    assert result.tasks_migrated > 0
+    baseline = _run_fleet("round_robin", bench_scale)
+    assert (
+        result.summary().p99_turnaround < baseline.summary().p99_turnaround
+    )
+
+
+def test_bench_migration_idle_overhead(benchmark, bench_scale):
+    """With a load-aware dispatcher there is little to steal: the migration
+    layer must stay cheap when it has no work to do."""
+
+    result = run_once(
+        benchmark, _run_fleet, dispatcher="jsq",
+        scale=bench_scale, migration="work_stealing",
+    )
+    assert result.completion_ratio == 1.0
+    # Stealing must not make capacity-normalised JSQ worse than raw JSQ.
+    raw = _run_fleet("jsq", bench_scale, normalized=False)
+    assert result.summary().p99_turnaround < raw.summary().p99_turnaround

@@ -4,13 +4,18 @@
 Routes the 10-minute Azure-like workload across a fleet of FIFO nodes under
 several dispatch policies and reports fleet-wide p50/p99 latency per policy —
 the classic load-balancing result (power-of-two-choices beats random on the
-tail) on top of the paper's per-node scheduling substrate.  With
-``--autoscale`` the fleet instead starts small and grows reactively, paying
-Firecracker-style cold-start delays.
+tail) on top of the paper's per-node scheduling substrate.
+
+With ``--heterogeneous`` the fleet becomes 2 big (24-core) + 4 little
+(8-core) nodes and the sweep contrasts capacity-normalised JSQ against raw
+JSQ and work-stealing migration against none.  With ``--autoscale`` the
+fleet instead starts small and grows reactively, paying Firecracker-style
+cold-start delays.
 
 Run with::
 
     python examples/cluster_demo.py [--nodes 4] [--cores 24] [--scale 1.0]
+    python examples/cluster_demo.py --heterogeneous [--migration]
     python examples/cluster_demo.py --autoscale
 """
 
@@ -18,7 +23,11 @@ from __future__ import annotations
 
 import argparse
 
-from repro.analysis.fleet import jains_fairness_index, policy_comparison_table
+from repro.analysis.fleet import (
+    jains_fairness_index,
+    per_node_table,
+    policy_comparison_table,
+)
 from repro.cluster import (
     AutoscalerConfig,
     ClusterConfig,
@@ -26,6 +35,7 @@ from repro.cluster import (
     available_dispatchers,
     simulate_cluster,
 )
+from repro.experiments.cluster_scaling import run_heterogeneous_sweep
 from repro.experiments.common import ten_minute_workload
 
 DEFAULT_POLICIES = ("random", "round_robin", "jsq", "power_of_two")
@@ -33,6 +43,7 @@ DEFAULT_POLICIES = ("random", "round_robin", "jsq", "power_of_two")
 
 def run_policy_sweep(args: argparse.Namespace) -> None:
     policies = available_dispatchers() if args.all_policies else DEFAULT_POLICIES
+    migration = "work_stealing" if args.migration else None
     results = {}
     for policy in policies:
         config = ClusterConfig(
@@ -40,6 +51,7 @@ def run_policy_sweep(args: argparse.Namespace) -> None:
             cores_per_node=args.cores,
             scheduler=args.scheduler,
             dispatcher=policy,
+            migration=migration,
         )
         tasks = ten_minute_workload(args.scale)  # fresh tasks: mutated in place
         result = simulate_cluster(tasks, config=config)
@@ -65,12 +77,48 @@ def run_policy_sweep(args: argparse.Namespace) -> None:
     )
 
 
+def run_heterogeneous(args: argparse.Namespace) -> None:
+    """Big/little fleet: normalised vs raw JSQ, stealing vs none.
+
+    Reuses the ``cluster_scaling`` experiment's fleet and sweep so the demo
+    always shows exactly the configuration the tests assert on.
+    """
+    results = run_heterogeneous_sweep(args.scale, scheduler=args.scheduler)
+    for label, result in results.items():
+        print(
+            f"ran {label:<20s}: p99 turnaround {result.summary().p99_turnaround:8.2f}s, "
+            f"{result.tasks_migrated} tasks migrated"
+        )
+
+    print()
+    print(
+        policy_comparison_table(results).render(
+            title="Heterogeneous fleet (2x24 + 4x8 cores, seconds)"
+        )
+    )
+    print()
+    print(
+        per_node_table(results["round_robin_stealing"]).render(
+            title="Per-node view of round_robin_stealing (little nodes offload)"
+        )
+    )
+    norm = results["jsq_normalized"].summary().p99_turnaround
+    raw = results["jsq_raw"].summary().p99_turnaround
+    steal = results["round_robin_stealing"].summary().p99_turnaround
+    none = results["round_robin"].summary().p99_turnaround
+    print(
+        f"\ncapacity-normalised JSQ p99 is {raw / norm:.2f}x better than raw JSQ; "
+        f"work stealing is {none / steal:.2f}x better than no migration."
+    )
+
+
 def run_autoscale(args: argparse.Namespace) -> None:
     config = ClusterConfig(
         num_nodes=2,
         cores_per_node=args.cores,
         scheduler=args.scheduler,
         dispatcher="jsq",
+        migration="work_stealing" if args.migration else None,
     )
     autoscaler = ReactiveAutoscaler(
         AutoscalerConfig(min_nodes=2, max_nodes=args.nodes * 2, scale_up_load=1.0)
@@ -98,12 +146,18 @@ def main() -> None:
                         help="per-node scheduling policy (registry name)")
     parser.add_argument("--all-policies", action="store_true",
                         help="sweep every registered dispatcher, not just the headline four")
+    parser.add_argument("--heterogeneous", action="store_true",
+                        help="run the big/little fleet demo (normalised JSQ, work stealing)")
+    parser.add_argument("--migration", action="store_true",
+                        help="enable work-stealing migration in the sweep/autoscale runs")
     parser.add_argument("--autoscale", action="store_true",
                         help="run the reactive-autoscaler demo instead of the policy sweep")
     args = parser.parse_args()
 
     if args.autoscale:
         run_autoscale(args)
+    elif args.heterogeneous:
+        run_heterogeneous(args)
     else:
         run_policy_sweep(args)
 

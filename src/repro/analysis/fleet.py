@@ -22,6 +22,7 @@ FLEET_COLUMNS = (
     "p99_response",
     "fairness",
     "completed",
+    "migrated",
 )
 
 
@@ -42,6 +43,22 @@ def jains_fairness_index(values: Sequence[float]) -> float:
     return total_sq / (array.size * sq_total)
 
 
+def capacity_normalized_loads(result) -> Dict[int, float]:
+    """Completed invocations per unit of node capacity.
+
+    On heterogeneous fleets raw per-node counts are *supposed* to be uneven
+    (a 24-core node should complete 3x what an 8-core node does); dividing
+    by capacity makes fairness comparable across node shapes.  Jain's index
+    is scale-invariant, so on homogeneous fleets this matches the raw-count
+    fairness exactly.
+    """
+    counts = result.tasks_per_node()
+    return {
+        node_id: count / result.node_capacity(node_id)
+        for node_id, count in counts.items()
+    }
+
+
 def fleet_metric_row(result) -> Dict[str, float]:
     """One comparison-table row summarising a cluster run."""
     summary = result.summary()
@@ -50,8 +67,11 @@ def fleet_metric_row(result) -> Dict[str, float]:
         "p99_turnaround": summary.p99_turnaround,
         "p50_response": summary.p50_response,
         "p99_response": summary.p99_response,
-        "fairness": jains_fairness_index(list(result.tasks_per_node().values())),
+        "fairness": jains_fairness_index(
+            list(capacity_normalized_loads(result).values())
+        ),
         "completed": float(len(result.finished_tasks)),
+        "migrated": float(result.tasks_migrated),
     }
 
 
@@ -64,17 +84,29 @@ def policy_comparison_table(results: Mapping[str, object]) -> ComparisonTable:
 
 
 def per_node_table(result) -> ComparisonTable:
-    """One row per node: completed invocations and latency percentiles."""
+    """One row per node: capacity, completions, steals, latency percentiles."""
     table = ComparisonTable(
-        columns=("completed", "p50_turnaround", "p99_turnaround", "p99_response")
+        columns=(
+            "capacity",
+            "completed",
+            "stolen_in",
+            "stolen_away",
+            "p50_turnaround",
+            "p99_turnaround",
+            "p99_response",
+        )
     )
     counts = result.tasks_per_node()
     for node_id in sorted(result.node_results):
         summary = result.node_summary(node_id)
+        stats = result.node_stats.get(node_id, {})
         table.add_row(
             f"node-{node_id}",
             {
+                "capacity": result.node_capacity(node_id),
                 "completed": float(counts.get(node_id, 0)),
+                "stolen_in": float(stats.get("stolen_in", 0.0)),
+                "stolen_away": float(stats.get("stolen_away", 0.0)),
                 "p50_turnaround": summary.p50_turnaround,
                 "p99_turnaround": summary.p99_turnaround,
                 "p99_response": summary.p99_response,

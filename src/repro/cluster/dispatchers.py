@@ -24,9 +24,14 @@ from repro.simulation.task import Task
 
 
 def function_key(task: Task) -> str:
-    """Stable identifier of the serverless function a task invokes."""
+    """Stable identifier of the serverless function a task invokes.
+
+    Falls through empty identifiers: a ``function_id`` of ``None`` or ``""``
+    and an empty ``name`` both defer to the unique task id, so anonymous
+    tasks never collide on one hash-ring key.
+    """
     function_id = task.metadata.get("function_id")
-    if function_id is not None:
+    if function_id is not None and str(function_id) != "":
         return str(function_id)
     if task.name:
         return task.name
@@ -82,38 +87,88 @@ class RoundRobinDispatcher(Dispatcher):
         return node
 
 
+def _node_capacity(node: ClusterNode) -> float:
+    """Service capacity of a node in baseline-core equivalents.
+
+    Falls back to 1.0 for load surfaces that do not expose capacity (test
+    stubs, user-provided node-likes), where normalization degenerates to the
+    raw count.
+    """
+    return float(getattr(node, "capacity", 1.0))
+
+
+def normalized_load(node: ClusterNode) -> float:
+    """Jobs in the system per unit of capacity — the heterogeneous-fleet
+    load signal shared by the JSQ-family dispatchers and the migration
+    layer."""
+    return node.inflight / _node_capacity(node)
+
+
+def _queue_load(node: ClusterNode, normalized: bool) -> float:
+    """The JSQ-family load key: normalised or raw jobs in the system."""
+    if normalized:
+        return normalized_load(node)
+    return float(node.inflight)
+
+
 class LeastLoadedDispatcher(Dispatcher):
-    """Node with the fewest busy cores (instantaneous utilization)."""
+    """Node with the fewest busy cores (instantaneous utilization).
+
+    With ``normalized`` (the default) busy cores are divided by node
+    capacity, so a half-busy little node looks hotter than a quarter-busy
+    big one; unnormalized is the PR-1 behaviour and treats all nodes alike.
+    On homogeneous fleets the two orderings are identical.
+    """
 
     name = "least_loaded"
 
+    def __init__(self, normalized: bool = True) -> None:
+        self.normalized = normalized
+
     def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
+        if self.normalized:
+            return min(
+                nodes,
+                key=lambda n: (n.busy_core_count() / _node_capacity(n), n.node_id),
+            )
         return min(nodes, key=lambda n: (n.busy_core_count(), n.node_id))
 
 
 class JoinShortestQueueDispatcher(Dispatcher):
-    """Node with the fewest jobs in the system (classic JSQ)."""
+    """Node with the fewest jobs in the system (classic JSQ).
+
+    With ``normalized`` (the default) queue depth is divided by node
+    capacity — the heterogeneous-fleet variant the load-balancing literature
+    calls JSQ(d)/capacity-weighted JSQ; unnormalized compares raw counts.
+    """
 
     name = "jsq"
 
+    def __init__(self, normalized: bool = True) -> None:
+        self.normalized = normalized
+
     def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
-        return min(nodes, key=lambda n: (n.inflight, n.node_id))
+        return min(
+            nodes, key=lambda n: (_queue_load(n, self.normalized), n.node_id)
+        )
 
 
 class PowerOfTwoDispatcher(Dispatcher):
     """Sample two random nodes, keep the less loaded one.
 
     Mitzenmacher's "power of two choices": near-JSQ tail latency at the
-    probing cost of a random policy.
+    probing cost of a random policy.  ``normalized`` compares the sampled
+    nodes on capacity-normalised queue depth (heterogeneous fleets).
     """
 
     name = "power_of_two"
 
-    def __init__(self, seed: int = 7, choices: int = 2) -> None:
+    def __init__(self, seed: int = 7, choices: int = 2, normalized: bool = True) -> None:
         if choices < 2:
             raise ValueError(f"choices must be >= 2, got {choices!r}")
         self.rng = np.random.default_rng(seed)
         self.choices = choices
+        self.normalized = normalized
 
     def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
         if len(nodes) == 1:
@@ -121,7 +176,9 @@ class PowerOfTwoDispatcher(Dispatcher):
         count = min(self.choices, len(nodes))
         picks = self.rng.choice(len(nodes), size=count, replace=False)
         sampled = [nodes[int(i)] for i in picks]
-        return min(sampled, key=lambda n: (n.inflight, n.node_id))
+        return min(
+            sampled, key=lambda n: (_queue_load(n, self.normalized), n.node_id)
+        )
 
 
 class ConsistentHashDispatcher(Dispatcher):

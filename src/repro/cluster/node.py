@@ -12,6 +12,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Callable, List, Optional
 
+from repro.cluster.config import NodeSpec
 from repro.simulation.clock import VirtualClock
 from repro.simulation.config import SimulationConfig
 from repro.simulation.cpu import Core
@@ -96,13 +97,19 @@ class ClusterNode:
         clock: VirtualClock,
         events: EventQueue,
         state: NodeState = NodeState.ACTIVE,
+        spec: Optional[NodeSpec] = None,
     ) -> None:
         self.node_id = node_id
         self.state = state
+        self.spec = spec or NodeSpec(
+            cores=config.num_cores, speed_factor=config.core_speed
+        )
         self.engine = _NodeEngine(machine, scheduler, config, clock, events)
         self.inflight = 0
         self.tasks_assigned = 0
         self.tasks_completed = 0
+        self.tasks_stolen_away = 0
+        self.tasks_stolen_in = 0
         self.activated_at: Optional[float] = None
         self.retired_at: Optional[float] = None
         self._started = False
@@ -150,15 +157,32 @@ class ClusterNode:
 
     # ------------------------------------------------------------------- load
 
+    @property
+    def capacity(self) -> float:
+        """Service capacity in baseline-core equivalents (cores x speed)."""
+        return self.spec.capacity
+
     def busy_core_count(self) -> int:
         """Cores currently executing at least one task."""
         return len(self.machine.busy_cores())
 
+    def idle_core_count(self) -> int:
+        """Idle, unlocked cores — the node's appetite for stolen work."""
+        return len(self.machine.idle_cores())
+
     # --------------------------------------------------------------- dispatch
 
-    def deliver(self, task: Task, now: float) -> None:
-        """Hand one dispatched task to the node's scheduler."""
-        if self.state is not NodeState.ACTIVE:
+    def deliver(self, task: Task, now: float, *, force: bool = False) -> None:
+        """Hand one dispatched task to the node's scheduler.
+
+        Args:
+            force: Allow delivery to a DRAINING node — used only as the
+                migration layer's last resort when no active node remains.
+        """
+        allowed = (NodeState.ACTIVE, NodeState.DRAINING) if force else (
+            NodeState.ACTIVE,
+        )
+        if self.state not in allowed:
             raise RuntimeError(
                 f"cannot dispatch to node {self.node_id} in state {self.state.value}"
             )
@@ -173,6 +197,46 @@ class ClusterNode:
         """Cluster-side accounting when one of this node's tasks completes."""
         self.inflight -= 1
         self.tasks_completed += 1
+
+    # --------------------------------------------------------------- stealing
+
+    def stealable_tasks(self) -> List[Task]:
+        """Queued tasks that never ran, in queue order (late binding).
+
+        Only not-yet-started work may migrate: preempted tasks carry core
+        state (partial progress, cache warmth) that a move would forfeit.
+        """
+        if self.state is NodeState.RETIRED:
+            return []
+        return [
+            task
+            for task in self.scheduler.stealable_tasks()
+            if task.first_run_time is None
+        ]
+
+    def stealable_count(self) -> int:
+        """Number of stealable tasks, without materialising the list."""
+        if self.state is NodeState.RETIRED:
+            return 0
+        return self.scheduler.stealable_count()
+
+    def surrender(self, task: Task) -> bool:
+        """Release one queued task to the migration layer.
+
+        Returns False when the task already started (or left the queue)
+        between planning and execution; the caller must then drop the move.
+        """
+        if not self.scheduler.remove_queued_task(task):
+            return False
+        self.inflight -= 1
+        self.engine._unfinished -= 1
+        self.tasks_stolen_away += 1
+        return True
+
+    def receive_stolen(self, task: Task, now: float, *, force: bool = False) -> None:
+        """Accept one migrated task (a normal delivery plus steal accounting)."""
+        self.deliver(task, now, force=force)
+        self.tasks_stolen_in += 1
 
     # ---------------------------------------------------------------- results
 

@@ -1,7 +1,7 @@
-"""Dispatcher registry.
+"""Dispatcher and migration-policy registries.
 
-Experiments refer to dispatch policies by name, mirroring
-:mod:`repro.schedulers.registry`: the registry maps names to factories so new
+Experiments refer to dispatch and migration policies by name, mirroring
+:mod:`repro.schedulers.registry`: the registries map names to factories so new
 policies (including user-defined ones) plug into the cluster harness without
 touching experiment code.
 """
@@ -19,10 +19,13 @@ from repro.cluster.dispatchers import (
     RandomDispatcher,
     RoundRobinDispatcher,
 )
+from repro.cluster.migration import MigrationPolicy, WorkStealingPolicy
 
 DispatcherFactory = Callable[..., Dispatcher]
+MigrationPolicyFactory = Callable[..., MigrationPolicy]
 
 _REGISTRY: Dict[str, DispatcherFactory] = {}
+_MIGRATION_REGISTRY: Dict[str, MigrationPolicyFactory] = {}
 
 
 def register_dispatcher(
@@ -56,6 +59,38 @@ def available_dispatchers() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def register_migration_policy(
+    name: str, factory: MigrationPolicyFactory, *, overwrite: bool = False
+) -> None:
+    """Register a migration-policy factory under ``name``.
+
+    Args:
+        name: Registry key (e.g. ``"work_stealing"``).
+        factory: Callable returning a fresh migration policy instance.
+        overwrite: Allow replacing an existing registration.
+    """
+    key = name.lower()
+    if key in _MIGRATION_REGISTRY and not overwrite:
+        raise ValueError(f"migration policy {name!r} is already registered")
+    _MIGRATION_REGISTRY[key] = factory
+
+
+def create_migration_policy(name: str, **kwargs) -> MigrationPolicy:
+    """Instantiate a registered migration policy by name."""
+    key = name.lower()
+    if key not in _MIGRATION_REGISTRY:
+        raise KeyError(
+            f"unknown migration policy {name!r}; available: "
+            f"{', '.join(sorted(_MIGRATION_REGISTRY))}"
+        )
+    return _MIGRATION_REGISTRY[key](**kwargs)
+
+
+def available_migration_policies() -> List[str]:
+    """Names of every registered migration policy, sorted."""
+    return sorted(_MIGRATION_REGISTRY)
+
+
 def _register_builtins() -> None:
     register_dispatcher("random", RandomDispatcher, overwrite=True)
     register_dispatcher("round_robin", RoundRobinDispatcher, overwrite=True)
@@ -63,6 +98,7 @@ def _register_builtins() -> None:
     register_dispatcher("jsq", JoinShortestQueueDispatcher, overwrite=True)
     register_dispatcher("power_of_two", PowerOfTwoDispatcher, overwrite=True)
     register_dispatcher("consistent_hash", ConsistentHashDispatcher, overwrite=True)
+    register_migration_policy("work_stealing", WorkStealingPolicy, overwrite=True)
 
 
 _register_builtins()

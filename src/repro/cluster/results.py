@@ -27,12 +27,15 @@ class ClusterResult:
     config: ClusterConfig
     tasks: List[Task]
     node_results: Dict[int, SimulationResult]
+    node_stats: Dict[int, Dict[str, float]] = field(default_factory=dict)
     series: Dict[str, List[SeriesPoint]] = field(default_factory=dict)
+    migration_policy_name: "str | None" = None
     simulated_time: float = 0.0
     wall_clock_seconds: float = 0.0
     events_processed: int = 0
     nodes_added: int = 0
     nodes_removed: int = 0
+    tasks_migrated: int = 0
 
     # ------------------------------------------------------------------ tasks
 
@@ -76,6 +79,41 @@ class ClusterResult:
             raise KeyError(f"no node with id {node_id}")
         return self.node_results[node_id].summary()
 
+    def node_capacity(self, node_id: int) -> float:
+        """Service capacity of one node in baseline-core equivalents."""
+        stats = self.node_stats.get(node_id)
+        if stats is not None:
+            return stats["capacity"]
+        # Hand-built results without node_stats: fall back to the config's
+        # initial fleet description (spec-aware for heterogeneous fleets).
+        specs = self.config.expanded_specs()
+        if 0 <= node_id < len(specs):
+            return specs[node_id].capacity
+        return float(self.config.cores_per_node)
+
+    def total_capacity(self) -> float:
+        """Summed capacity of every node that ever joined the fleet."""
+        if not self.node_stats:
+            return self.config.total_capacity()
+        return sum(stats["capacity"] for stats in self.node_stats.values())
+
+    # ------------------------------------------------------------- migration
+
+    def migrations_per_node(self) -> Dict[int, int]:
+        """Tasks that landed on each node via work stealing (stolen in)."""
+        return {
+            node_id: int(stats.get("stolen_in", 0.0))
+            for node_id, stats in self.node_stats.items()
+        }
+
+    def migrated_tasks(self) -> List[Task]:
+        """Tasks that crossed nodes at least once before starting."""
+        return [
+            task
+            for task in self.tasks
+            if task.metadata.get("node_migrations", 0) > 0
+        ]
+
     # ------------------------------------------------------------- timeseries
 
     def series_values(self, name: str) -> List[SeriesPoint]:
@@ -93,10 +131,13 @@ class ClusterResult:
         lines = [
             f"dispatcher           : {self.dispatcher_name}",
             f"per-node scheduler   : {self.scheduler_name}",
+            f"migration policy     : {self.migration_policy_name or 'none'}",
             f"nodes (final fleet)  : {self.num_nodes}"
             f" (+{self.nodes_added}/-{self.nodes_removed} scaled)",
+            f"fleet capacity       : {self.total_capacity():.1f} baseline cores",
             f"tasks (finished/all) : {len(self.finished_tasks)}/{len(self.tasks)}",
             f"tasks per node       : {spread}",
+            f"tasks migrated       : {self.tasks_migrated}",
             f"simulated time       : {self.simulated_time:.2f} s",
             f"p50 turnaround time  : {summary.p50_turnaround:.4f} s",
             f"p99 turnaround time  : {summary.p99_turnaround:.4f} s",

@@ -1,12 +1,14 @@
 """Multi-node cluster simulator.
 
 One shared :class:`~repro.simulation.clock.VirtualClock` and
-:class:`~repro.simulation.events.EventQueue` drive N nodes, each running its
-own per-node scheduler from the scheduler registry.  Arrivals are routed by a
-pluggable dispatch policy (see :mod:`repro.cluster.dispatchers`), and an
-optional reactive autoscaler grows and shrinks the fleet with cold-start
-delays.  Everything stays deterministic: same config + same workload ⇒
-bit-identical results.
+:class:`~repro.simulation.events.EventQueue` drive N nodes — possibly of
+different shapes (see :class:`~repro.cluster.config.NodeSpec`) — each running
+its own per-node scheduler from the scheduler registry.  Arrivals are routed
+by a pluggable dispatch policy (see :mod:`repro.cluster.dispatchers`), an
+optional migration policy periodically rebalances queued work across nodes
+(see :mod:`repro.cluster.migration`), and an optional reactive autoscaler
+grows and shrinks the fleet with cold-start delays.  Everything stays
+deterministic: same config + same workload ⇒ bit-identical results.
 """
 
 from __future__ import annotations
@@ -15,10 +17,11 @@ import time as _wallclock
 from typing import Iterable, List, Optional, Sequence
 
 from repro.cluster.autoscaler import ReactiveAutoscaler
-from repro.cluster.config import ClusterConfig
-from repro.cluster.dispatchers import Dispatcher
+from repro.cluster.config import ClusterConfig, NodeSpec
+from repro.cluster.dispatchers import Dispatcher, normalized_load
+from repro.cluster.migration import Migration, MigrationPolicy
 from repro.cluster.node import ClusterNode, NodeState
-from repro.cluster.registry import create_dispatcher
+from repro.cluster.registry import create_dispatcher, create_migration_policy
 from repro.cluster.results import ClusterResult
 from repro.schedulers.registry import create_scheduler
 from repro.simulation.clock import VirtualClock
@@ -30,18 +33,21 @@ from repro.simulation.task import Task
 
 
 class ClusterSimulator:
-    """Event-driven fleet simulator: dispatcher + N machines + autoscaler."""
+    """Event-driven fleet simulator: dispatcher + N machines + autoscaler
+    + optional work-stealing migration."""
 
     def __init__(
         self,
         config: Optional[ClusterConfig] = None,
         dispatcher: Optional[Dispatcher] = None,
         autoscaler: Optional[ReactiveAutoscaler] = None,
+        migration_policy: Optional[MigrationPolicy] = None,
     ) -> None:
         self.config = config or ClusterConfig()
         self.clock = VirtualClock()
         self.events = EventQueue()
         self.dispatcher = dispatcher or self._build_dispatcher()
+        self.migration_policy = migration_policy or self._build_migration_policy()
         self.autoscaler = autoscaler
         if self.autoscaler is not None:
             self.autoscaler.attach(self)
@@ -51,13 +57,15 @@ class ClusterSimulator:
         self.waiting_tasks: List[Task] = []
         self.nodes_added = 0
         self.nodes_removed = 0
+        self.tasks_migrated = 0
+        self._migrations_inflight = 0
         self._unfinished = 0
         self._pending_arrivals = 0
         self._events_processed = 0
         self._running = False
         self._next_node_id = 0
-        for _ in range(self.config.num_nodes):
-            self._create_node(NodeState.ACTIVE)
+        for spec in self.config.expanded_specs():
+            self._create_node(NodeState.ACTIVE, spec)
 
     # ------------------------------------------------------------------ wiring
 
@@ -73,11 +81,20 @@ class ClusterSimulator:
                 pass
         return create_dispatcher(self.config.dispatcher, **kwargs)
 
-    def _create_node(self, state: NodeState) -> ClusterNode:
+    def _build_migration_policy(self) -> Optional[MigrationPolicy]:
+        if self.config.migration is None:
+            return None
+        return create_migration_policy(
+            self.config.migration, **self.config.migration_kwargs
+        )
+
+    def _create_node(
+        self, state: NodeState, spec: Optional[NodeSpec] = None
+    ) -> ClusterNode:
         scheduler = create_scheduler(
             self.config.scheduler, **self.config.scheduler_kwargs
         )
-        node_config = self.config.build_node_config()
+        node_config = self.config.build_node_config(spec)
         machine = Machine(
             node_config, groups=scheduler.preferred_groups(node_config.num_cores)
         )
@@ -89,6 +106,7 @@ class ClusterSimulator:
             clock=self.clock,
             events=self.events,
             state=state,
+            spec=spec,
         )
         self._next_node_id += 1
         node.engine.bind_cluster(
@@ -114,15 +132,19 @@ class ClusterSimulator:
         """Nodes accepting work, in node-id order (deterministic)."""
         return [node for node in self.nodes if node.is_active]
 
-    def add_node(self, booting: bool = True) -> ClusterNode:
+    def add_node(
+        self, booting: bool = True, spec: Optional[NodeSpec] = None
+    ) -> ClusterNode:
         """Grow the fleet by one node.
 
         With ``booting`` (the default) the node pays the configured
         cold-start delay before accepting work; otherwise it is active
-        immediately (warm start).
+        immediately (warm start).  ``spec`` chooses the node shape;
+        heterogeneous fleets default to
+        :meth:`~repro.cluster.config.ClusterConfig.scale_up_spec`.
         """
         state = NodeState.BOOTING if booting else NodeState.ACTIVE
-        node = self._create_node(state)
+        node = self._create_node(state, spec or self.config.scale_up_spec())
         self.nodes_added += 1
         if booting:
             self.events.push(
@@ -146,9 +168,16 @@ class ClusterSimulator:
                 self._dispatch(task)
 
     def drain_node(self, node: ClusterNode) -> None:
-        """Stop dispatching to ``node``; it retires once it runs dry."""
+        """Stop dispatching to ``node``; it retires once it runs dry.
+
+        With a migration policy attached, the drain immediately triggers a
+        migration pass so the node's queued tasks are stolen by the rest of
+        the fleet instead of trickling out behind its running work.
+        """
         node.start_draining()
-        if node.inflight == 0:
+        if self.migration_policy is not None and self._running:
+            self._run_migration_pass()
+        if node.state is NodeState.DRAINING and node.inflight == 0:
             self._retire_node(node)
         self._record_fleet_size()
 
@@ -159,6 +188,18 @@ class ClusterSimulator:
 
     def _record_fleet_size(self) -> None:
         self.record_series("cluster.active_nodes", float(len(self.active_nodes())))
+
+    def _work_can_progress(self) -> bool:
+        """True while periodic ticks can still achieve anything.
+
+        Guards every self-re-arming control timer: once work remains but the
+        whole fleet is retired, nothing a tick does can dispatch it, and
+        re-arming forever would keep ``run()`` from terminating with the
+        honest incomplete result.
+        """
+        if self._unfinished <= 0 and self._pending_arrivals <= 0:
+            return False
+        return any(node.state is not NodeState.RETIRED for node in self.nodes)
 
     # --------------------------------------------------------------- workload
 
@@ -199,6 +240,101 @@ class ClusterSimulator:
         if node.state is NodeState.DRAINING and node.inflight == 0:
             self._retire_node(node)
 
+    # -------------------------------------------------------------- migration
+
+    def _run_migration_pass(self) -> None:
+        """One tick of the migration policy: plan, validate, execute."""
+        plans = self.migration_policy.plan(self.nodes, self.now)
+        for plan in plans:
+            self._execute_migration(plan)
+        self.record_series(
+            "cluster.migrations",
+            float(self.tasks_migrated + self._migrations_inflight),
+        )
+        for node in self.nodes:
+            if node.state is not NodeState.RETIRED:
+                self.record_series(
+                    f"cluster.node{node.node_id}.queue_depth",
+                    float(node.stealable_count()),
+                )
+
+    def _execute_migration(self, plan: Migration) -> bool:
+        """Move one queued task between nodes, paying the migration delay.
+
+        Returns False when the task already started on its source node
+        between planning and execution (the move is silently dropped).
+        """
+        task, source, target = plan.task, plan.source, plan.target
+        if not source.surrender(task):
+            return False
+        self._migrations_inflight += 1
+        self.events.push(
+            self.now + self.migration_policy.delay,
+            lambda: self._complete_migration(task, source, target),
+            priority=EventPriority.ARRIVAL,
+            tag="migration-arrival",
+        )
+        # Stealing may have emptied a draining node whose running work is
+        # already done — without a completion event, retire it here.
+        if source.state is NodeState.DRAINING and source.inflight == 0:
+            self._retire_node(source)
+        return True
+
+    def _complete_migration(
+        self, task: Task, source: ClusterNode, target: ClusterNode
+    ) -> None:
+        """Land one migrated task after its transfer delay.
+
+        Every genuine landing goes through ``receive_stolen`` so the
+        invariant ``sum(stolen_in) == tasks_migrated`` holds on every path.
+        If the target left service mid-flight, the dispatcher re-picks among
+        the active nodes *other than the source*; failing that the task
+        waits for a booting node (an ordinary re-dispatch, not counted as a
+        completed migration), lands back on its own source (a void round
+        trip whose steal accounting is undone), or force-lands on a
+        draining survivor.
+        """
+        self._migrations_inflight -= 1
+        landing: Optional[ClusterNode] = None
+        force = False
+        if target.is_active:
+            landing = target
+        else:
+            active = self.active_nodes()
+            others = [node for node in active if node is not source]
+            if others:
+                landing = self.dispatcher.select_node(task, others)
+            elif active:
+                landing = source  # the only place left is where it came from
+            elif any(node.state is NodeState.BOOTING for node in self.nodes):
+                # Not a completed migration: void the steal accounting (as
+                # the round-trip path does) and park the task for the boot.
+                source.tasks_stolen_away -= 1
+                self.waiting_tasks.append(task)
+                return
+            else:
+                survivors = [
+                    n for n in self.nodes if n.state is NodeState.DRAINING
+                ]
+                if not survivors:
+                    raise SimulationError(
+                        f"migrated task {task.task_id} has no surviving node "
+                        "to land on"
+                    )
+                landing = min(
+                    survivors, key=lambda n: (normalized_load(n), n.node_id)
+                )
+                force = True
+        if landing is source:
+            # Round trip: nothing actually moved, so it is not a migration —
+            # undo the surrender-side accounting and redeliver plainly.
+            source.tasks_stolen_away -= 1
+            source.deliver(task, self.now, force=force or not source.is_active)
+            return
+        self.tasks_migrated += 1
+        task.metadata["node_migrations"] = task.metadata.get("node_migrations", 0) + 1
+        landing.receive_stolen(task, self.now, force=force)
+
     # ---------------------------------------------------------------- running
 
     def run(self, until: Optional[float] = None) -> ClusterResult:
@@ -212,6 +348,8 @@ class ClusterSimulator:
         self._record_fleet_size()
         if self.autoscaler is not None:
             self._schedule_autoscaler_tick()
+        if self.migration_policy is not None:
+            self._schedule_migration_tick()
         if node_config.record_utilization:
             for node in self.nodes:
                 node.engine.collector.start_utilization_window(
@@ -251,10 +389,31 @@ class ClusterSimulator:
                 self.dispatcher, "name", type(self.dispatcher).__name__
             ),
             scheduler_name=self.config.scheduler,
+            migration_policy_name=(
+                getattr(
+                    self.migration_policy,
+                    "name",
+                    type(self.migration_policy).__name__,
+                )
+                if self.migration_policy is not None
+                else None
+            ),
             config=self.config,
             tasks=list(self.tasks),
             node_results={
                 node.node_id: node.build_result(self.now) for node in self.nodes
+            },
+            node_stats={
+                node.node_id: {
+                    "cores": float(len(node.machine)),
+                    "speed_factor": node.spec.speed_factor,
+                    "capacity": node.capacity,
+                    "assigned": float(node.tasks_assigned),
+                    "completed": float(node.tasks_completed),
+                    "stolen_in": float(node.tasks_stolen_in),
+                    "stolen_away": float(node.tasks_stolen_away),
+                }
+                for node in self.nodes
             },
             series={name: list(points) for name, points in self.series.items()},
             simulated_time=self.now,
@@ -262,6 +421,7 @@ class ClusterSimulator:
             events_processed=self._events_processed,
             nodes_added=self.nodes_added,
             nodes_removed=self.nodes_removed,
+            tasks_migrated=self.tasks_migrated,
         )
 
     # ------------------------------------------------------------ utilization
@@ -279,7 +439,7 @@ class ClusterSimulator:
                     node.engine.collector.sample_utilization(
                         node.machine.cores, self.now, window=window
                     )
-            if self._unfinished > 0 or self._pending_arrivals > 0:
+            if self._work_can_progress():
                 self._schedule_utilization_sample(window)
 
         self.events.push(
@@ -296,7 +456,7 @@ class ClusterSimulator:
 
         def _tick() -> None:
             self.autoscaler.on_tick(self.now)
-            if self._unfinished > 0 or self._pending_arrivals > 0:
+            if self._work_can_progress():
                 self._schedule_autoscaler_tick()
 
         self.events.push(
@@ -306,12 +466,28 @@ class ClusterSimulator:
             tag="autoscaler-tick",
         )
 
+    def _schedule_migration_tick(self) -> None:
+        interval = self.migration_policy.interval
+
+        def _tick() -> None:
+            self._run_migration_pass()
+            if self._work_can_progress():
+                self._schedule_migration_tick()
+
+        self.events.push(
+            self.now + interval,
+            _tick,
+            priority=EventPriority.CONTROL,
+            tag="migration-tick",
+        )
+
 
 def simulate_cluster(
     tasks: Sequence[Task],
     config: Optional[ClusterConfig] = None,
     dispatcher: Optional[Dispatcher] = None,
     autoscaler: Optional[ReactiveAutoscaler] = None,
+    migration_policy: Optional[MigrationPolicy] = None,
     until: Optional[float] = None,
 ) -> ClusterResult:
     """One-call helper: build a cluster, route ``tasks`` through it, run it.
@@ -319,7 +495,10 @@ def simulate_cluster(
     The cluster-level analogue of :func:`repro.simulation.engine.simulate`.
     """
     cluster = ClusterSimulator(
-        config=config, dispatcher=dispatcher, autoscaler=autoscaler
+        config=config,
+        dispatcher=dispatcher,
+        autoscaler=autoscaler,
+        migration_policy=migration_policy,
     )
     cluster.submit(tasks)
     return cluster.run(until=until)

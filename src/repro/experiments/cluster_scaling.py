@@ -1,4 +1,4 @@
-"""Cluster scaling: dispatch policy × fleet size on the 10-minute workload.
+"""Cluster scaling: dispatch policy × fleet shape on the 10-minute workload.
 
 The single-machine experiments fix the fleet at one 50-core enclave; this
 experiment opens the cluster axis.  The paper's 10-minute workload is routed
@@ -12,12 +12,24 @@ busy-core-count heuristic (least-loaded) and the locality router
 depth.  Doubling the fleet at fixed arrival rate collapses queueing delay
 for every pooling policy; consistent hashing is the exception — it partitions
 capacity by function id, so its hot partition can get hotter as nodes join.
+
+A third sweep routes the same workload over a *heterogeneous* big/little
+fleet (2 x 24-core on-demand + 4 x 8-core instances) where two further
+effects appear: JSQ must normalise queue depth by node capacity or it
+starves the big nodes and overloads the little ones, and enabling
+work-stealing migration under an oblivious round-robin dispatcher recovers
+most of the tail latency a load-aware dispatcher would have bought.
 """
 
 from __future__ import annotations
 
 from repro.analysis.fleet import policy_comparison_table
-from repro.cluster import ClusterConfig, available_dispatchers, simulate_cluster
+from repro.cluster import (
+    ClusterConfig,
+    NodeSpec,
+    available_dispatchers,
+    simulate_cluster,
+)
 from repro.experiments.common import (
     ExperimentOutput,
     register_experiment,
@@ -25,7 +37,7 @@ from repro.experiments.common import (
 )
 
 EXPERIMENT_ID = "cluster_scaling"
-TITLE = "Dispatch policy vs fleet size on the 10-minute workload"
+TITLE = "Dispatch policy vs fleet shape on the 10-minute workload"
 
 #: Fleet sizes swept (nodes of CORES_PER_NODE cores each).
 NODE_COUNTS = (4, 8)
@@ -33,6 +45,45 @@ NODE_COUNTS = (4, 8)
 #: Node size: 4 nodes ≈ 2x the paper's 50-core enclave, a moderately loaded
 #: fleet where dispatch quality dominates the tail.
 CORES_PER_NODE = 24
+
+#: The heterogeneous fleet: two on-demand "big" nodes plus four "little"
+#: instances — 80 baseline cores, a deliberately tighter fit than the
+#: homogeneous sweeps so dispatch/migration quality shows in the tail.
+HETEROGENEOUS_SPECS = (
+    NodeSpec(cores=24, count=2, label="big"),
+    NodeSpec(cores=8, count=4, label="little"),
+)
+
+
+def heterogeneous_config(**overrides) -> ClusterConfig:
+    """The big/little fleet the heterogeneous sweep and its tests share."""
+    defaults = dict(
+        node_specs=HETEROGENEOUS_SPECS, scheduler="fifo", dispatcher="jsq"
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def run_heterogeneous_sweep(scale: float, scheduler: str = "fifo") -> dict:
+    """Four runs on the big/little fleet; returns results keyed by label."""
+    variants = {
+        "jsq_normalized": heterogeneous_config(scheduler=scheduler),
+        "jsq_raw": heterogeneous_config(
+            scheduler=scheduler, dispatcher_kwargs={"normalized": False}
+        ),
+        "round_robin": heterogeneous_config(
+            scheduler=scheduler, dispatcher="round_robin"
+        ),
+        "round_robin_stealing": heterogeneous_config(
+            scheduler=scheduler,
+            dispatcher="round_robin",
+            migration="work_stealing",
+        ),
+    }
+    return {
+        label: simulate_cluster(ten_minute_workload(scale), config=config)
+        for label, config in variants.items()
+    }
 
 
 def run(scale: float = 1.0) -> ExperimentOutput:
@@ -80,12 +131,42 @@ def run(scale: float = 1.0) -> ExperimentOutput:
     data["scaling_collapses_tail"] = all(
         large[p]["p99_turnaround"] <= small[p]["p99_turnaround"] for p in pooling
     )
+
+    het_results = run_heterogeneous_sweep(scale)
+    het_table = policy_comparison_table(het_results)
+    sections.append(
+        het_table.render(
+            title="heterogeneous fleet: 2x24 + 4x8 cores (seconds / index)"
+        )
+    )
+    data["heterogeneous"] = {
+        label: {
+            "p99_turnaround": het_table.metric(label, "p99_turnaround"),
+            "p50_turnaround": het_table.metric(label, "p50_turnaround"),
+            "fairness": het_table.metric(label, "fairness"),
+            "migrated": het_table.metric(label, "migrated"),
+        }
+        for label in het_results
+    }
+    het = data["heterogeneous"]
+    data["het_normalized_jsq_beats_raw_p99"] = (
+        het["jsq_normalized"]["p99_turnaround"] < het["jsq_raw"]["p99_turnaround"]
+    )
+    data["het_stealing_beats_none_p99"] = (
+        het["round_robin_stealing"]["p99_turnaround"]
+        < het["round_robin"]["p99_turnaround"]
+    )
+
     text = "\n\n".join(sections)
     text += (
         "\n\npower-of-two-choices beats random on p99 turnaround: "
         f"{data['p2c_beats_random_p99']}"
         "\njoin-shortest-queue beats random on p99 turnaround: "
         f"{data['jsq_beats_random_p99']}"
+        "\ncapacity-normalised JSQ beats raw JSQ on the big/little fleet: "
+        f"{data['het_normalized_jsq_beats_raw_p99']}"
+        "\nwork stealing beats no-migration under round-robin dispatch: "
+        f"{data['het_stealing_beats_none_p99']}"
     )
     return ExperimentOutput(
         experiment_id=EXPERIMENT_ID,

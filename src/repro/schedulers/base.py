@@ -8,6 +8,7 @@ bookkeeping and pending completion events consistent.
 
 from __future__ import annotations
 
+import heapq
 from abc import ABC, abstractmethod
 from collections import deque
 from typing import Deque, Dict, List, Optional
@@ -80,12 +81,64 @@ class Scheduler(ABC):
             return DEFAULT_GROUP
         return next(iter(self.machine.groups))
 
+    # ------------------------------------------------------- steal surface
+
+    def stealable_tasks(self) -> List[Task]:
+        """Queued tasks another node could take over, in queue order.
+
+        The cluster's work-stealing layer reads this on its migration tick.
+        Policies that bind tasks to cores on arrival (e.g. CFS) have no
+        stealable backlog and keep the default empty answer.
+        """
+        return []
+
+    def remove_queued_task(self, task: Task) -> bool:
+        """Remove one queued task (it is migrating away); False if not queued.
+
+        Matching is by identity, never equality — the cluster moves *this*
+        invocation, not one that happens to compare equal.
+        """
+        return False
+
+    def stealable_count(self) -> int:
+        """Number of queued, never-run tasks (cheap: no list, no ordering)."""
+        return sum(
+            1 for task in self.stealable_tasks() if task.first_run_time is None
+        )
+
     def describe(self) -> str:
         """One-line human description used in reports."""
         return self.name
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class HeapQueueStealMixin:
+    """Steal surface for schedulers queueing in a ``_heap`` of
+    ``(key, seq, task)`` tuples (SJF, SRTF, EDF).
+
+    Removal swaps the victim with the tail and re-heapifies — O(n), which is
+    fine at migration-tick granularity.
+    """
+
+    def stealable_tasks(self) -> List[Task]:
+        return [entry[-1] for entry in sorted(self._heap, key=lambda e: e[:2])]
+
+    def stealable_count(self) -> int:
+        # Counting needs no queue ordering: skip the sort.
+        return sum(
+            1 for entry in self._heap if entry[-1].first_run_time is None
+        )
+
+    def remove_queued_task(self, task: Task) -> bool:
+        for index, entry in enumerate(self._heap):
+            if entry[-1] is task:
+                self._heap[index] = self._heap[-1]
+                self._heap.pop()
+                heapq.heapify(self._heap)
+                return True
+        return False
 
 
 class CentralizedQueueScheduler(Scheduler):
@@ -120,6 +173,19 @@ class CentralizedQueueScheduler(Scheduler):
     @property
     def queue_length(self) -> int:
         return len(self.queue)
+
+    def stealable_tasks(self) -> List[Task]:
+        return list(self.queue)
+
+    def stealable_count(self) -> int:
+        return sum(1 for task in self.queue if task.first_run_time is None)
+
+    def remove_queued_task(self, task: Task) -> bool:
+        for index, queued in enumerate(self.queue):
+            if queued is task:
+                del self.queue[index]
+                return True
+        return False
 
     # Dispatch ----------------------------------------------------------------
 

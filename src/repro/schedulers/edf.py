@@ -14,12 +14,12 @@ import heapq
 import itertools
 from typing import List, Optional, Tuple
 
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import HeapQueueStealMixin, Scheduler
 from repro.simulation.cpu import Core
 from repro.simulation.task import Task
 
 
-class EDFScheduler(Scheduler):
+class EDFScheduler(HeapQueueStealMixin, Scheduler):
     """Preemptive Earliest Deadline First with a centralized queue."""
 
     name = "edf"

@@ -12,12 +12,12 @@ import heapq
 import itertools
 from typing import List, Optional, Tuple
 
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import HeapQueueStealMixin, Scheduler
 from repro.simulation.cpu import Core
 from repro.simulation.task import Task
 
 
-class SJFScheduler(Scheduler):
+class SJFScheduler(HeapQueueStealMixin, Scheduler):
     """Non-preemptive shortest job first with a centralized queue."""
 
     name = "sjf"

@@ -12,12 +12,12 @@ import heapq
 import itertools
 from typing import List, Optional, Tuple
 
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import HeapQueueStealMixin, Scheduler
 from repro.simulation.cpu import Core
 from repro.simulation.task import Task
 
 
-class SRTFScheduler(Scheduler):
+class SRTFScheduler(HeapQueueStealMixin, Scheduler):
     """Preemptive shortest remaining time first with a centralized queue."""
 
     name = "srtf"

@@ -20,6 +20,10 @@ class SimulationConfig:
 
     Attributes:
         num_cores: Number of cores in the simulated enclave (50 in the paper).
+        core_speed: Service rate of every core relative to the paper's
+            baseline hardware (1.0).  A core with speed 2.0 delivers one
+            second of service in half a second of wall time; heterogeneous
+            fleets use this to model big/little or spot-vs-on-demand nodes.
         context_switch: Context-switch / time-slice cost model.
         utilization_window: Length (s) of each utilization sample window.
         migration_cost: Seconds of overhead charged when a task is migrated
@@ -35,6 +39,7 @@ class SimulationConfig:
     """
 
     num_cores: int = 50
+    core_speed: float = 1.0
     context_switch: ContextSwitchModel = field(default_factory=ContextSwitchModel)
     utilization_window: float = 1.0
     migration_cost: float = 50e-6
@@ -47,6 +52,8 @@ class SimulationConfig:
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
             raise ValueError(f"num_cores must be positive, got {self.num_cores!r}")
+        if self.core_speed <= 0:
+            raise ValueError(f"core_speed must be positive, got {self.core_speed!r}")
         if self.utilization_window <= 0:
             raise ValueError(
                 f"utilization_window must be positive, got {self.utilization_window!r}"
@@ -67,6 +74,10 @@ class SimulationConfig:
     def with_cores(self, num_cores: int) -> "SimulationConfig":
         """Return a copy with a different enclave size."""
         return replace(self, num_cores=num_cores)
+
+    def with_core_speed(self, core_speed: float) -> "SimulationConfig":
+        """Return a copy with a different per-core service rate."""
+        return replace(self, core_speed=core_speed)
 
     def with_context_switch(self, model: ContextSwitchModel) -> "SimulationConfig":
         """Return a copy using a different context-switch cost model."""

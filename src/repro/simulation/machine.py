@@ -87,6 +87,7 @@ class Machine:
                     context_switch=config.context_switch,
                     mode=mode,
                     migration_cost=config.migration_cost,
+                    speed=config.core_speed,
                 )
                 self.cores.append(core)
                 self.groups[name].add(core_id)

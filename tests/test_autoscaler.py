@@ -131,3 +131,86 @@ class TestScaling:
 
         autoscaler.attach(FakeCluster())
         assert autoscaler.fleet_load() == pytest.approx(2.0)
+
+
+class TestAutoscalerMigrationInteraction:
+    """Scale-downs must drain via stealing, never strand queued tasks."""
+
+    def migration_config(self, **overrides) -> ClusterConfig:
+        defaults = dict(
+            num_nodes=2,
+            cores_per_node=1,
+            scheduler="fifo",
+            dispatcher="jsq",
+            migration="work_stealing",
+            migration_kwargs={"interval": 0.1, "delay": 0.001},
+        )
+        defaults.update(overrides)
+        return ClusterConfig(**defaults)
+
+    def test_scaled_down_node_sheds_queue_to_survivors(self):
+        """An autoscaler-driven drain moves the victim's backlog at once."""
+        from repro.cluster import ClusterSimulator
+
+        cluster = ClusterSimulator(config=self.migration_config())
+        # jsq alternates 8 x 1s tasks: each 1-core node runs 1, queues 3.
+        cluster.submit(burst(8, service=1.0))
+        victim = cluster.nodes[1]
+        cluster.events.push(0.5, lambda: cluster.drain_node(victim))
+        result = cluster.run()
+        assert result.completion_ratio == 1.0
+        assert victim.tasks_stolen_away == 3
+        assert victim.state.value == "retired"
+        # Retired the moment its one running task finished, not after the
+        # 4s its original backlog would have taken.
+        assert victim.retired_at == pytest.approx(1.0, abs=0.01)
+        # The survivor executed everything that was stolen.
+        assert result.tasks_migrated == 3
+        assert result.tasks_per_node()[0] == 7
+
+    def test_reactive_scale_down_never_strands_tasks(self):
+        """Full loop: burst, growth, decay, drain — everything completes."""
+        tasks = burst(30, service=2.0) + make_tasks(
+            [(25.0 + i * 0.5, 0.05) for i in range(20)]
+        )
+        autoscaler = ReactiveAutoscaler(
+            AutoscalerConfig(
+                min_nodes=1,
+                max_nodes=6,
+                check_interval=0.5,
+                cooldown=0.0,
+                scale_down_load=0.3,
+            )
+        )
+        result = simulate_cluster(
+            tasks,
+            config=self.migration_config(num_nodes=2, cores_per_node=2),
+            autoscaler=autoscaler,
+        )
+        assert result.completion_ratio == 1.0
+        assert autoscaler.scale_downs > 0
+        assert result.nodes_removed > 0
+
+    def test_drained_backlog_rescue_beats_no_migration(self):
+        """With stealing, draining a loaded node does not serialise its queue."""
+        from repro.cluster import ClusterSimulator
+
+        def run(migration):
+            config = self.migration_config(migration=migration)
+            cluster = ClusterSimulator(config=config)
+            cluster.submit(burst(10, service=1.0))
+            victim = cluster.nodes[1]
+            cluster.events.push(0.25, lambda: cluster.drain_node(victim))
+            return cluster.run()
+
+        with_stealing = run("work_stealing")
+        without = run(None)
+        assert with_stealing.completion_ratio == without.completion_ratio == 1.0
+        # Without migration the drained node works through its own queue;
+        # with stealing the survivor absorbs it immediately.
+        assert with_stealing.tasks_migrated > 0
+        assert without.tasks_migrated == 0
+        drained_with = [
+            s for s in with_stealing.node_stats.values() if s["stolen_away"] > 0
+        ]
+        assert drained_with

@@ -1,4 +1,4 @@
-"""Cluster simulator: dispatch plumbing, lifecycle, determinism."""
+"""Cluster simulator: dispatch plumbing, lifecycle, determinism, hetero fleets."""
 
 import pytest
 
@@ -6,7 +6,9 @@ from repro.simulation.task import make_tasks
 from repro.cluster import (
     ClusterConfig,
     ClusterSimulator,
+    NodeSpec,
     NodeState,
+    available_dispatchers,
     simulate_cluster,
 )
 from repro.cluster.config import DEFAULT_NODE_BOOT_TIME
@@ -126,7 +128,59 @@ class TestNodeLifecycle:
         assert node.tasks_completed > 0
 
 
+#: The two fleet shapes every dispatcher's determinism is checked on.
+FLEET_SHAPES = {
+    "homogeneous": dict(num_nodes=4, cores_per_node=4),
+    "heterogeneous": dict(
+        node_specs=(
+            NodeSpec(cores=8, count=1),
+            NodeSpec(cores=4, count=1),
+            NodeSpec(cores=2, speed_factor=2.0, count=2),
+        )
+    ),
+}
+
+
+def run_signature(result):
+    """Everything observable about a run, for bit-identical comparison."""
+    return [
+        (t.task_id, t.completion_time, t.first_run_time,
+         t.metadata.get("node_id"), t.metadata.get("node_migrations", 0))
+        for t in result.tasks
+    ]
+
+
 class TestDeterminism:
+    @pytest.mark.parametrize("fleet", sorted(FLEET_SHAPES))
+    @pytest.mark.parametrize("dispatcher", available_dispatchers())
+    def test_same_seed_is_bit_identical_for_every_dispatcher(
+        self, dispatcher, fleet
+    ):
+        """Seed sweep: every dispatcher x fleet shape replays exactly."""
+        config = ClusterConfig(
+            scheduler="fifo", dispatcher=dispatcher, seed=11, **FLEET_SHAPES[fleet]
+        )
+        first = simulate_cluster(scaled_workload(300, minutes=1), config=config)
+        second = simulate_cluster(scaled_workload(300, minutes=1), config=config)
+        assert run_signature(first) == run_signature(second)
+        assert first.tasks_per_node() == second.tasks_per_node()
+
+    @pytest.mark.parametrize("fleet", sorted(FLEET_SHAPES))
+    @pytest.mark.parametrize("dispatcher", available_dispatchers())
+    def test_every_task_completes_exactly_once(self, dispatcher, fleet):
+        config = ClusterConfig(
+            scheduler="fifo", dispatcher=dispatcher, seed=3, **FLEET_SHAPES[fleet]
+        )
+        result = simulate_cluster(scaled_workload(300, minutes=1), config=config)
+        assert result.completion_ratio == 1.0
+        per_node_ids = [
+            t.task_id
+            for node_result in result.node_results.values()
+            for t in node_result.finished_tasks
+        ]
+        # Exactly once: node results partition the task set, no duplicates.
+        assert sorted(per_node_ids) == sorted(t.task_id for t in result.tasks)
+
     @pytest.mark.parametrize("dispatcher", ["random", "power_of_two", "consistent_hash"])
     def test_same_seed_same_fleet_p99(self, dispatcher):
         config = small_config(
@@ -236,3 +290,153 @@ class TestEngineParity:
         result = simulate_cluster(make_tasks([(0.0, 5.0)]), config=config)
         assert result.simulated_time == pytest.approx(1.0)
         assert result.completion_ratio < 1.0
+
+
+class TestNodeSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cores=0)
+        with pytest.raises(ValueError):
+            NodeSpec(speed_factor=0.0)
+        with pytest.raises(ValueError):
+            NodeSpec(count=0)
+
+    def test_capacity_is_cores_times_speed(self):
+        assert NodeSpec(cores=8, speed_factor=1.5).capacity == pytest.approx(12.0)
+
+    def test_cluster_config_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(node_specs=())
+        with pytest.raises(TypeError):
+            ClusterConfig(node_specs=("not-a-spec",))
+
+    def test_num_nodes_derived_from_specs(self):
+        config = ClusterConfig(
+            node_specs=(NodeSpec(cores=24, count=2), NodeSpec(cores=8, count=4))
+        )
+        assert config.num_nodes == 6
+        assert config.is_heterogeneous
+        assert config.total_capacity() == pytest.approx(2 * 24 + 4 * 8)
+
+    def test_expanded_specs_in_node_id_order(self):
+        config = ClusterConfig(
+            node_specs=(NodeSpec(cores=24, count=2), NodeSpec(cores=8, count=4))
+        )
+        cores = [spec.cores for spec in config.expanded_specs()]
+        assert cores == [24, 24, 8, 8, 8, 8]
+        assert all(spec.count == 1 for spec in config.expanded_specs())
+
+    def test_scale_up_spec_is_first_listed(self):
+        config = ClusterConfig(
+            node_specs=(NodeSpec(cores=24, count=2), NodeSpec(cores=8, count=4))
+        )
+        assert config.scale_up_spec().cores == 24
+
+    def test_homogeneous_config_unchanged(self):
+        config = ClusterConfig(num_nodes=3, cores_per_node=5)
+        assert not config.is_heterogeneous
+        assert [s.cores for s in config.expanded_specs()] == [5, 5, 5]
+        assert config.build_node_config().num_cores == 5
+
+
+class TestHeterogeneousFleet:
+    def test_nodes_built_to_spec(self):
+        cluster = ClusterSimulator(
+            config=ClusterConfig(
+                node_specs=(
+                    NodeSpec(cores=4, speed_factor=2.0, label="big"),
+                    NodeSpec(cores=2, count=2, label="little"),
+                ),
+                scheduler="fifo",
+                dispatcher="jsq",
+            )
+        )
+        assert [len(n.machine) for n in cluster.nodes] == [4, 2, 2]
+        assert [n.capacity for n in cluster.nodes] == [8.0, 2.0, 2.0]
+        assert cluster.nodes[0].spec.label == "big"
+
+    def test_speed_factor_accelerates_service(self):
+        """A 0.5s task on a speed-2.0 core completes in 0.25s."""
+        config = ClusterConfig(node_specs=(NodeSpec(cores=1, speed_factor=2.0),))
+        result = simulate_cluster(make_tasks([(0.0, 0.5)]), config=config)
+        task = result.finished_tasks[0]
+        assert task.turnaround_time == pytest.approx(0.25)
+        # Metrics still bill the demanded service, not the wall time.
+        assert task.service_time == pytest.approx(0.5)
+
+    def test_all_tasks_finish_on_mixed_fleet(self):
+        config = ClusterConfig(
+            node_specs=(NodeSpec(cores=4), NodeSpec(cores=1, count=3)),
+            scheduler="fifo",
+            dispatcher="least_loaded",
+        )
+        result = simulate_cluster(
+            make_tasks([(i * 0.02, 0.4) for i in range(40)]), config=config
+        )
+        assert result.completion_ratio == 1.0
+        assert set(result.node_stats) == {0, 1, 2, 3}
+        assert result.node_capacity(0) == pytest.approx(4.0)
+
+    def test_add_node_uses_scale_up_spec(self):
+        config = ClusterConfig(
+            node_specs=(NodeSpec(cores=6), NodeSpec(cores=2, count=2)),
+        )
+        cluster = ClusterSimulator(config=config)
+        node = cluster.add_node(booting=False)
+        assert len(node.machine) == 6
+
+    def test_user_node_config_resized_per_spec(self):
+        config = ClusterConfig(
+            node_specs=(NodeSpec(cores=3, speed_factor=1.5),),
+            node_config=SimulationConfig(num_cores=50, record_utilization=False),
+        )
+        node_config = config.build_node_config(config.expanded_specs()[0])
+        assert node_config.num_cores == 3
+        assert node_config.core_speed == pytest.approx(1.5)
+
+    def test_homogeneous_fleet_keeps_user_core_speed(self):
+        """Without node_specs, a node_config's explicit core_speed survives."""
+        config = ClusterConfig(
+            num_nodes=2,
+            cores_per_node=4,
+            node_config=SimulationConfig(
+                num_cores=4, core_speed=2.0, record_utilization=False
+            ),
+        )
+        assert config.build_node_config().core_speed == pytest.approx(2.0)
+        # The derived specs (and hence reported capacities) agree.
+        assert config.expanded_specs()[0].speed_factor == pytest.approx(2.0)
+        assert config.total_capacity() == pytest.approx(16.0)
+        result = simulate_cluster(make_tasks([(0.0, 0.5)]), config=config)
+        assert result.finished_tasks[0].turnaround_time == pytest.approx(0.25)
+        assert result.node_capacity(0) == pytest.approx(8.0)
+
+
+class TestHeterogeneousClaims:
+    """The cluster_scaling acceptance claims, on the experiment's own fleet.
+
+    Uses a 25% slice of the paper's bursty 10-minute workload so the suite
+    stays fast; the orderings are stable from ~20% upward and at full scale
+    (recorded by the experiment itself).
+    """
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.experiments.cluster_scaling import run_heterogeneous_sweep
+
+        return run_heterogeneous_sweep(0.25)
+
+    def test_capacity_normalized_jsq_beats_raw_on_p99(self, sweep):
+        normalized = sweep["jsq_normalized"].summary().p99_turnaround
+        raw = sweep["jsq_raw"].summary().p99_turnaround
+        assert normalized < raw
+
+    def test_work_stealing_beats_no_migration_on_p99(self, sweep):
+        stealing = sweep["round_robin_stealing"].summary().p99_turnaround
+        none = sweep["round_robin"].summary().p99_turnaround
+        assert stealing < none
+        assert sweep["round_robin_stealing"].tasks_migrated > 0
+
+    def test_sweep_completes_every_invocation(self, sweep):
+        for result in sweep.values():
+            assert result.completion_ratio == 1.0

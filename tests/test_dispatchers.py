@@ -21,9 +21,10 @@ def make_task(task_id: int = 0) -> Task:
 class StubNode:
     """Minimal stand-in exposing the load surface dispatchers read."""
 
-    def __init__(self, node_id, inflight=0, busy_cores=0):
+    def __init__(self, node_id, inflight=0, busy_cores=0, capacity=1.0):
         self.node_id = node_id
         self.inflight = inflight
+        self.capacity = capacity
         self._busy_cores = busy_cores
 
     def busy_core_count(self):
@@ -46,6 +47,41 @@ class TestFunctionKey:
         assert function_key(named) == "fib(30)"
         anonymous = make_task(task_id=3)
         assert function_key(anonymous) == "task-3"
+
+    def test_empty_function_id_does_not_collide(self):
+        """Regression: ``function_id=""`` used to map every task to one key."""
+        first, second = make_task(task_id=1), make_task(task_id=2)
+        first.metadata["function_id"] = ""
+        second.metadata["function_id"] = ""
+        assert function_key(first) != function_key(second)
+        assert function_key(first) == "task-1"
+
+    def test_empty_name_falls_through_to_task_id(self):
+        task = make_task(task_id=9)
+        task.name = ""
+        assert function_key(task) == "task-9"
+
+    def test_named_fallback_applies_with_empty_function_id(self):
+        task = make_task(task_id=4)
+        task.metadata["function_id"] = ""
+        task.name = "fib(31)"
+        assert function_key(task) == "fib(31)"
+
+    def test_key_is_stable_across_calls(self):
+        task = make_task(task_id=5)
+        task.metadata["function_id"] = "fib(33)/256mb"
+        assert function_key(task) == function_key(task)
+
+    def test_anonymous_tasks_spread_over_the_ring(self):
+        """With the fix, anonymous tasks route by task id, not one shared key."""
+        dispatcher = ConsistentHashDispatcher()
+        nodes = stub_fleet(0, 0, 0, 0)
+        picks = set()
+        for task_id in range(64):
+            task = make_task(task_id=task_id)
+            task.metadata["function_id"] = ""
+            picks.add(dispatcher.select_node(task, nodes).node_id)
+        assert len(picks) > 1
 
 
 class TestRoundRobin:
@@ -91,6 +127,53 @@ class TestLoadAware:
         nodes = stub_fleet(2, 2, 2)
         assert JoinShortestQueueDispatcher().select_node(make_task(), nodes).node_id == 0
         assert LeastLoadedDispatcher().select_node(make_task(), nodes).node_id == 0
+
+
+class TestCapacityNormalization:
+    """Load-aware policies must weigh queue depth by node capacity."""
+
+    def big_little(self, big_load, little_load):
+        return [
+            StubNode(0, inflight=big_load, busy_cores=big_load, capacity=24.0),
+            StubNode(1, inflight=little_load, busy_cores=little_load, capacity=8.0),
+        ]
+
+    def test_normalized_jsq_prefers_underused_big_node(self):
+        # 6/24 = 0.25 on the big node vs 4/8 = 0.5 on the little one.
+        nodes = self.big_little(big_load=6, little_load=4)
+        assert JoinShortestQueueDispatcher().select_node(make_task(), nodes).node_id == 0
+
+    def test_unnormalized_jsq_is_fooled_by_raw_counts(self):
+        nodes = self.big_little(big_load=6, little_load=4)
+        dispatcher = JoinShortestQueueDispatcher(normalized=False)
+        assert dispatcher.select_node(make_task(), nodes).node_id == 1
+
+    def test_normalized_least_loaded_prefers_underused_big_node(self):
+        nodes = self.big_little(big_load=6, little_load=4)
+        assert LeastLoadedDispatcher().select_node(make_task(), nodes).node_id == 0
+
+    def test_unnormalized_least_loaded_counts_raw_busy_cores(self):
+        nodes = self.big_little(big_load=6, little_load=4)
+        dispatcher = LeastLoadedDispatcher(normalized=False)
+        assert dispatcher.select_node(make_task(), nodes).node_id == 1
+
+    def test_power_of_two_normalizes_sampled_pair(self):
+        # Two nodes: the sample is always both, so the pick is deterministic.
+        nodes = self.big_little(big_load=6, little_load=4)
+        assert PowerOfTwoDispatcher(seed=1).select_node(make_task(), nodes).node_id == 0
+        fooled = PowerOfTwoDispatcher(seed=1, normalized=False)
+        assert fooled.select_node(make_task(), nodes).node_id == 1
+
+    def test_nodes_without_capacity_degrade_to_raw_counts(self):
+        """Stubs lacking ``capacity`` behave as capacity-1 nodes (old API)."""
+
+        class BareNode:
+            def __init__(self, node_id, inflight):
+                self.node_id = node_id
+                self.inflight = inflight
+
+        nodes = [BareNode(0, 3), BareNode(1, 1)]
+        assert JoinShortestQueueDispatcher().select_node(make_task(), nodes).node_id == 1
 
 
 class TestPowerOfTwo:

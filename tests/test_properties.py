@@ -147,3 +147,88 @@ def test_context_switch_efficiency_bounded(nr_running, switch_cost):
     assert 0.0 < efficiency <= 1.0
     if nr_running > 1 and switch_cost > 1e-9:
         assert efficiency < 1.0
+
+
+# ---------------------------------------------------------------------------
+# Cluster invariants: dispatch + work stealing on heterogeneous fleets
+# ---------------------------------------------------------------------------
+
+from repro.cluster import ClusterConfig, NodeSpec, simulate_cluster  # noqa: E402
+from repro.cluster.dispatchers import function_key  # noqa: E402
+from repro.cluster.migration import WorkStealingPolicy  # noqa: E402
+
+
+def _cluster_signature(result):
+    return [
+        (t.task_id, t.completion_time, t.first_run_time,
+         t.metadata.get("node_id"), t.metadata.get("node_migrations", 0))
+        for t in result.tasks
+    ]
+
+
+@given(
+    specs=task_specs,
+    seed=st.integers(min_value=0, max_value=2**16),
+    dispatcher=st.sampled_from(
+        ["random", "round_robin", "least_loaded", "jsq", "power_of_two",
+         "consistent_hash"]
+    ),
+)
+@SIM_SETTINGS
+def test_cluster_runs_are_bit_identical_and_exactly_once(specs, seed, dispatcher):
+    """Same seed + same workload ⇒ identical runs; every task finishes once."""
+    config = ClusterConfig(
+        node_specs=(NodeSpec(cores=2), NodeSpec(cores=1, speed_factor=2.0)),
+        scheduler="fifo",
+        dispatcher=dispatcher,
+        migration="work_stealing",
+        migration_kwargs={"interval": 0.1, "delay": 0.001},
+        seed=seed,
+    )
+    first = simulate_cluster(build_tasks(specs), config=config)
+    second = simulate_cluster(build_tasks(specs), config=config)
+    assert _cluster_signature(first) == _cluster_signature(second)
+    assert first.completion_ratio == 1.0
+    finished_ids = sorted(
+        t.task_id
+        for node_result in first.node_results.values()
+        for t in node_result.finished_tasks
+    )
+    # Exactly once: the per-node results partition the task set.
+    assert finished_ids == sorted(t.task_id for t in first.tasks)
+
+
+@given(specs=task_specs)
+@SIM_SETTINGS
+def test_function_key_unique_for_anonymous_tasks(specs):
+    """Tasks with no function id and no name never share a routing key."""
+    tasks = build_tasks(specs)
+    for task in tasks:
+        task.metadata["function_id"] = ""  # present but empty: must not collide
+    keys = [function_key(t) for t in tasks]
+    assert len(set(keys)) == len(tasks)
+
+
+@given(
+    queued=st.lists(st.integers(min_value=0, max_value=12), min_size=2, max_size=6),
+    idle=st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=6),
+)
+@SIM_SETTINGS
+def test_work_stealing_plan_invariants(queued, idle):
+    """Plans only move queued tasks, never the same task twice, within caps."""
+    from test_migration import StubNode
+
+    nodes = [
+        StubNode(i, queued=q, idle=j)
+        for i, (q, j) in enumerate(zip(queued, idle))
+    ]
+    policy = WorkStealingPolicy(max_steals_per_tick=8)
+    plans = policy.plan(nodes, now=0.0)
+    assert len(plans) <= 8
+    moved = [p.task.task_id for p in plans]
+    assert len(moved) == len(set(moved))
+    total_appetite = sum(j for j in idle)
+    assert len(plans) <= total_appetite
+    for plan in plans:
+        assert plan.target.is_active
+        assert plan.task.first_run_time is None

@@ -1,6 +1,7 @@
-"""Error-path coverage shared by the scheduler and dispatcher registries.
+"""Error-path coverage shared by the scheduler, dispatcher and migration
+registries.
 
-Both registries follow the same contract: case-insensitive names, duplicate
+All registries follow the same contract: case-insensitive names, duplicate
 registration rejected unless ``overwrite=True``, unknown names raise KeyError
 listing the alternatives.
 """
@@ -8,10 +9,14 @@ listing the alternatives.
 import pytest
 
 from repro.cluster.dispatchers import Dispatcher
+from repro.cluster.migration import MigrationPolicy
 from repro.cluster.registry import (
     available_dispatchers,
+    available_migration_policies,
     create_dispatcher,
+    create_migration_policy,
     register_dispatcher,
+    register_migration_policy,
 )
 from repro.schedulers.fifo import FIFOScheduler
 from repro.schedulers.registry import (
@@ -28,6 +33,13 @@ class _ProbeDispatcher(Dispatcher):
         return nodes[0]
 
 
+class _ProbeMigrationPolicy(MigrationPolicy):
+    name = "probe-migration"
+
+    def plan(self, nodes, now):
+        return []
+
+
 REGISTRIES = {
     "scheduler": (
         register_scheduler,
@@ -40,6 +52,12 @@ REGISTRIES = {
         create_dispatcher,
         available_dispatchers,
         _ProbeDispatcher,
+    ),
+    "migration": (
+        register_migration_policy,
+        create_migration_policy,
+        available_migration_policies,
+        _ProbeMigrationPolicy,
     ),
 }
 
@@ -96,3 +114,6 @@ class TestBuiltinCoverage:
         expected = {"random", "round_robin", "least_loaded", "jsq",
                     "power_of_two", "consistent_hash"}
         assert expected.issubset(set(available_dispatchers()))
+
+    def test_builtin_migration_policies_present(self):
+        assert "work_stealing" in available_migration_policies()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""CI perf-smoke gate: fail on >25% regression against ``BENCH_3.json``.
+
+Raw wall-clock cannot be compared across hosts, so the committed baseline
+stores *calibration units*: each bench's best-of-N wall time divided by the
+time a fixed pure-Python loop takes on the same host (see
+:func:`hotpath.calibration_units`).  The gate recomputes units here and
+fails when any gated bench exceeds its baseline by more than 25%.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_perf_regression.py           # gate
+    PYTHONPATH=src python benchmarks/check_perf_regression.py --update  # re-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from hotpath import calibration_units, time_bench  # noqa: E402
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_3.json"
+)
+
+#: Benches gated in CI — the two acceptance-criteria hot paths at their
+#: largest size plus the allocation-churn satellite.  Only benches with
+#: >= ~40 ms of work are gated: the small sizes (7 ms and below) are too
+#: noise-sensitive for a blocking 25% threshold on shared runners — one
+#: CPU-contention window spanning the best-of-N repeats fails them
+#: spuriously.  The small sizes are still timed by test_bench_hotpath.py.
+GATED = (
+    "engine_mp512",
+    "dispatcher_512nodes",
+    "object_churn",
+)
+
+#: Maximum allowed ratio of measured units over baseline units.
+THRESHOLD = 1.25
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the committed baseline units"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="best-of-N timing repeats"
+    )
+    args = parser.parse_args()
+
+    with open(BENCH_PATH) as handle:
+        data = json.load(handle)
+    baseline = data.setdefault("baseline_units", {})
+
+    cal = calibration_units()
+    print(f"calibration loop: {cal * 1e3:.2f} ms on this host")
+    failures = []
+    for name in GATED:
+        seconds = time_bench(name, repeats=args.repeats)
+        units = seconds / cal
+        recorded = baseline.get(name)
+        if args.update:
+            baseline[name] = units
+            print(f"{name:24s} {seconds * 1e3:9.2f} ms  {units:8.3f} units  (baselined)")
+            continue
+        if recorded is None:
+            # A gated bench without a committed baseline must fail loudly,
+            # otherwise a renamed bench would disable its gate forever.
+            print(f"{name:24s} {seconds * 1e3:9.2f} ms  {units:8.3f} units  NO BASELINE")
+            failures.append((name, float("inf")))
+            continue
+        ratio = units / recorded
+        status = "ok" if ratio <= THRESHOLD else "REGRESSION"
+        print(
+            f"{name:24s} {seconds * 1e3:9.2f} ms  {units:8.3f} units  "
+            f"baseline {recorded:8.3f}  ratio {ratio:5.2f}x  {status}"
+        )
+        if ratio > THRESHOLD:
+            failures.append((name, ratio))
+
+    if args.update:
+        with open(BENCH_PATH, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"updated {os.path.normpath(BENCH_PATH)}")
+        return 0
+    if failures:
+        print(
+            "perf-smoke FAILED: "
+            + ", ".join(
+                f"{name} {'missing baseline' if ratio == float('inf') else f'{ratio:.2f}x over baseline'}"
+                for name, ratio in failures
+            )
+        )
+        return 1
+    print("perf-smoke ok: no bench regressed by more than 25%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,151 @@
+"""Hot-path microbenchmark workloads.
+
+Shared by ``test_bench_hotpath.py`` (pytest-benchmark timings), the CI
+perf-smoke gate (``check_perf_regression.py``) and the ``BENCH_3.json``
+baseline capture.  Two workloads target the two hot paths the virtual-time
+refactor rewrote:
+
+* **engine** — one CFS machine at multiprogramming level *mp* per core:
+  every event used to touch all ``mp`` tasks on the core (O(n) sync + O(n)
+  next-completion scan); virtual time makes both O(log n).
+* **dispatcher** — a JSQ cluster of *n* single-core nodes: every arrival
+  used to scan all ``n`` nodes; the incrementally maintained load index
+  makes the pick O(log n).
+
+Workloads are seeded and deterministic so timings measure the engine, not
+the workload draw.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.cluster import ClusterConfig, simulate_cluster
+from repro.schedulers.cfs import CFSScheduler
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+from repro.simulation.task import Task
+
+#: Multiprogramming levels (tasks per core) swept by the engine microbench.
+ENGINE_MP_LEVELS = (1, 8, 64, 512)
+
+#: Fleet sizes swept by the dispatcher microbench.
+DISPATCHER_NODE_COUNTS = (4, 64, 512)
+
+ENGINE_CORES = 4
+TOTAL_WORK_PER_CORE = 2.0  # seconds of service per core, split across mp tasks
+
+
+def engine_tasks(mp: int, cores: int = ENGINE_CORES) -> list:
+    """``mp * cores`` tasks all arriving in one burst (peak multiprogramming).
+
+    Service times ramp linearly (spread ~2x) so completions interleave and
+    the next-completion structure is genuinely exercised rather than hit by
+    one simultaneous batch.
+    """
+    count = mp * cores
+    base = TOTAL_WORK_PER_CORE / (mp * 1.5)
+    return [
+        Task(
+            task_id=i,
+            arrival_time=i * 1e-7,
+            service_time=base * (1.0 + i / count),
+        )
+        for i in range(count)
+    ]
+
+
+def run_engine_bench(mp: int, cores: int = ENGINE_CORES):
+    """One CFS run at multiprogramming level ``mp``; returns the result."""
+    result = simulate(
+        CFSScheduler(),
+        engine_tasks(mp, cores),
+        config=SimulationConfig(num_cores=cores, record_utilization=False),
+    )
+    assert len(result.finished_tasks) == mp * cores
+    return result
+
+
+def dispatcher_tasks(num_nodes: int, per_node: int = 4) -> list:
+    """Short tasks arriving fast enough to keep most nodes loaded."""
+    count = num_nodes * per_node
+    service = 0.05
+    spacing = service / (2.0 * num_nodes)
+    return [
+        Task(task_id=i, arrival_time=i * spacing, service_time=service)
+        for i in range(count)
+    ]
+
+
+def run_dispatcher_bench(num_nodes: int):
+    """One JSQ cluster run over ``num_nodes`` single-core nodes."""
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        cores_per_node=1,
+        scheduler="fifo",
+        dispatcher="jsq",
+    )
+    result = simulate_cluster(dispatcher_tasks(num_nodes), config=config)
+    assert len(result.tasks) == num_nodes * 4
+    return result
+
+
+def run_object_churn(count: int = 50_000) -> int:
+    """Allocation churn for the ``__slots__`` satellite: tasks + queue events."""
+    from repro.simulation.events import EventQueue
+
+    queue = EventQueue()
+    for i in range(count):
+        task = Task(task_id=i, arrival_time=float(i), service_time=1.0)
+        queue.push(task.arrival_time, None, tag="arrival", payload=task)
+    popped = 0
+    while queue.pop() is not None:
+        popped += 1
+    return popped
+
+
+BENCHES: Dict[str, Callable[[], object]] = {
+    **{f"engine_mp{mp}": (lambda mp=mp: run_engine_bench(mp)) for mp in ENGINE_MP_LEVELS},
+    **{
+        f"dispatcher_{n}nodes": (lambda n=n: run_dispatcher_bench(n))
+        for n in DISPATCHER_NODE_COUNTS
+    },
+    "object_churn": run_object_churn,
+}
+
+
+def time_bench(name: str, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one named bench."""
+    fn = BENCHES[name]
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def calibration_units() -> float:
+    """Seconds for a fixed pure-Python workload on this host.
+
+    Dividing bench timings by this figure yields host-independent
+    "calibration units", which is what the committed baseline stores — a
+    25% regression gate on raw wall-clock would trip on any slower CI
+    runner.
+    """
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(2_000_000):
+            acc += i & 7
+        best = min(best, time.perf_counter() - start)
+    assert acc >= 0
+    return best
+
+
+def measure_all(repeats: int = 3) -> Tuple[Dict[str, float], float]:
+    """(seconds per bench, calibration seconds) for this host."""
+    cal = calibration_units()
+    return {name: time_bench(name, repeats) for name in BENCHES}, cal

@@ -1,0 +1,44 @@
+"""Hot-path microbenchmarks: engine multiprogramming + dispatcher fleet size.
+
+These are the PR-3 perf-regression benches: the engine sweep exercises the
+virtual-time fair-share core at multiprogramming levels 1/8/64/512 and the
+dispatcher sweep exercises indexed JSQ dispatch at 4/64/512 nodes.  The
+committed baseline lives in ``BENCH_3.json`` (host-normalised units; see
+``check_perf_regression.py`` for the CI gate that fails on >25% regression).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from hotpath import (
+    DISPATCHER_NODE_COUNTS,
+    ENGINE_CORES,
+    ENGINE_MP_LEVELS,
+    run_dispatcher_bench,
+    run_engine_bench,
+    run_object_churn,
+)
+
+
+@pytest.mark.parametrize("mp", ENGINE_MP_LEVELS)
+def test_bench_engine_multiprogramming(benchmark, mp):
+    """CFS at ``mp`` tasks per core: per-event cost must stay ~O(log mp)."""
+    result = benchmark.pedantic(run_engine_bench, kwargs={"mp": mp}, rounds=1, iterations=1)
+    assert len(result.finished_tasks) == mp * ENGINE_CORES
+
+
+@pytest.mark.parametrize("num_nodes", DISPATCHER_NODE_COUNTS)
+def test_bench_dispatcher_jsq(benchmark, num_nodes):
+    """JSQ over ``num_nodes`` nodes: per-arrival pick must stay ~O(log n)."""
+    result = benchmark.pedantic(
+        run_dispatcher_bench, kwargs={"num_nodes": num_nodes}, rounds=1, iterations=1
+    )
+    assert len(result.tasks) == num_nodes * 4
+    assert all(task.is_finished for task in result.tasks)
+
+
+def test_bench_object_churn(benchmark):
+    """Task + payload-event allocation churn (the ``__slots__`` satellite)."""
+    popped = benchmark.pedantic(run_object_churn, rounds=1, iterations=1)
+    assert popped == 50_000

@@ -15,7 +15,7 @@ from __future__ import annotations
 import zlib
 from abc import ABC, abstractmethod
 from bisect import bisect_right
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,7 +51,21 @@ class Dispatcher(ABC):
         Args:
             task: The arriving invocation.
             nodes: Non-empty sequence of *active* nodes, in node-id order.
+                When this is the cluster's own
+                :class:`~repro.cluster.load_index.ActiveNodeView`,
+                load-aware policies answer from the incrementally maintained
+                index in O(log n) instead of scanning; plain sequences keep
+                the scanning behaviour (same pick either way).
         """
+
+    def load_index_key(self) -> Optional[Tuple[str, Callable[[ClusterNode], float]]]:
+        """(name, key function) of the load signal this policy wants indexed.
+
+        ``None`` (the default) means the policy never consults the index.
+        The cluster registers the returned key on its
+        :class:`~repro.cluster.load_index.NodeLoadIndex` at construction.
+        """
+        return None
 
     def describe(self) -> str:
         """One-line human description used in reports."""
@@ -111,6 +125,18 @@ def _queue_load(node: ClusterNode, normalized: bool) -> float:
     return float(node.inflight)
 
 
+def _raw_queue_load(node: ClusterNode) -> float:
+    return float(node.inflight)
+
+
+def _normalized_busy_load(node: ClusterNode) -> float:
+    return node.busy_core_count() / _node_capacity(node)
+
+
+def _raw_busy_load(node: ClusterNode) -> float:
+    return float(node.busy_core_count())
+
+
 class LeastLoadedDispatcher(Dispatcher):
     """Node with the fewest busy cores (instantaneous utilization).
 
@@ -124,8 +150,19 @@ class LeastLoadedDispatcher(Dispatcher):
 
     def __init__(self, normalized: bool = True) -> None:
         self.normalized = normalized
+        self._index_name = "busy_load_normalized" if normalized else "busy_load_raw"
+
+    def load_index_key(self) -> Tuple[str, Callable[[ClusterNode], float]]:
+        if self.normalized:
+            return (self._index_name, _normalized_busy_load)
+        return (self._index_name, _raw_busy_load)
 
     def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
+        index = getattr(nodes, "load_index", None)
+        if index is not None:
+            pick = index.min(self._index_name)
+            if pick is not None:
+                return pick
         if self.normalized:
             return min(
                 nodes,
@@ -146,8 +183,19 @@ class JoinShortestQueueDispatcher(Dispatcher):
 
     def __init__(self, normalized: bool = True) -> None:
         self.normalized = normalized
+        self._index_name = "queue_load_normalized" if normalized else "queue_load_raw"
+
+    def load_index_key(self) -> Tuple[str, Callable[[ClusterNode], float]]:
+        if self.normalized:
+            return (self._index_name, normalized_load)
+        return (self._index_name, _raw_queue_load)
 
     def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
+        index = getattr(nodes, "load_index", None)
+        if index is not None:
+            pick = index.min(self._index_name)
+            if pick is not None:
+                return pick
         return min(
             nodes, key=lambda n: (_queue_load(n, self.normalized), n.node_id)
         )

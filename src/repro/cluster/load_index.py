@@ -1,0 +1,134 @@
+"""Incrementally maintained load index over the active node set.
+
+The JSQ-family dispatchers used to rescan every active node per arrival —
+O(fleet) on the hottest cluster path.  The index keeps one lazily-invalidated
+min-heap per registered load key (e.g. capacity-normalised queue depth),
+refreshed by O(log n) pushes whenever a node's load changes, so the
+least-loaded pick is an O(log n) peek.
+
+Determinism: heap entries order by ``(load, node_id, version)``, exactly the
+``(load, node_id)`` tie-break the scanning implementations use, so an
+index-backed pick always equals the scan's pick.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class NodeLoadIndex:
+    """Min-structures over active nodes, one heap per registered load key."""
+
+    __slots__ = ("_nodes", "_version", "_heaps", "_key_fns")
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, object] = {}
+        self._version: Dict[int, int] = {}
+        self._heaps: Dict[str, List[Tuple[float, int, int]]] = {}
+        self._key_fns: Dict[str, Callable[[object], float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def register(self, name: str, key_fn: Callable[[object], float]) -> None:
+        """Start maintaining a heap for ``key_fn`` (idempotent per name)."""
+        if name in self._key_fns:
+            return
+        self._key_fns[name] = key_fn
+        heap = self._heaps[name] = []
+        for node in self._nodes.values():
+            heapq.heappush(
+                heap, (key_fn(node), node.node_id, self._version[node.node_id])
+            )
+
+    def add(self, node) -> None:
+        """Track ``node`` (it became active)."""
+        node_id = node.node_id
+        if node_id in self._nodes:
+            return
+        self._nodes[node_id] = node
+        self._version[node_id] = self._version.get(node_id, 0) + 1
+        self._push(node)
+
+    def discard(self, node) -> None:
+        """Stop tracking ``node`` (drained or retired); idempotent."""
+        if self._nodes.pop(node.node_id, None) is not None:
+            self._version[node.node_id] += 1
+
+    def touch(self, node) -> None:
+        """Refresh ``node``'s heap entries after a load change."""
+        if not self._key_fns:
+            return
+        node_id = node.node_id
+        if node_id not in self._nodes:
+            return
+        self._version[node_id] += 1
+        self._push(node)
+
+    def _push(self, node) -> None:
+        version = self._version[node.node_id]
+        compact_above = max(16, 4 * len(self._nodes))
+        for name, key_fn in self._key_fns.items():
+            heap = self._heaps[name]
+            if len(heap) > compact_above:
+                # Lazy invalidation never removes stale entries buried below
+                # the top; rebuild before the heap outgrows the live set.
+                self._heaps[name] = heap = [
+                    (key_fn(live), live.node_id, self._version[live.node_id])
+                    for live in self._nodes.values()
+                    if live is not node
+                ]
+                heapq.heapify(heap)
+            heapq.heappush(heap, (key_fn(node), node.node_id, version))
+
+    def min(self, name: str):
+        """Tracked node with the smallest registered key, or None when empty.
+
+        Ties break on the lower node id — identical to the scanning
+        dispatchers' ``min(nodes, key=lambda n: (load, n.node_id))``.
+        """
+        heap = self._heaps.get(name)
+        if heap is None:
+            return None
+        while heap:
+            _, node_id, version = heap[0]
+            node = self._nodes.get(node_id)
+            if node is None or version != self._version[node_id]:
+                heapq.heappop(heap)
+                continue
+            return node
+        return None
+
+
+class ActiveNodeView(list):
+    """The cluster's live active-node list (id-ordered), carrying its index.
+
+    Index-aware dispatchers recognise this type: when ``select_node`` is
+    handed the cluster's own active set, they answer from the incrementally
+    maintained :class:`NodeLoadIndex` instead of scanning.  Plain sequences
+    (tests, filtered candidate lists) keep the scanning behaviour.
+    """
+
+    __slots__ = ("load_index",)
+
+    def __init__(self, load_index: Optional[NodeLoadIndex] = None) -> None:
+        super().__init__()
+        self.load_index = load_index
+
+    def insert_node(self, node) -> None:
+        """Insert keeping node-id order (no-op if already present)."""
+        for i, existing in enumerate(self):
+            if existing.node_id == node.node_id:
+                return
+            if existing.node_id > node.node_id:
+                self.insert(i, node)
+                return
+        self.append(node)
+
+    def remove_node(self, node) -> None:
+        """Remove by identity; no-op if absent."""
+        for i, existing in enumerate(self):
+            if existing is node:
+                del self[i]
+                return

@@ -113,6 +113,10 @@ class ClusterNode:
         self.activated_at: Optional[float] = None
         self.retired_at: Optional[float] = None
         self._started = False
+        # Called with this node after any load change (inflight or busy-core
+        # count); the cluster hooks it to refresh its dispatch load index.
+        self.load_listener: Optional[Callable[["ClusterNode"], None]] = None
+        machine.on_load_change = self._notify_load
 
     # ------------------------------------------------------------------ state
 
@@ -163,12 +167,16 @@ class ClusterNode:
         return self.spec.capacity
 
     def busy_core_count(self) -> int:
-        """Cores currently executing at least one task."""
-        return len(self.machine.busy_cores())
+        """Cores currently executing at least one task (O(1))."""
+        return self.machine.busy_core_count()
 
     def idle_core_count(self) -> int:
-        """Idle, unlocked cores — the node's appetite for stolen work."""
-        return len(self.machine.idle_cores())
+        """Idle, unlocked cores — the node's appetite for stolen work (O(1))."""
+        return self.machine.idle_core_count()
+
+    def _notify_load(self) -> None:
+        if self.load_listener is not None:
+            self.load_listener(self)
 
     # --------------------------------------------------------------- dispatch
 
@@ -190,6 +198,7 @@ class ClusterNode:
         self.inflight += 1
         self.tasks_assigned += 1
         self.engine._unfinished += 1
+        self._notify_load()
         task.mark_queued()
         self.scheduler.on_task_arrival(task)
 
@@ -197,6 +206,7 @@ class ClusterNode:
         """Cluster-side accounting when one of this node's tasks completes."""
         self.inflight -= 1
         self.tasks_completed += 1
+        self._notify_load()
 
     # --------------------------------------------------------------- stealing
 
@@ -231,6 +241,7 @@ class ClusterNode:
         self.inflight -= 1
         self.engine._unfinished -= 1
         self.tasks_stolen_away += 1
+        self._notify_load()
         return True
 
     def receive_stolen(self, task: Task, now: float, *, force: bool = False) -> None:

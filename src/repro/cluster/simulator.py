@@ -19,6 +19,7 @@ from typing import Iterable, List, Optional, Sequence
 from repro.cluster.autoscaler import ReactiveAutoscaler
 from repro.cluster.config import ClusterConfig, NodeSpec
 from repro.cluster.dispatchers import Dispatcher, normalized_load
+from repro.cluster.load_index import ActiveNodeView, NodeLoadIndex
 from repro.cluster.migration import Migration, MigrationPolicy
 from repro.cluster.node import ClusterNode, NodeState
 from repro.cluster.registry import create_dispatcher, create_migration_policy
@@ -51,6 +52,13 @@ class ClusterSimulator:
         self.autoscaler = autoscaler
         if self.autoscaler is not None:
             self.autoscaler.attach(self)
+        # Incrementally maintained active set + load index: dispatch consults
+        # these instead of rescanning the fleet per arrival.
+        self._load_index = NodeLoadIndex()
+        self._active = ActiveNodeView(self._load_index)
+        index_key = self.dispatcher.load_index_key()
+        if index_key is not None:
+            self._load_index.register(*index_key)
         self.nodes: List[ClusterNode] = []
         self.tasks: List[Task] = []
         self.series: dict = {}
@@ -113,7 +121,10 @@ class ClusterSimulator:
             pending_arrivals=lambda: self._pending_arrivals,
             finished_callback=lambda task, n=node: self._on_task_finished(n, task),
         )
+        node.load_listener = self._load_index.touch
         self.nodes.append(node)
+        if state is NodeState.ACTIVE:
+            self._track_active(node)
         return node
 
     # ------------------------------------------------------------------- clock
@@ -129,8 +140,20 @@ class ClusterSimulator:
     # ------------------------------------------------------------------- fleet
 
     def active_nodes(self) -> List[ClusterNode]:
-        """Nodes accepting work, in node-id order (deterministic)."""
-        return [node for node in self.nodes if node.is_active]
+        """Nodes accepting work, in node-id order (deterministic).
+
+        Returns a snapshot; the dispatch hot path uses the cluster's
+        internal incrementally-maintained view directly.
+        """
+        return list(self._active)
+
+    def _track_active(self, node: ClusterNode) -> None:
+        self._active.insert_node(node)
+        self._load_index.add(node)
+
+    def _untrack_active(self, node: ClusterNode) -> None:
+        self._active.remove_node(node)
+        self._load_index.discard(node)
 
     def add_node(
         self, booting: bool = True, spec: Optional[NodeSpec] = None
@@ -161,6 +184,7 @@ class ClusterSimulator:
         if node.state is NodeState.RETIRED:
             return
         node.activate(self.now)
+        self._track_active(node)
         self._record_fleet_size()
         if self.waiting_tasks:
             backlog, self.waiting_tasks = self.waiting_tasks, []
@@ -175,6 +199,7 @@ class ClusterSimulator:
         the fleet instead of trickling out behind its running work.
         """
         node.start_draining()
+        self._untrack_active(node)
         if self.migration_policy is not None and self._running:
             self._run_migration_pass()
         if node.state is NodeState.DRAINING and node.inflight == 0:
@@ -183,11 +208,12 @@ class ClusterSimulator:
 
     def _retire_node(self, node: ClusterNode) -> None:
         node.retire(self.now)
+        self._untrack_active(node)
         self.nodes_removed += 1
         self._record_fleet_size()
 
     def _record_fleet_size(self) -> None:
-        self.record_series("cluster.active_nodes", float(len(self.active_nodes())))
+        self.record_series("cluster.active_nodes", float(len(self._active)))
 
     def _work_can_progress(self) -> bool:
         """True while periodic ticks can still achieve anything.
@@ -211,19 +237,40 @@ class ClusterSimulator:
             self.tasks.append(task)
             self._unfinished += 1
             self._pending_arrivals += 1
+            # Payload-carrying event dispatched by tag: no per-task closure.
             self.events.push(
                 task.arrival_time,
-                lambda t=task: self._handle_arrival(t),
+                None,
                 priority=EventPriority.ARRIVAL,
                 tag="cluster-arrival",
+                payload=task,
             )
+
+    def _dispatch_tagged(self, event) -> None:
+        """Route a payload-carrying (callback-free) event by its tag.
+
+        Cluster-level tags are handled here; anything else (completions, and
+        any engine-level tag added later) is delegated to the per-node
+        engine that owns the event's payload, so the engine keeps the single
+        routing table for its own events.
+        """
+        if event.tag == "cluster-arrival":
+            self._handle_arrival(event.payload)
+            return
+        owner = getattr(event.payload, "_engine", None)
+        if owner is None:
+            raise SimulationError(
+                f"event at t={event.time} has no callback and unknown tag "
+                f"{event.tag!r}"
+            )
+        owner._dispatch_tagged(event)
 
     def _handle_arrival(self, task: Task) -> None:
         self._pending_arrivals -= 1
         self._dispatch(task)
 
     def _dispatch(self, task: Task) -> None:
-        active = self.active_nodes()
+        active = self._active
         if not active:
             if not any(node.state is NodeState.BOOTING for node in self.nodes):
                 raise SimulationError(
@@ -300,7 +347,7 @@ class ClusterSimulator:
         if target.is_active:
             landing = target
         else:
-            active = self.active_nodes()
+            active = self._active
             others = [node for node in active if node is not source]
             if others:
                 landing = self.dispatcher.select_node(task, others)
@@ -369,10 +416,20 @@ class ClusterSimulator:
                 break
             self.clock.advance_to(event.time)
             self._events_processed += 1
-            event.callback()
+            callback = event.callback
+            if callback is not None:
+                callback()
+            else:
+                self._dispatch_tagged(event)
             if self._unfinished == 0 and self._pending_arrivals == 0:
                 break
 
+        # Flush lazily accounted service so per-task fields are concrete in
+        # every node's result, including tasks cut off by a time limit.
+        for node in self.nodes:
+            for core in node.machine.cores:
+                core.sync(self.now)
+                core.materialize_all()
         # Final utilization sample so short runs still get at least one point.
         if node_config.record_utilization:
             for node in self.nodes:

@@ -16,15 +16,28 @@ Both behaviours come from the same primitive, so a core can migrate between
 the FIFO and CFS groups at runtime (Fig. 8 of the paper) without changing its
 type — only the scheduler's usage pattern changes.
 
+**Virtual-time accounting.**  Because every assigned task receives the same
+service rate, the core only needs one monotonically increasing counter — the
+*attained service per task* (``_attained``) — advanced in O(1) at each sync.
+Each task records the counter value at assignment; its remaining work at any
+instant is ``remaining_at_entry - (attained_now - attained_at_entry)`` and is
+folded into the task's concrete fields lazily (on read, deschedule or
+completion).  Each task's *virtual finish point* (``attained_at_entry +
+remaining_at_entry``) sits in a per-core min-heap, so the next completion is
+an O(log n) peek instead of an O(n) scan and per-event cost no longer grows
+with the multiprogramming level.  Heap entries are invalidated lazily;
+writes to ``task.remaining`` (e.g. migration-cost charges) re-key the entry.
+
 All methods take the current simulation time explicitly; a core never reads
 the clock itself, which keeps it trivially testable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.simulation.clock import TIME_EPSILON
 from repro.simulation.context_switch import ContextSwitchModel
@@ -32,6 +45,10 @@ from repro.simulation.task import Task
 
 #: Remaining service below this is treated as "finished" (float safety margin).
 REMAINING_EPSILON = 1e-9
+
+#: Rebase the attained-service counter past this value (see :meth:`Core._rebase`):
+#: one double ULP approaches REMAINING_EPSILON once the counter nears ~4.5e6.
+ATTAINED_REBASE_THRESHOLD = 1e6
 
 
 class CoreMode(Enum):
@@ -68,6 +85,27 @@ class CoreStats:
 class Core:
     """A single CPU core executing its assigned tasks by processor sharing."""
 
+    __slots__ = (
+        "core_id",
+        "group",
+        "mode",
+        "speed",
+        "locked",
+        "stats",
+        "_cs_model",
+        "_migration_cost",
+        "_tasks",
+        "_last_update",
+        "_completion_handle",
+        "_engine",
+        "_attained",
+        "_vstart",
+        "_entries",
+        "_finish_heap",
+        "_entry_seq",
+        "_load_listener",
+    )
+
     def __init__(
         self,
         core_id: int,
@@ -89,10 +127,24 @@ class Core:
         self._migration_cost = migration_cost
         self._tasks: Dict[int, Task] = {}
         self._last_update = 0.0
-        # Set by the simulator: called with (core, task) when a task finishes.
-        self._completion_callback: Optional[Callable[["Core", Task], None]] = None
         # Opaque handle for the pending completion event; owned by the simulator.
         self._completion_handle = None
+        # The engine driving this core; set by the simulator so shared-queue
+        # (cluster) runs can route tag-dispatched completion events home.
+        self._engine = None
+        # --- virtual-time accounting ---------------------------------------
+        #: Cumulative service attained per task since this core was built.
+        self._attained = 0.0
+        #: Attained-counter value at each task's last materialization.
+        self._vstart: Dict[int, float] = {}
+        #: Live heap entry per task id: (virtual finish point, sequence).
+        self._entries: Dict[int, Tuple[float, int]] = {}
+        #: Min-heap of (virtual finish, sequence, task id); lazily invalidated.
+        self._finish_heap: List[Tuple[float, int, int]] = []
+        self._entry_seq = 0
+        # Called with this core after any nr_running / locked change; set by
+        # the machine to keep its idle/least-loaded indexes current.
+        self._load_listener: Optional[Callable[["Core"], None]] = None
 
     # ------------------------------------------------------------------ state
 
@@ -127,7 +179,7 @@ class Core:
 
     def service_rate(self) -> float:
         """Service rate each assigned task currently receives (seconds/second)."""
-        n = self.nr_running
+        n = len(self._tasks)
         if n == 0:
             return 0.0
         return self.speed * self._cs_model.efficiency(n) / n
@@ -137,16 +189,100 @@ class Core:
         rate = self.service_rate()
         if rate <= 0.0:
             return None
-        min_remaining = min(task.remaining for task in self._tasks.values())
-        return max(min_remaining, 0.0) / rate
+        vfinish = self._peek_min_vfinish()
+        if vfinish is None:
+            return None
+        return max(vfinish - self._attained, 0.0) / rate
+
+    # ------------------------------------------------- virtual-time plumbing
+
+    def _push_entry(self, task: Task) -> None:
+        """(Re-)key ``task``'s virtual finish point in the completion heap."""
+        self._entry_seq += 1
+        vfinish = self._attained + task._remaining
+        entry = (vfinish, self._entry_seq)
+        self._entries[task.task_id] = entry
+        heapq.heappush(self._finish_heap, (vfinish, self._entry_seq, task.task_id))
+
+    def _peek_min_vfinish(self) -> Optional[float]:
+        """Smallest live virtual finish point, discarding stale heap entries."""
+        heap = self._finish_heap
+        entries = self._entries
+        while heap:
+            vfinish, seq, task_id = heap[0]
+            if entries.get(task_id) != (vfinish, seq):
+                heapq.heappop(heap)
+                continue
+            return vfinish
+        return None
+
+    def materialize(self, task: Task) -> float:
+        """Fold attained service into ``task``'s concrete fields; return remaining.
+
+        This is the ``sync``-on-read accessor behind ``task.remaining``: it
+        charges the service the task attained since its last materialization
+        (clamped at its remaining demand, mirroring the eager model's
+        per-sync clamp) and resets its virtual start point.  The virtual
+        finish point is unchanged by construction, so no re-keying is needed.
+        """
+        vstart = self._vstart[task.task_id]
+        accrued = self._attained - vstart
+        remaining = task._remaining
+        if accrued <= 0.0:
+            return remaining
+        if accrued >= remaining:
+            # The final slice: cap at the remaining demand and return the
+            # overshoot (float noise at the completion instant) that the
+            # O(1) sync already counted as delivered.
+            excess = accrued - remaining
+            if excess > 0.0:
+                self.stats.service_delivered -= excess
+            amount = remaining
+        else:
+            amount = accrued
+        task.cpu_time_received += amount
+        task.vruntime += amount
+        task._remaining = remaining - amount
+        self._vstart[task.task_id] = self._attained
+        return task._remaining
+
+    def set_remaining(self, task: Task, value: float) -> None:
+        """Write ``task.remaining`` while assigned: materialize, set, re-key."""
+        self.materialize(task)
+        task._remaining = value
+        self._push_entry(task)
+
+    def _attach(self, task: Task) -> None:
+        self._tasks[task.task_id] = task
+        task._core = self
+        self._vstart[task.task_id] = self._attained
+        self._push_entry(task)
+
+    def _detach(self, task: Task) -> None:
+        del self._tasks[task.task_id]
+        del self._vstart[task.task_id]
+        self._entries.pop(task.task_id, None)
+        task._core = None
+        if not self._tasks:
+            # Rebase virtual time whenever the core runs dry: the attained
+            # counter would otherwise grow without bound over a long run and
+            # erode the absolute REMAINING_EPSILON completion test (ULP of a
+            # double exceeds 1e-9 once the counter passes ~4.5e6).
+            self._attained = 0.0
+            self._finish_heap.clear()
+
+    def _notify_load(self) -> None:
+        if self._load_listener is not None:
+            self._load_listener(self)
 
     # ------------------------------------------------------------- progression
 
     def sync(self, now: float) -> None:
         """Advance the internal service accounting up to ``now``.
 
-        Must be called before any mutation of the task set and before reading
-        utilization figures at ``now``.
+        O(1) in the number of assigned tasks: only the shared attained-service
+        counter and the cumulative core stats move; per-task fields are
+        materialized lazily.
         """
         elapsed = now - self._last_update
         if elapsed < -TIME_EPSILON:
@@ -157,20 +293,49 @@ class Core:
         if elapsed <= 0:
             self._last_update = max(self._last_update, now)
             return
-        n = self.nr_running
+        n = len(self._tasks)
         if n > 0:
             rate = self.service_rate()
-            delivered = 0.0
-            for task in self._tasks.values():
-                amount = min(rate * elapsed, task.remaining)
-                task.account_service(amount)
-                delivered += amount
+            delivered = rate * elapsed
+            self._attained += delivered
             self.stats.busy_time += elapsed
-            self.stats.service_delivered += delivered
+            self.stats.service_delivered += n * delivered
             self.stats.estimated_context_switches += self._cs_model.switches_over(
                 n, elapsed
             )
+            if self._attained > ATTAINED_REBASE_THRESHOLD:
+                self._rebase()
         self._last_update = now
+
+    def _rebase(self) -> None:
+        """Shift virtual time back to zero on a long-lived busy core.
+
+        A never-idle core's attained counter would otherwise grow without
+        bound and erode the absolute :data:`REMAINING_EPSILON` completion
+        test (one double ULP exceeds 1e-9 past ~4.5e6).  Shifting
+        ``_attained``, every virtual start and every heap key by the same
+        constant preserves all remaining-work differences to within one ULP
+        of the shift, and heap order is preserved (sequence numbers break
+        any rounding-induced ties deterministically).
+        """
+        base = self._attained
+        self._attained = 0.0
+        for task_id in self._vstart:
+            self._vstart[task_id] -= base
+        entries: Dict[int, Tuple[float, int]] = {}
+        heap: List[Tuple[float, int, int]] = []
+        for task_id, (vfinish, seq) in self._entries.items():
+            shifted = vfinish - base
+            entries[task_id] = (shifted, seq)
+            heap.append((shifted, seq, task_id))
+        heapq.heapify(heap)
+        self._entries = entries
+        self._finish_heap = heap
+
+    def materialize_all(self) -> None:
+        """Fold attained service into every assigned task (end-of-run flush)."""
+        for task in self._tasks.values():
+            self.materialize(task)
 
     # ------------------------------------------------------------- task moves
 
@@ -196,8 +361,9 @@ class Core:
             task.remaining += self._migration_cost
             self.stats.migrations_in += 1
         task.mark_running(now, self.core_id)
-        self._tasks[task.task_id] = task
+        self._attach(task)
         self.stats.tasks_started += 1
+        self._notify_load()
 
     def remove_task(self, task: Task, now: float, *, preempted: bool = False) -> Task:
         """Detach ``task`` from this core at ``now``.
@@ -211,24 +377,46 @@ class Core:
                 f"task {task.task_id} is not assigned to core {self.core_id}"
             )
         self.sync(now)
-        del self._tasks[task.task_id]
+        self.materialize(task)
+        self._detach(task)
         if preempted:
             task.mark_preempted()
             self.stats.explicit_preemptions += 1
             self.stats.migrations_out += 1
+        self._notify_load()
         return task
 
     def finish_ready_tasks(self, now: float) -> list[Task]:
         """Complete and detach every task whose remaining service reached zero."""
         self.sync(now)
+        threshold = self._attained + REMAINING_EPSILON
+        heap = self._finish_heap
+        entries = self._entries
+        ready_ids: List[int] = []
+        while heap:
+            vfinish, seq, task_id = heap[0]
+            if entries.get(task_id) != (vfinish, seq):
+                heapq.heappop(heap)
+                continue
+            if vfinish > threshold:
+                break
+            heapq.heappop(heap)
+            ready_ids.append(task_id)
+        if not ready_ids:
+            return []
+        if len(ready_ids) > 1:
+            # Preserve the eager model's completion order: assignment order.
+            ready = set(ready_ids)
+            ready_ids = [tid for tid in self._tasks if tid in ready]
         finished: list[Task] = []
-        for task_id in [
-            tid for tid, t in self._tasks.items() if t.remaining <= REMAINING_EPSILON
-        ]:
-            task = self._tasks.pop(task_id)
+        for task_id in ready_ids:
+            task = self._tasks[task_id]
+            self.materialize(task)
+            self._detach(task)
             task.mark_finished(now)
             self.stats.tasks_completed += 1
             finished.append(task)
+        self._notify_load()
         return finished
 
     def drain(self, now: float) -> list[Task]:
@@ -244,10 +432,12 @@ class Core:
     def lock(self) -> None:
         """Prevent new task assignments (step 1 of the Fig. 8 protocol)."""
         self.locked = True
+        self._notify_load()
 
     def unlock(self) -> None:
         """Re-enable task assignments (final step of the Fig. 8 protocol)."""
         self.locked = False
+        self._notify_load()
 
     def change_group(self, new_group: str, mode: Optional[CoreMode] = None) -> None:
         """Move this core to another policy group."""

@@ -58,6 +58,11 @@ class Simulator:
         self._pending_arrivals = 0
         self._events_processed = 0
         self._running = False
+        # Tag-dispatched completion events carry only the core; record the
+        # owning engine on each core so shared-queue (cluster) loops can
+        # route the event to the right per-node engine.
+        for core in machine.cores:
+            core._engine = self
         scheduler.attach(self)
 
     # ------------------------------------------------------------------ clock
@@ -76,11 +81,13 @@ class Simulator:
             self.tasks.append(task)
             self._unfinished += 1
             self._pending_arrivals += 1
+            # Payload-carrying event dispatched by tag: no per-task closure.
             self.events.push(
                 task.arrival_time,
-                lambda t=task: self._handle_arrival(t),
+                None,
                 priority=EventPriority.ARRIVAL,
                 tag="arrival",
+                payload=task,
             )
 
     # ----------------------------------------------------------------- timers
@@ -157,10 +164,20 @@ class Simulator:
                 break
             self.clock.advance_to(event.time)
             self._events_processed += 1
-            event.callback()
+            callback = event.callback
+            if callback is not None:
+                callback()
+            else:
+                self._dispatch_tagged(event)
             if self._unfinished == 0 and self._pending_arrivals == 0:
                 break
 
+        # Flush lazily accounted service so task fields (remaining,
+        # cpu_time_received) are concrete in the result, even for tasks cut
+        # off by a time limit.
+        for core in self.machine.cores:
+            core.sync(self.now)
+            core.materialize_all()
         # Final utilization sample so short runs still get at least one point.
         if self.config.record_utilization and self.machine.cores:
             self.collector.sample_utilization(
@@ -181,6 +198,19 @@ class Simulator:
         )
 
     # ----------------------------------------------------------- event logic
+
+    def _dispatch_tagged(self, event) -> None:
+        """Route a payload-carrying (callback-free) event by its tag."""
+        tag = event.tag
+        if tag == "completion":
+            core = event.payload
+            core._engine._handle_completion(core)
+        elif tag == "arrival":
+            self._handle_arrival(event.payload)
+        else:
+            raise SimulationError(
+                f"event at t={event.time} has no callback and unknown tag {tag!r}"
+            )
 
     def _handle_arrival(self, task: Task) -> None:
         self._pending_arrivals -= 1
@@ -205,9 +235,10 @@ class Simulator:
             return
         core._completion_handle = self.events.push(
             self.now + delta,
-            lambda c=core: self._handle_completion(c),
+            None,
             priority=EventPriority.COMPLETION,
-            tag=f"completion-core-{core.core_id}",
+            tag="completion",
+            payload=core,
         )
 
     def _schedule_utilization_sample(self) -> None:

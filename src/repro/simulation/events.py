@@ -7,7 +7,12 @@ with the same priority, which keeps simulation runs fully reproducible.
 Cancellation is *lazy*: a cancelled event stays in the heap but is skipped
 when popped.  This keeps cancellation O(1), which matters because timer-heavy
 policies (FIFO with a preemption limit sets one timer per task) cancel the
-vast majority of their timers.
+vast majority of their timers.  A live-event counter maintained on
+push/pop/cancel/clear makes ``len(queue)`` O(1) despite the lazy tombstones.
+
+The hottest push sites (task arrivals, core completions) schedule
+*payload-carrying* events with no callback: the run loop dispatches them by
+``tag``, which avoids allocating one closure per push.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ import itertools
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, Callable, Optional
+
+from repro.simulation.task import DATACLASS_KWARGS
 
 
 class EventPriority(IntEnum):
@@ -34,17 +41,20 @@ class EventPriority(IntEnum):
     TIMER = 3
 
 
-@dataclass
+@dataclass(**DATACLASS_KWARGS)
 class Event:
-    """A single scheduled callback."""
+    """A single scheduled callback, or a tagged payload dispatched by the
+    run loop when ``callback`` is None."""
 
     time: float
     priority: EventPriority
     seq: int
-    callback: Callable[[], None]
+    callback: Optional[Callable[[], None]]
     tag: str = ""
     payload: Any = None
     cancelled: bool = field(default=False, compare=False)
+    #: Set once the event has been popped (fired); a late cancel() is a no-op.
+    popped: bool = field(default=False, compare=False)
 
     def sort_key(self) -> tuple:
         return (self.time, int(self.priority), self.seq)
@@ -53,10 +63,11 @@ class Event:
 class EventHandle:
     """Handle returned by :meth:`EventQueue.push`, used to cancel the event."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_queue")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, queue: "EventQueue") -> None:
         self._event = event
+        self._queue = queue
 
     @property
     def time(self) -> float:
@@ -71,8 +82,15 @@ class EventHandle:
         return self._event.cancelled
 
     def cancel(self) -> None:
-        """Mark the underlying event as cancelled (idempotent)."""
-        self._event.cancelled = True
+        """Mark the underlying event as cancelled (idempotent).
+
+        Cancelling an event that already fired is a no-op — it must not
+        disturb the queue's live-event count.
+        """
+        event = self._event
+        if not event.cancelled and not event.popped:
+            event.cancelled = True
+            self._queue._live -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -80,14 +98,15 @@ class EventHandle:
 
 
 class EventQueue:
-    """Binary-heap event queue with lazy cancellation."""
+    """Binary-heap event queue with lazy cancellation and an O(1) length."""
 
     def __init__(self) -> None:
         self._heap: list[tuple[tuple, Event]] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for _, event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None
@@ -95,12 +114,16 @@ class EventQueue:
     def push(
         self,
         time: float,
-        callback: Callable[[], None],
+        callback: Optional[Callable[[], None]],
         priority: EventPriority = EventPriority.CONTROL,
         tag: str = "",
         payload: Any = None,
     ) -> EventHandle:
-        """Schedule ``callback`` at absolute simulation ``time``."""
+        """Schedule ``callback`` at absolute simulation ``time``.
+
+        ``callback`` may be None for payload-carrying events that the run
+        loop dispatches by ``tag`` (the closure-free hot path).
+        """
         if time < 0:
             raise ValueError(f"cannot schedule an event at negative time {time!r}")
         event = Event(
@@ -112,7 +135,8 @@ class EventQueue:
             payload=payload,
         )
         heapq.heappush(self._heap, (event.sort_key(), event))
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def pop(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or None if the queue is empty."""
@@ -120,6 +144,8 @@ class EventQueue:
             _, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event.popped = True
+            self._live -= 1
             return event
         return None
 
@@ -140,11 +166,19 @@ class EventQueue:
             if not event.cancelled and event.tag == tag:
                 event.cancelled = True
                 cancelled += 1
+        self._live -= cancelled
         return cancelled
 
     def clear(self) -> None:
-        """Drop all pending events."""
+        """Drop all pending events.
+
+        Cleared events are marked cancelled so outstanding handles no-op
+        instead of corrupting the live-event counter.
+        """
+        for _, event in self._heap:
+            event.cancelled = True
         self._heap.clear()
+        self._live = 0
 
     def drain_times(self) -> list[float]:
         """Return the sorted timestamps of all live events (testing helper)."""

@@ -4,12 +4,21 @@ A :class:`Machine` owns a fixed set of cores partitioned into named
 :class:`CoreGroup` s.  Schedulers address cores through their group ("fifo",
 "cfs", or a single "all" group for the non-hybrid baselines), and the
 rightsizing controller moves cores between groups at runtime.
+
+The query surface schedulers hit on every arrival (``least_loaded_core``,
+``idle_cores``, ``group_cores``) is *indexed* rather than scanned: the
+machine keeps per-group core lists pre-sorted, maintains idle sets and
+lazily-invalidated least-loaded heaps, and is notified by its cores on every
+load change — so the dispatch hot path costs O(log n) instead of re-sorting
+and re-filtering the whole core list per event.
 """
 
 from __future__ import annotations
 
+import heapq
+from bisect import insort
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.simulation.config import SimulationConfig
 from repro.simulation.cpu import Core, CoreMode
@@ -77,6 +86,35 @@ class Machine:
 
         self.cores: List[Core] = []
         self.groups: Dict[str, CoreGroup] = {name: CoreGroup(name) for name in group_sizes}
+        # Called (with no arguments) whenever the busy-core count changes;
+        # the cluster node hooks this to keep dispatcher load indexes fresh.
+        self.on_load_change: Optional[Callable[[], None]] = None
+
+        # --- incremental indexes ------------------------------------------
+        #: Per-group core ids, kept sorted (cores are created in id order and
+        #: moves use insort, so no query ever re-sorts).
+        self._sorted_ids: Dict[str, List[int]] = {name: [] for name in group_sizes}
+        #: Idle *and unlocked* core ids, per group and machine-wide.
+        self._idle_ids: Dict[str, set] = {name: set() for name in group_sizes}
+        self._idle_all: set = set()
+        #: Lazily-invalidated min-heaps of (nr_running, core_id, version).
+        #: A heap is only *maintained* once its group has been queried via
+        #: ``least_loaded_core`` — policies that never ask (FIFO-family uses
+        #: the idle sets) pay nothing per load change.
+        self._load_heaps: Dict[str, List[Tuple[int, int, int]]] = {
+            name: [] for name in group_sizes
+        }
+        self._load_heap_all: List[Tuple[int, int, int]] = []
+        self._heap_groups: set = set()
+        self._track_global_heap = False
+        #: Version stamp per core; heap entries with an older stamp are stale.
+        self._load_version: Dict[int, int] = {}
+        #: Last observed (nr_running, locked) per core, to compute deltas.
+        self._observed: Dict[int, Tuple[int, bool]] = {}
+        self._running_by_group: Dict[str, int] = {name: 0 for name in group_sizes}
+        self._running_total = 0
+        self._busy_count = 0
+
         core_id = 0
         for name, size in group_sizes.items():
             mode = modes.get(name, CoreMode.FAIR_SHARE)
@@ -91,7 +129,97 @@ class Machine:
                 )
                 self.cores.append(core)
                 self.groups[name].add(core_id)
+                self._register_core(core)
                 core_id += 1
+
+    def _register_core(self, core: Core) -> None:
+        cid = core.core_id
+        self._sorted_ids[core.group].append(cid)  # built in id order
+        self._idle_ids[core.group].add(cid)
+        self._idle_all.add(cid)
+        self._load_version[cid] = 0
+        self._observed[cid] = (0, False)
+        core._load_listener = self._core_load_changed
+
+    # ----------------------------------------------------------- index upkeep
+
+    def _core_load_changed(self, core: Core) -> None:
+        """Core callback: refresh every index after an nr/locked change."""
+        cid = core.core_id
+        nr = core.nr_running
+        locked = core.locked
+        prev_nr, prev_locked = self._observed[cid]
+        if nr == prev_nr and locked == prev_locked:
+            return
+        self._observed[cid] = (nr, locked)
+        version = self._load_version[cid] + 1
+        self._load_version[cid] = version
+        group = core.group
+
+        delta = nr - prev_nr
+        if delta:
+            self._running_by_group[group] += delta
+            self._running_total += delta
+
+        idle_now = nr == 0 and not locked
+        idle_before = prev_nr == 0 and not prev_locked
+        if idle_now != idle_before:
+            if idle_now:
+                self._idle_ids[group].add(cid)
+                self._idle_all.add(cid)
+            else:
+                self._idle_ids[group].discard(cid)
+                self._idle_all.discard(cid)
+
+        if not locked:
+            entry = (nr, cid, version)
+            if group in self._heap_groups:
+                heap = self._load_heaps[group]
+                if len(heap) > max(16, 4 * len(self._sorted_ids[group])):
+                    # Compact: stale entries below the top are never popped.
+                    heap = self._load_heaps[group] = self._build_heap(
+                        self.group_cores(group)
+                    )
+                else:
+                    heapq.heappush(heap, entry)
+            if self._track_global_heap:
+                if len(self._load_heap_all) > max(16, 4 * len(self.cores)):
+                    self._load_heap_all = self._build_heap(self.cores)
+                else:
+                    heapq.heappush(self._load_heap_all, entry)
+
+        busy_changed = (prev_nr > 0) != (nr > 0)
+        if busy_changed:
+            self._busy_count += 1 if nr > 0 else -1
+            if self.on_load_change is not None:
+                self.on_load_change()
+
+    def _build_heap(self, cores: List[Core]) -> List[Tuple[int, int, int]]:
+        """Fresh heap entries for the current state of ``cores``."""
+        heap = [
+            (core.nr_running, core.core_id, self._load_version[core.core_id])
+            for core in cores
+            if not core.locked
+        ]
+        heapq.heapify(heap)
+        return heap
+
+    def _least_loaded_from(
+        self, heap: List[Tuple[int, int, int]], group: Optional[str]
+    ) -> Optional[Core]:
+        """Peek the best live heap entry, discarding stale ones."""
+        while heap:
+            nr, cid, version = heap[0]
+            core = self.cores[cid]
+            if (
+                version != self._load_version[cid]
+                or core.locked
+                or (group is not None and core.group != group)
+            ):
+                heapq.heappop(heap)
+                continue
+            return core
+        return None
 
     # ------------------------------------------------------------------ query
 
@@ -111,31 +239,51 @@ class Machine:
 
     def group_cores(self, name: str) -> List[Core]:
         """All cores currently in the named group, in id order."""
-        return [self.cores[cid] for cid in sorted(self.group(name).core_ids)]
+        self.group(name)  # raise KeyError for unknown groups
+        return [self.cores[cid] for cid in self._sorted_ids[name]]
 
     def group_size(self, name: str) -> int:
         return len(self.group(name))
 
     def idle_cores(self, group: Optional[str] = None) -> List[Core]:
         """Idle, unlocked cores — optionally restricted to one group."""
-        cores = self.group_cores(group) if group else self.cores
-        return [core for core in cores if core.is_idle and not core.locked]
+        if group is not None:
+            self.group(group)
+            ids = self._idle_ids[group]
+        else:
+            ids = self._idle_all
+        return [self.cores[cid] for cid in sorted(ids)]
 
     def busy_cores(self, group: Optional[str] = None) -> List[Core]:
         cores = self.group_cores(group) if group else self.cores
         return [core for core in cores if core.is_busy]
 
+    def busy_core_count(self) -> int:
+        """Number of cores executing at least one task (O(1))."""
+        return self._busy_count
+
+    def idle_core_count(self) -> int:
+        """Number of idle, unlocked cores machine-wide (O(1))."""
+        return len(self._idle_all)
+
     def least_loaded_core(self, group: Optional[str] = None) -> Optional[Core]:
         """Unlocked core with the fewest runnable tasks (ties: lowest id)."""
-        cores = self.group_cores(group) if group else self.cores
-        candidates = [core for core in cores if not core.locked]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda core: (core.nr_running, core.core_id))
+        if group is not None:
+            self.group(group)
+            if group not in self._heap_groups:
+                self._load_heaps[group] = self._build_heap(self.group_cores(group))
+                self._heap_groups.add(group)
+            return self._least_loaded_from(self._load_heaps[group], group)
+        if not self._track_global_heap:
+            self._load_heap_all = self._build_heap(self.cores)
+            self._track_global_heap = True
+        return self._least_loaded_from(self._load_heap_all, None)
 
     def total_running(self, group: Optional[str] = None) -> int:
-        cores = self.group_cores(group) if group else self.cores
-        return sum(core.nr_running for core in cores)
+        if group is not None:
+            self.group(group)
+            return self._running_by_group[group]
+        return self._running_total
 
     def sync_all(self, now: float, group: Optional[str] = None) -> None:
         """Bring every core's service accounting up to ``now``."""
@@ -186,12 +334,36 @@ class Machine:
         destination.add(core_id)
         core = self.core(core_id)
         core.change_group(to_group, mode=mode)
+        # Reindex: sorted membership, idle sets, running counters, and a
+        # fresh heap entry under the new group (version bump invalidates
+        # every entry filed under the old group).
+        self._sorted_ids[from_group].remove(core_id)
+        insort(self._sorted_ids[to_group], core_id)
+        if core_id in self._idle_ids[from_group]:
+            self._idle_ids[from_group].discard(core_id)
+            self._idle_ids[to_group].add(core_id)
+        nr = core.nr_running
+        if nr:
+            self._running_by_group[from_group] -= nr
+            self._running_by_group[to_group] += nr
+        version = self._load_version[core_id] + 1
+        self._load_version[core_id] = version
+        if not core.locked:
+            entry = (nr, core_id, version)
+            if to_group in self._heap_groups:
+                heapq.heappush(self._load_heaps[to_group], entry)
+            if self._track_global_heap:
+                heapq.heappush(self._load_heap_all, entry)
         return core
 
     def ensure_group(self, name: str) -> CoreGroup:
         """Create an empty group if it does not exist yet."""
         if name not in self.groups:
             self.groups[name] = CoreGroup(name)
+            self._sorted_ids[name] = []
+            self._idle_ids[name] = set()
+            self._load_heaps[name] = []
+            self._running_by_group[name] = 0
         return self.groups[name]
 
     def group_sizes(self) -> Dict[str, int]:

@@ -11,13 +11,26 @@ The three timing metrics follow the definitions of §II-B of the paper
 * ``execution  = completion - first_run``
 * ``response   = first_run - arrival``
 * ``turnaround = completion - arrival``
+
+``remaining`` is *lazily materialized*: while a task is assigned to a core,
+the core only advances one shared attained-service counter (virtual time)
+per event, and the task's concrete remaining work is folded in on demand —
+when a scheduler reads ``task.remaining``, when the task is descheduled, or
+when it completes.  Detached tasks store the value directly.  Readers and
+writers go through one property either way, so scheduler code is oblivious
+to which regime a task is in.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
+
+#: ``slots=True`` keeps per-task memory/attribute-lookup cost down on the
+#: hot path; only available for dataclasses on Python >= 3.10.
+DATACLASS_KWARGS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 
 class TaskState(Enum):
@@ -30,7 +43,7 @@ class TaskState(Enum):
     FINISHED = "finished"
 
 
-@dataclass
+@dataclass(**DATACLASS_KWARGS)
 class Task:
     """A single serverless function invocation.
 
@@ -59,7 +72,6 @@ class Task:
 
     # --- dynamic bookkeeping -------------------------------------------------
     state: TaskState = TaskState.CREATED
-    remaining: float = field(default=0.0)
     first_run_time: Optional[float] = None
     completion_time: Optional[float] = None
     cpu_time_received: float = 0.0
@@ -68,6 +80,11 @@ class Task:
     vruntime: float = 0.0
     last_core: Optional[int] = None
     groups_visited: list = field(default_factory=list)
+    #: Concrete remaining work, valid as of the owning core's last
+    #: materialization (exact while detached).  Read through ``remaining``.
+    _remaining: float = field(default=0.0, init=False, repr=False, compare=False)
+    #: The core currently executing this task, or None while detached.
+    _core: Optional[object] = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.service_time <= 0:
@@ -83,7 +100,25 @@ class Task:
             raise ValueError(
                 f"task {self.task_id} must have positive memory size, got {self.memory_mb!r}"
             )
-        self.remaining = float(self.service_time)
+        self._remaining = float(self.service_time)
+
+    # --- remaining work (sync-on-read) ---------------------------------------
+
+    @property
+    def remaining(self) -> float:
+        """Remaining CPU demand (s), materialized from virtual time on read."""
+        core = self._core
+        if core is not None:
+            return core.materialize(self)
+        return self._remaining
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        core = self._core
+        if core is not None:
+            core.set_remaining(self, float(value))
+        else:
+            self._remaining = float(value)
 
     # --- state transitions ---------------------------------------------------
 
@@ -123,12 +158,22 @@ class Task:
         self.state = TaskState.FINISHED
 
     def account_service(self, amount: float) -> None:
-        """Consume ``amount`` seconds of CPU service."""
+        """Consume ``amount`` seconds of CPU service (detached tasks only).
+
+        While a task is assigned to a core, service is accounted solely by
+        the core's virtual-time materialization; this entry point exists for
+        out-of-engine bookkeeping (cost models, tests).
+        """
+        if self._core is not None:
+            raise RuntimeError(
+                f"task {self.task_id} is executing on a core; its service is "
+                "accounted by the core's virtual-time materialization"
+            )
         if amount < 0:
             raise ValueError(f"cannot account negative service {amount!r}")
         self.cpu_time_received += amount
         self.vruntime += amount
-        self.remaining = max(0.0, self.remaining - amount)
+        self._remaining = max(0.0, self._remaining - amount)
 
     # --- metrics -------------------------------------------------------------
 

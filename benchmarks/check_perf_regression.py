@@ -1,11 +1,15 @@
 #!/usr/bin/env python
-"""CI perf-smoke gate: fail on >25% regression against ``BENCH_3.json``.
+"""CI perf-smoke gate: fail on >25% regression against the committed baselines.
 
-Raw wall-clock cannot be compared across hosts, so the committed baseline
-stores *calibration units*: each bench's best-of-N wall time divided by the
+Raw wall-clock cannot be compared across hosts, so the committed baselines
+store *calibration units*: each bench's best-of-N wall time divided by the
 time a fixed pure-Python loop takes on the same host (see
 :func:`hotpath.calibration_units`).  The gate recomputes units here and
 fails when any gated bench exceeds its baseline by more than 25%.
+
+Two baseline files are gated: ``BENCH_3.json`` (virtual-time engine +
+indexed dispatch hot paths) and ``BENCH_4.json`` (columnar metrics
+aggregation).
 
 Usage::
 
@@ -24,48 +28,42 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from hotpath import calibration_units, time_bench  # noqa: E402
 
-BENCH_PATH = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_3.json"
-)
+_REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir)
 
-#: Benches gated in CI — the two acceptance-criteria hot paths at their
-#: largest size plus the allocation-churn satellite.  Only benches with
-#: >= ~40 ms of work are gated: the small sizes (7 ms and below) are too
-#: noise-sensitive for a blocking 25% threshold on shared runners — one
-#: CPU-contention window spanning the best-of-N repeats fails them
-#: spuriously.  The small sizes are still timed by test_bench_hotpath.py.
-GATED = (
-    "engine_mp512",
-    "dispatcher_512nodes",
-    "object_churn",
-)
+#: Benches gated in CI, per baseline file.  BENCH_3: the two hot paths at
+#: their largest size plus the allocation-churn satellite; only benches with
+#: >= ~40 ms of work are gated — the small sizes (7 ms and below) are too
+#: noise-sensitive for a blocking 25% threshold on shared runners.  BENCH_4:
+#: columnar metrics aggregation, gated via 10 back-to-back 100k aggregations
+#: (~50 ms) for the same noise reason; the single-pass 10k/100k sizes and
+#: the list-based reference are recorded in the file's before/after section
+#: but not gated.
+GATED_BY_FILE = {
+    os.path.join(_REPO_ROOT, "BENCH_3.json"): (
+        "engine_mp512",
+        "dispatcher_512nodes",
+        "object_churn",
+    ),
+    os.path.join(_REPO_ROOT, "BENCH_4.json"): (
+        "metrics_columnar_100k_x10",
+    ),
+}
 
 #: Maximum allowed ratio of measured units over baseline units.
 THRESHOLD = 1.25
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--update", action="store_true", help="rewrite the committed baseline units"
-    )
-    parser.add_argument(
-        "--repeats", type=int, default=5, help="best-of-N timing repeats"
-    )
-    args = parser.parse_args()
-
-    with open(BENCH_PATH) as handle:
+def check_file(path: str, gated, cal: float, update: bool, repeats: int):
+    """Gate (or re-baseline) one baseline file; returns (failures, data)."""
+    with open(path) as handle:
         data = json.load(handle)
     baseline = data.setdefault("baseline_units", {})
-
-    cal = calibration_units()
-    print(f"calibration loop: {cal * 1e3:.2f} ms on this host")
     failures = []
-    for name in GATED:
-        seconds = time_bench(name, repeats=args.repeats)
+    for name in gated:
+        seconds = time_bench(name, repeats=repeats)
         units = seconds / cal
         recorded = baseline.get(name)
-        if args.update:
+        if update:
             baseline[name] = units
             print(f"{name:24s} {seconds * 1e3:9.2f} ms  {units:8.3f} units  (baselined)")
             continue
@@ -83,12 +81,34 @@ def main() -> int:
         )
         if ratio > THRESHOLD:
             failures.append((name, ratio))
+    return failures, data
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the committed baseline units"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="best-of-N timing repeats"
+    )
+    args = parser.parse_args()
+
+    cal = calibration_units()
+    print(f"calibration loop: {cal * 1e3:.2f} ms on this host")
+    failures = []
+    for path, gated in GATED_BY_FILE.items():
+        file_failures, data = check_file(
+            path, gated, cal, update=args.update, repeats=args.repeats
+        )
+        failures.extend(file_failures)
+        if args.update:
+            with open(path, "w") as handle:
+                json.dump(data, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"updated {os.path.normpath(path)}")
 
     if args.update:
-        with open(BENCH_PATH, "w") as handle:
-            json.dump(data, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"updated {os.path.normpath(BENCH_PATH)}")
         return 0
     if failures:
         print(

@@ -1,9 +1,9 @@
 """Hot-path microbenchmark workloads.
 
 Shared by ``test_bench_hotpath.py`` (pytest-benchmark timings), the CI
-perf-smoke gate (``check_perf_regression.py``) and the ``BENCH_3.json``
-baseline capture.  Two workloads target the two hot paths the virtual-time
-refactor rewrote:
+perf-smoke gate (``check_perf_regression.py``) and the ``BENCH_3.json`` /
+``BENCH_4.json`` baseline captures.  Two workloads target the two hot paths
+the virtual-time refactor rewrote:
 
 * **engine** — one CFS machine at multiprogramming level *mp* per core:
   every event used to touch all ``mp`` tasks on the core (O(n) sync + O(n)
@@ -11,6 +11,11 @@ refactor rewrote:
 * **dispatcher** — a JSQ cluster of *n* single-core nodes: every arrival
   used to scan all ``n`` nodes; the incrementally maintained load index
   makes the pick O(log n).
+
+A third family targets result aggregation (the ``BENCH_4.json`` columnar
+refactor): summarising N finished tasks via the pre-refactor per-metric
+Python lists (**metrics_list**) vs reading the incrementally filled columnar
+store (**metrics_columnar**).
 
 Workloads are seeded and deterministic so timings measure the engine, not
 the workload draw.
@@ -21,8 +26,11 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Tuple
 
+import numpy as np
+
 from repro.cluster import ClusterConfig, simulate_cluster
 from repro.schedulers.cfs import CFSScheduler
+from repro.simulation.columns import TaskColumns
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import simulate
 from repro.simulation.task import Task
@@ -105,6 +113,97 @@ def run_object_churn(count: int = 50_000) -> int:
     return popped
 
 
+# --------------------------------------------------------------------------
+# Metrics-aggregation microbench (list-based vs columnar)
+# --------------------------------------------------------------------------
+
+#: Finished-task counts swept by the metrics microbench.
+METRICS_TASK_COUNTS = (10_000, 100_000)
+
+
+def metrics_tasks(count: int) -> list:
+    """``count`` deterministic finished tasks (no engine run needed)."""
+    tasks = []
+    for i in range(count):
+        arrival = i * 1e-3
+        service = 0.05 + (i % 97) * 0.01
+        task = Task(task_id=i, arrival_time=arrival, service_time=service)
+        task.mark_running(arrival + 0.002 + (i % 7) * 1e-4, core_id=i % 48)
+        task.account_service(service)
+        task.mark_finished(arrival + 0.002 + service)
+        tasks.append(task)
+    return tasks
+
+
+#: (tasks, prefilled columnar store) per size, built once: the store is what
+#: the collector has already accumulated by the end of a run, so the timed
+#: region measures *aggregation*, which is exactly what ``from_tasks``
+#: re-did from scratch per summary before the columnar refactor.
+_METRICS_FIXTURES: Dict[int, tuple] = {}
+
+
+def _metrics_fixture(count: int) -> tuple:
+    if count not in _METRICS_FIXTURES:
+        tasks = metrics_tasks(count)
+        _METRICS_FIXTURES[count] = (tasks, TaskColumns.from_tasks(tasks))
+    return _METRICS_FIXTURES[count]
+
+
+def _list_based_summary(tasks: list) -> dict:
+    """The pre-columnar aggregation path, preserved for the before/after.
+
+    One Python list (and array conversion) per metric, exactly as
+    ``TaskMetricsSummary.from_tasks`` + the result accessors built them
+    before the columnar store.
+    """
+    finished = [t for t in tasks if t.is_finished]
+    execution = np.array([t.execution_time for t in finished])
+    response = np.array([t.response_time for t in finished])
+    turnaround = np.array([t.turnaround_time for t in finished])
+    return {
+        "count": len(finished),
+        "mean_execution": float(execution.mean()),
+        "p99_execution": float(np.percentile(execution, 99)),
+        "p99_response": float(np.percentile(response, 99)),
+        "p99_turnaround": float(np.percentile(turnaround, 99)),
+        "total_execution": float(execution.sum()),
+        "total_service": float(sum(t.service_time for t in finished)),
+        "makespan": float(max(t.completion_time for t in finished)),
+    }
+
+
+def run_metrics_list(count: int) -> dict:
+    """List-based aggregation over ``count`` finished tasks."""
+    tasks, _ = _metrics_fixture(count)
+    return _list_based_summary(tasks)
+
+
+def run_metrics_columnar(count: int):
+    """Columnar aggregation over the same ``count`` finished tasks."""
+    _, columns = _metrics_fixture(count)
+    summary = columns.summary()
+    assert summary.count == count
+    return summary
+
+
+#: Repeats for the CI-gated columnar bench: one 100k aggregation is ~5 ms,
+#: too noise-sensitive for a blocking 25% threshold on shared runners, so
+#: the gate times this many back-to-back aggregations (~50 ms of work).
+METRICS_GATE_REPEATS = 10
+
+
+def run_metrics_columnar_gate(count: int = 100_000):
+    """``METRICS_GATE_REPEATS`` columnar aggregations (the perf-smoke gate)."""
+    summary = None
+    for _ in range(METRICS_GATE_REPEATS):
+        summary = run_metrics_columnar(count)
+    return summary
+
+
+def _metrics_label(count: int) -> str:
+    return f"{count // 1000}k"
+
+
 BENCHES: Dict[str, Callable[[], object]] = {
     **{f"engine_mp{mp}": (lambda mp=mp: run_engine_bench(mp)) for mp in ENGINE_MP_LEVELS},
     **{
@@ -112,6 +211,15 @@ BENCHES: Dict[str, Callable[[], object]] = {
         for n in DISPATCHER_NODE_COUNTS
     },
     "object_churn": run_object_churn,
+    **{
+        f"metrics_list_{_metrics_label(n)}": (lambda n=n: run_metrics_list(n))
+        for n in METRICS_TASK_COUNTS
+    },
+    **{
+        f"metrics_columnar_{_metrics_label(n)}": (lambda n=n: run_metrics_columnar(n))
+        for n in METRICS_TASK_COUNTS
+    },
+    "metrics_columnar_100k_x10": run_metrics_columnar_gate,
 }
 
 

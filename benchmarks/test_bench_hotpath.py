@@ -15,8 +15,11 @@ from hotpath import (
     DISPATCHER_NODE_COUNTS,
     ENGINE_CORES,
     ENGINE_MP_LEVELS,
+    METRICS_TASK_COUNTS,
     run_dispatcher_bench,
     run_engine_bench,
+    run_metrics_columnar,
+    run_metrics_list,
     run_object_churn,
 )
 
@@ -42,3 +45,19 @@ def test_bench_object_churn(benchmark):
     """Task + payload-event allocation churn (the ``__slots__`` satellite)."""
     popped = benchmark.pedantic(run_object_churn, rounds=1, iterations=1)
     assert popped == 50_000
+
+
+@pytest.mark.parametrize("count", METRICS_TASK_COUNTS)
+def test_bench_metrics_list(benchmark, count):
+    """Pre-refactor list-based aggregation (the BENCH_4 'before' reference)."""
+    summary = benchmark.pedantic(run_metrics_list, kwargs={"count": count}, rounds=1, iterations=1)
+    assert summary["count"] == count
+
+
+@pytest.mark.parametrize("count", METRICS_TASK_COUNTS)
+def test_bench_metrics_columnar(benchmark, count):
+    """Columnar aggregation off the incrementally filled TaskColumns store."""
+    summary = benchmark.pedantic(
+        run_metrics_columnar, kwargs={"count": count}, rounds=1, iterations=1
+    )
+    assert summary.count == count

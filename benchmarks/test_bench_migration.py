@@ -8,18 +8,18 @@ stealing beats no-migration under an oblivious dispatcher.
 
 from conftest import run_once
 
-from repro.cluster import simulate_cluster
-from repro.experiments.cluster_scaling import heterogeneous_config
-from repro.experiments.common import ten_minute_workload
+from repro.experiments.cluster_scaling import heterogeneous_scenario
+from repro.scenario import run as run_scenario
 
 
 def _run_fleet(dispatcher: str, scale: float, migration=None, **dispatcher_kwargs):
-    config = heterogeneous_config(
+    scenario = heterogeneous_scenario(
+        scale,
         dispatcher=dispatcher,
         dispatcher_kwargs=dispatcher_kwargs,
         migration=migration,
     )
-    return simulate_cluster(ten_minute_workload(scale), config=config)
+    return run_scenario(scenario).result
 
 
 def test_bench_migration_work_stealing(benchmark, bench_scale):

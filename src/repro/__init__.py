@@ -23,6 +23,21 @@ Quick example::
     print(result.describe())
     print(CostModel().workload_cost(result.finished_tasks))
 
+Scenario
+========
+
+:mod:`repro.scenario` is the declarative front door: one
+:class:`~repro.scenario.scenario.Scenario` (workload + machine/fleet shape +
+scheduler + dispatcher + migration + autoscaler + cost model + seed,
+JSON-serialisable) and one :func:`~repro.scenario.run.run` pipeline that
+routes it to the right engine and attaches a cost report::
+
+    from repro import Scenario, Workload, run_scenario
+
+    result = run_scenario(Scenario(workload=Workload("two_minute", scale=0.1),
+                                   scheduler="hybrid"))
+    print(result.describe())
+
 Cluster
 =======
 
@@ -51,6 +66,8 @@ from repro.cluster import (
     simulate_cluster,
 )
 from repro.core import HybridConfig, HybridScheduler
+from repro.scenario import RunResult, Scenario, Workload
+from repro.scenario import run as run_scenario
 from repro.schedulers import (
     CFSScheduler,
     EDFScheduler,
@@ -83,6 +100,10 @@ __all__ = [
     "simulate_cluster",
     "HybridConfig",
     "HybridScheduler",
+    "RunResult",
+    "Scenario",
+    "Workload",
+    "run_scenario",
     "CFSScheduler",
     "EDFScheduler",
     "FIFOPreemptScheduler",

@@ -7,7 +7,7 @@ Table I).  The experiment harness uses this package to turn
 those artefacts, rendered as text tables and CSV-friendly rows.
 """
 
-from repro.analysis.cdf import CDF, compute_cdf
+from repro.analysis.cdf import CDF, compute_cdf, metric_cdf
 from repro.analysis.fleet import (
     fleet_metric_row,
     jains_fairness_index,
@@ -17,6 +17,8 @@ from repro.analysis.fleet import (
 from repro.analysis.percentile import percentile, percentile_summary, weighted_percentile
 from repro.analysis.report import (
     ComparisonTable,
+    csv_cell,
+    format_float,
     format_seconds,
     format_usd,
     render_series,
@@ -26,6 +28,9 @@ from repro.analysis.report import (
 __all__ = [
     "CDF",
     "compute_cdf",
+    "metric_cdf",
+    "csv_cell",
+    "format_float",
     "fleet_metric_row",
     "jains_fairness_index",
     "per_node_table",

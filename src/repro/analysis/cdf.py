@@ -90,5 +90,22 @@ class CDF:
 
 
 def compute_cdf(values: Iterable[float]) -> CDF:
-    """Build a :class:`CDF` from any iterable of numbers."""
+    """Build a :class:`CDF` from any iterable of numbers.
+
+    Numpy arrays — e.g. columnar metric views from
+    ``result.task_columns().execution()`` — are taken as-is (no per-element
+    Python loop); generic iterables are materialised.
+    """
+    if isinstance(values, np.ndarray):
+        return CDF(values)
     return CDF(np.fromiter((float(v) for v in values), dtype=float))
+
+
+def metric_cdf(result, metric: str) -> CDF:
+    """CDF of one derived metric straight off a result's columnar store.
+
+    Works for both single-machine and cluster results (anything exposing
+    ``task_columns()``); ``metric`` is ``"execution"``, ``"response"`` or
+    ``"turnaround"``.
+    """
+    return CDF(result.task_columns().metric(metric))

@@ -4,88 +4,106 @@ The experiment harness prints text tables; this module writes the underlying
 data (per-task metrics, CDF curves, utilization and scheduler time series,
 comparison tables) as CSV files so results can be re-plotted with any
 external tool, or diffed between runs.
+
+Per-task data is read straight off the result's columnar store
+(:class:`~repro.simulation.columns.TaskColumns`) instead of re-walking task
+objects, and every writer goes through one shared row-formatting helper
+(:func:`write_csv` / :func:`repro.analysis.report.csv_cell`) so output stays
+byte-compatible across exporters.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Iterable, Optional, Sequence, Union
 
 from repro.analysis.cdf import compute_cdf
-from repro.analysis.report import ComparisonTable
+from repro.analysis.report import ComparisonTable, csv_cell
+from repro.simulation.columns import NO_CORE
 from repro.simulation.results import SimulationResult
 
 PathLike = Union[str, Path]
 
 
-def _open_writer(path: PathLike):
+def write_csv(
+    path: PathLike, header: Sequence[str], rows: Iterable[Sequence[object]]
+) -> Path:
+    """Write one CSV file, formatting every cell through :func:`csv_cell`.
+
+    The single writer behind every exporter (and the experiment harness's
+    table output): creates parent directories, renders floats with fixed
+    6-decimal precision and ``None`` as an empty cell.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([str(cell) for cell in header])
+        for row in rows:
+            writer.writerow([csv_cell(cell) for cell in row])
     return target
 
 
 def export_task_metrics(result: SimulationResult, path: PathLike) -> Path:
-    """Write one row per finished task: timings, memory, placement counters."""
-    target = _open_writer(path)
-    with target.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(
-            [
-                "task_id",
-                "arrival_time",
-                "service_time",
-                "memory_mb",
-                "execution_time",
-                "response_time",
-                "turnaround_time",
-                "preemptions",
-                "migrations",
-                "last_core",
-            ]
-        )
-        for task in result.finished_tasks:
-            writer.writerow(
-                [
-                    task.task_id,
-                    f"{task.arrival_time:.6f}",
-                    f"{task.service_time:.6f}",
-                    task.memory_mb,
-                    f"{task.execution_time:.6f}",
-                    f"{task.response_time:.6f}",
-                    f"{task.turnaround_time:.6f}",
-                    task.preemptions,
-                    task.migrations,
-                    task.last_core if task.last_core is not None else "",
-                ]
-            )
-    return target
+    """Write one row per finished task: timings, memory, placement counters.
+
+    Rows come from the columnar store, ordered by task id (the submission
+    order the per-task export always used).
+    """
+    data = result.task_columns().sorted_by_task_id()
+    rows = (
+        [
+            int(row["task_id"]),
+            float(row["arrival"]),
+            float(row["service"]),
+            int(row["memory_mb"]),
+            float(row["completion"] - row["first_run"]),
+            float(row["first_run"] - row["arrival"]),
+            float(row["completion"] - row["arrival"]),
+            int(row["preemptions"]),
+            int(row["migrations"]),
+            int(row["last_core"]) if row["last_core"] != NO_CORE else None,
+        ]
+        for row in data
+    )
+    return write_csv(
+        path,
+        [
+            "task_id",
+            "arrival_time",
+            "service_time",
+            "memory_mb",
+            "execution_time",
+            "response_time",
+            "turnaround_time",
+            "preemptions",
+            "migrations",
+            "last_core",
+        ],
+        rows,
+    )
 
 
 def export_metric_cdf(
     result: SimulationResult, metric: str, path: PathLike, points: int = 200
 ) -> Path:
     """Write the CDF curve of one metric (execution/response/turnaround)."""
-    extractors = {
-        "execution": result.execution_times,
-        "response": result.response_times,
-        "turnaround": result.turnaround_times,
-    }
-    if metric not in extractors:
+    columns = result.task_columns()
+    if metric not in ("execution", "response", "turnaround"):
         raise ValueError(
-            f"unknown metric {metric!r}; expected one of {sorted(extractors)}"
+            f"unknown metric {metric!r}; expected one of "
+            "['execution', 'response', 'turnaround']"
         )
-    values = extractors[metric]()
+    values = columns.metric(metric)
     if values.size == 0:
         raise ValueError("the result has no finished tasks to build a CDF from")
     xs, ys = compute_cdf(values).curve(num_points=points)
-    target = _open_writer(path)
-    with target.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow([metric, "cumulative_fraction"])
-        for x, y in zip(xs, ys):
-            writer.writerow([f"{x:.6f}", f"{y:.6f}"])
-    return target
+    return write_csv(
+        path,
+        [metric, "cumulative_fraction"],
+        ([float(x), float(y)] for x, y in zip(xs, ys)),
+    )
 
 
 def export_series(
@@ -95,34 +113,33 @@ def export_series(
     groups: Optional[Sequence[str]] = None,
 ) -> Path:
     """Write scheduler time series and per-group utilization as long-form CSV."""
-    target = _open_writer(path)
     names = list(series_names) if series_names is not None else sorted(result.series)
     group_names = list(groups) if groups is not None else sorted(
         {g for g in result.core_groups.values()}
     )
-    with target.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["series", "time", "value"])
+
+    def rows():
         for name in names:
             for point in result.series_values(name):
-                writer.writerow([name, f"{point.time:.6f}", f"{point.value:.6f}"])
+                yield [name, float(point.time), float(point.value)]
         for group in group_names:
             for point in result.utilization_series(group):
-                writer.writerow(
-                    [f"utilization:{group}", f"{point.time:.6f}", f"{point.value:.6f}"]
-                )
-    return target
+                yield [f"utilization:{group}", float(point.time), float(point.value)]
+
+    return write_csv(path, ["series", "time", "value"], rows())
 
 
 def export_comparison_table(table: ComparisonTable, path: PathLike) -> Path:
     """Write a ComparisonTable (Table I style) as CSV."""
-    target = _open_writer(path)
-    with target.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=["scheduler", *table.columns])
-        writer.writeheader()
-        for row in table.as_dicts():
-            writer.writerow(row)
-    return target
+    columns = list(table.columns)
+    return write_csv(
+        path,
+        ["scheduler", *columns],
+        (
+            [row["scheduler"], *(row[c] for c in columns)]
+            for row in table.as_dicts()
+        ),
+    )
 
 
 def export_result_bundle(

@@ -23,6 +23,7 @@ FLEET_COLUMNS = (
     "fairness",
     "completed",
     "migrated",
+    "node_cost_usd",
 )
 
 
@@ -60,7 +61,11 @@ def capacity_normalized_loads(result) -> Dict[int, float]:
 
 
 def fleet_metric_row(result) -> Dict[str, float]:
-    """One comparison-table row summarising a cluster run."""
+    """One comparison-table row summarising a cluster run.
+
+    ``node_cost_usd`` is the provider-side node-hours bill (boot and drain
+    time included), so every fleet comparison reports latency *and* cost.
+    """
     summary = result.summary()
     return {
         "p50_turnaround": summary.p50_turnaround,
@@ -72,6 +77,7 @@ def fleet_metric_row(result) -> Dict[str, float]:
         ),
         "completed": float(len(result.finished_tasks)),
         "migrated": float(result.tasks_migrated),
+        "node_cost_usd": result.cost().node_cost,
     }
 
 

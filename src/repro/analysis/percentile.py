@@ -7,9 +7,20 @@ from typing import Dict, Iterable, Sequence
 import numpy as np
 
 
+def _as_array(values: Iterable[float]) -> np.ndarray:
+    """Coerce a sample to a float array, passing numpy arrays through.
+
+    Columnar metric views (``TaskColumns.execution()`` and friends) take the
+    no-copy path; generic iterables are materialised as before.
+    """
+    if isinstance(values, np.ndarray):
+        return values.astype(float, copy=False)
+    return np.fromiter((float(v) for v in values), dtype=float)
+
+
 def percentile(values: Iterable[float], p: float) -> float:
     """The ``p``-th percentile (0-100) of ``values``."""
-    array = np.fromiter((float(v) for v in values), dtype=float)
+    array = _as_array(values)
     if array.size == 0:
         raise ValueError("cannot take a percentile of an empty sample")
     if not 0 <= p <= 100:
@@ -51,7 +62,7 @@ def percentile_summary(
     values: Iterable[float], percentiles: Sequence[float] = (50, 90, 95, 99)
 ) -> Dict[str, float]:
     """Mean plus a set of percentiles, keyed ``"mean"`` / ``"p50"`` / ... ."""
-    array = np.fromiter((float(v) for v in values), dtype=float)
+    array = _as_array(values)
     if array.size == 0:
         raise ValueError("cannot summarise an empty sample")
     summary: Dict[str, float] = {"mean": float(array.mean())}

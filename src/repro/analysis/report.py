@@ -11,6 +11,27 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 
+def format_float(value: float, precision: int = 6) -> str:
+    """Fixed-decimal rendering shared by every CSV writer (6 decimals)."""
+    return f"{float(value):.{precision}f}"
+
+
+def csv_cell(value: object, precision: int = 6) -> str:
+    """One CSV cell: floats fixed-decimal, ``None`` empty, the rest ``str``.
+
+    The single row-formatting helper behind :mod:`repro.analysis.export` and
+    the experiment harness's table export, so machine-readable output stays
+    byte-compatible across writers.
+    """
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format_float(value, precision)
+    return str(value)
+
+
 def format_seconds(value: float) -> str:
     """Human-friendly rendering of a duration in seconds."""
     if value < 0:

@@ -34,12 +34,17 @@ class NodeSpec:
         count: How many nodes of this type the fleet contains.
         label: Optional human-readable tag (e.g. ``"big"`` / ``"little"``)
             carried into per-node reports.
+        price_per_hour: On-demand price (USD/hour) of one node of this type.
+            ``None`` lets :class:`repro.cost.CostModel` derive a price from
+            the node's capacity; set it explicitly to model spot discounts
+            or premium instance types.
     """
 
     cores: int = 12
     speed_factor: float = 1.0
     count: int = 1
     label: str = ""
+    price_per_hour: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.cores <= 0:
@@ -50,6 +55,10 @@ class NodeSpec:
             )
         if self.count <= 0:
             raise ValueError(f"count must be positive, got {self.count!r}")
+        if self.price_per_hour is not None and self.price_per_hour < 0:
+            raise ValueError(
+                f"price_per_hour must be >= 0 when set, got {self.price_per_hour!r}"
+            )
 
     @property
     def capacity(self) -> float:
@@ -61,6 +70,25 @@ class NodeSpec:
         if self.count == 1:
             return self
         return replace(self, count=1)
+
+    # ------------------------------------------------------------ serialising
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly dict, omitting fields left at their defaults."""
+        data: Dict[str, object] = {"cores": self.cores}
+        if self.speed_factor != 1.0:
+            data["speed_factor"] = self.speed_factor
+        if self.count != 1:
+            data["count"] = self.count
+        if self.label:
+            data["label"] = self.label
+        if self.price_per_hour is not None:
+            data["price_per_hour"] = self.price_per_hour
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NodeSpec":
+        return cls(**data)
 
 
 @dataclass(frozen=True)

@@ -98,6 +98,7 @@ class ClusterNode:
         events: EventQueue,
         state: NodeState = NodeState.ACTIVE,
         spec: Optional[NodeSpec] = None,
+        commissioned_at: float = 0.0,
     ) -> None:
         self.node_id = node_id
         self.state = state
@@ -110,6 +111,9 @@ class ClusterNode:
         self.tasks_completed = 0
         self.tasks_stolen_away = 0
         self.tasks_stolen_in = 0
+        #: When this node started being paid for (booting counts: the
+        #: cold-start window is billed just like active and draining time).
+        self.commissioned_at = commissioned_at
         self.activated_at: Optional[float] = None
         self.retired_at: Optional[float] = None
         self._started = False
@@ -165,6 +169,15 @@ class ClusterNode:
     def capacity(self) -> float:
         """Service capacity in baseline-core equivalents (cores x speed)."""
         return self.spec.capacity
+
+    def uptime(self, now: float) -> float:
+        """Billed seconds: commissioning (boot included) until retirement.
+
+        Nodes still in service (or draining) at ``now`` are billed up to
+        ``now`` — exactly the node-hours the cost model charges for.
+        """
+        end = self.retired_at if self.retired_at is not None else now
+        return max(0.0, end - self.commissioned_at)
 
     def busy_core_count(self) -> int:
         """Cores currently executing at least one task (O(1))."""

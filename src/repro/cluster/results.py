@@ -5,9 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from typing import Optional
+
 import numpy as np
 
 from repro.cluster.config import ClusterConfig
+from repro.cost.cost_model import ClusterCostBreakdown, CostModel
+from repro.simulation.columns import TaskColumns
 from repro.simulation.metrics import SeriesPoint, TaskMetricsSummary
 from repro.simulation.results import SimulationResult
 from repro.simulation.task import Task
@@ -36,6 +40,17 @@ class ClusterResult:
     nodes_added: int = 0
     nodes_removed: int = 0
     tasks_migrated: int = 0
+    #: Fleet-wide columnar store of finished tasks, filled incrementally by
+    #: the cluster during the run; built lazily for hand-assembled results.
+    columns: Optional[TaskColumns] = None
+
+    # ---------------------------------------------------------------- columns
+
+    def task_columns(self) -> TaskColumns:
+        """The columnar finished-task store backing every metric accessor."""
+        if self.columns is None:
+            self.columns = TaskColumns.from_tasks(self.tasks)
+        return self.columns
 
     # ------------------------------------------------------------------ tasks
 
@@ -51,13 +66,13 @@ class ClusterResult:
 
     def summary(self) -> TaskMetricsSummary:
         """Fleet-wide task metrics (all nodes pooled)."""
-        return TaskMetricsSummary.from_tasks(self.tasks)
+        return TaskMetricsSummary.from_columns(self.task_columns())
 
     def turnaround_times(self) -> np.ndarray:
-        return np.array([t.turnaround_time for t in self.finished_tasks], dtype=float)
+        return self.task_columns().turnaround()
 
     def response_times(self) -> np.ndarray:
-        return np.array([t.response_time for t in self.finished_tasks], dtype=float)
+        return self.task_columns().response()
 
     # ------------------------------------------------------------------ nodes
 
@@ -97,6 +112,26 @@ class ClusterResult:
             return self.config.total_capacity()
         return sum(stats["capacity"] for stats in self.node_stats.values())
 
+    def node_uptime(self, node_id: int) -> float:
+        """Billed seconds of one node: commissioning to retirement (or end)."""
+        stats = self.node_stats.get(node_id)
+        if stats is not None and "uptime" in stats:
+            return stats["uptime"]
+        # Hand-built results without lifecycle stats: the node is assumed to
+        # have lived for the whole run.
+        return self.simulated_time
+
+    def node_hours(self) -> float:
+        """Total node-hours the fleet consumed (boot and drain included)."""
+        node_ids = self.node_stats or self.node_results
+        return sum(self.node_uptime(node_id) for node_id in node_ids) / 3600.0
+
+    # ----------------------------------------------------------------- cost
+
+    def cost(self, model: Optional[CostModel] = None) -> ClusterCostBreakdown:
+        """Latency-vs-cost accounting: user billing plus fleet node-hours."""
+        return (model or CostModel()).cluster_cost(self)
+
     # ------------------------------------------------------------- migration
 
     def migrations_per_node(self) -> Dict[int, int]:
@@ -128,6 +163,7 @@ class ClusterResult:
         spread = (
             f"{min(counts.values())}..{max(counts.values())}" if counts else "n/a"
         )
+        cost = self.cost()
         lines = [
             f"dispatcher           : {self.dispatcher_name}",
             f"per-node scheduler   : {self.scheduler_name}",
@@ -139,6 +175,10 @@ class ClusterResult:
             f"tasks per node       : {spread}",
             f"tasks migrated       : {self.tasks_migrated}",
             f"simulated time       : {self.simulated_time:.2f} s",
+            f"node-hours consumed  : {cost.node_hours:.4f} h"
+            f" (${cost.node_cost:.4f} fleet cost)",
+            f"user billing         : ${cost.user_cost:.4f}"
+            f" ({cost.invocations} invocations)",
             f"p50 turnaround time  : {summary.p50_turnaround:.4f} s",
             f"p99 turnaround time  : {summary.p99_turnaround:.4f} s",
             f"p50 response time    : {summary.p50_response:.4f} s",

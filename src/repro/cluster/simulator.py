@@ -26,6 +26,7 @@ from repro.cluster.registry import create_dispatcher, create_migration_policy
 from repro.cluster.results import ClusterResult
 from repro.schedulers.registry import create_scheduler
 from repro.simulation.clock import VirtualClock
+from repro.simulation.columns import TaskColumns
 from repro.simulation.engine import SimulationError
 from repro.simulation.events import EventPriority, EventQueue
 from repro.simulation.machine import Machine
@@ -61,6 +62,8 @@ class ClusterSimulator:
             self._load_index.register(*index_key)
         self.nodes: List[ClusterNode] = []
         self.tasks: List[Task] = []
+        #: Fleet-wide columnar metrics store, appended per completion.
+        self.columns = TaskColumns()
         self.series: dict = {}
         self.waiting_tasks: List[Task] = []
         self.nodes_added = 0
@@ -115,6 +118,7 @@ class ClusterSimulator:
             events=self.events,
             state=state,
             spec=spec,
+            commissioned_at=self.now,
         )
         self._next_node_id += 1
         node.engine.bind_cluster(
@@ -283,6 +287,7 @@ class ClusterSimulator:
 
     def _on_task_finished(self, node: ClusterNode, task: Task) -> None:
         node.on_task_finished(task)
+        self.columns.append(task)
         self._unfinished -= 1
         if node.state is NodeState.DRAINING and node.inflight == 0:
             self._retire_node(node)
@@ -404,25 +409,34 @@ class ClusterSimulator:
                 )
             self._schedule_utilization_sample(node_config.utilization_window)
 
-        while True:
+        done = False
+        while not done:
             next_time = self.events.peek_time()
             if next_time is None:
                 break
             if limit is not None and next_time > limit:
                 self.clock.advance_to(limit)
                 break
-            event = self.events.pop()
-            if event is None:
-                break
-            self.clock.advance_to(event.time)
-            self._events_processed += 1
-            callback = event.callback
-            if callback is not None:
-                callback()
-            else:
-                self._dispatch_tagged(event)
-            if self._unfinished == 0 and self._pending_arrivals == 0:
-                break
+            self.clock.advance_to(next_time)
+            # Batched draining (mirrors Simulator.run): all events at this
+            # timestamp are dispatched in one loop iteration, in the same
+            # (time, priority, seq) order as one-at-a-time draining.
+            while True:
+                event = self.events.pop()
+                if event is None:
+                    done = True
+                    break
+                self._events_processed += 1
+                callback = event.callback
+                if callback is not None:
+                    callback()
+                else:
+                    self._dispatch_tagged(event)
+                if self._unfinished == 0 and self._pending_arrivals == 0:
+                    done = True
+                    break
+                if self.events.peek_time() != next_time:
+                    break
 
         # Flush lazily accounted service so per-task fields are concrete in
         # every node's result, including tasks cut off by a time limit.
@@ -469,9 +483,31 @@ class ClusterSimulator:
                     "completed": float(node.tasks_completed),
                     "stolen_in": float(node.tasks_stolen_in),
                     "stolen_away": float(node.tasks_stolen_away),
+                    # Lifecycle timestamps for node-hour cost accounting;
+                    # -1.0 marks "never happened" (kept numeric for JSON).
+                    "commissioned_at": float(node.commissioned_at),
+                    "activated_at": (
+                        float(node.activated_at)
+                        if node.activated_at is not None
+                        else -1.0
+                    ),
+                    "retired_at": (
+                        float(node.retired_at)
+                        if node.retired_at is not None
+                        else -1.0
+                    ),
+                    "uptime": node.uptime(self.now),
+                    # Explicit per-spec price, or -1.0 to let the cost model
+                    # derive one from capacity.
+                    "price_per_hour": (
+                        float(node.spec.price_per_hour)
+                        if node.spec.price_per_hour is not None
+                        else -1.0
+                    ),
                 }
                 for node in self.nodes
             },
+            columns=self.columns,
             series={name: list(points) for name, points in self.series.items()},
             simulated_time=self.now,
             wall_clock_seconds=wall,

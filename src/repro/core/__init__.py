@@ -23,11 +23,10 @@ from repro.core.time_limit import (
     FixedTimeLimit,
     TimeLimitPolicy,
 )
-from repro.schedulers.registry import register_scheduler as _register_scheduler
-
-# Make the hybrid scheduler reachable through the same registry as the
-# baselines so experiments can refer to every policy by name.
-_register_scheduler("hybrid", HybridScheduler, overwrite=True)
+# The hybrid scheduler is reachable through the scheduler registry under
+# "hybrid" alongside the baselines: repro.schedulers.registry registers a
+# kwargs factory for it, so declarative scenarios configure it with plain
+# JSON values instead of a HybridConfig instance.
 
 __all__ = [
     "HybridConfig",

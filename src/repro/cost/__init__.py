@@ -1,4 +1,4 @@
-"""User-facing cost accounting.
+"""User-facing and provider-side cost accounting.
 
 FaaS providers bill wall-clock execution time per millisecond, with a price
 proportional to the memory configured for the function.  Because the billed
@@ -6,21 +6,32 @@ quantity is wall-clock (not CPU) time, any scheduling decision that stretches
 execution — CFS time slicing above all — directly costs the user money.
 This package encodes AWS Lambda's published price table and turns simulation
 results into dollar figures (Figs. 1, 20, 22 and Table I).
+
+Cluster runs additionally carry *provider-side* node-hour cost: every node is
+billed from commissioning (cold-start boot included) to retirement (drain
+included), priced per :class:`~repro.cluster.config.NodeSpec` — see
+:meth:`CostModel.cluster_cost` — which makes the autoscaler's
+latency-vs-cost trade-off directly reportable.
 """
 
-from repro.cost.cost_model import CostBreakdown, CostModel
+from repro.cost.cost_model import ClusterCostBreakdown, CostBreakdown, CostModel
 from repro.cost.pricing import (
     AWS_LAMBDA_X86_PRICING,
+    DEFAULT_PRICE_PER_CORE_HOUR,
     LambdaPriceTable,
     PriceTier,
+    node_price_per_hour,
     price_per_ms,
 )
 
 __all__ = [
+    "ClusterCostBreakdown",
     "CostBreakdown",
     "CostModel",
     "AWS_LAMBDA_X86_PRICING",
+    "DEFAULT_PRICE_PER_CORE_HOUR",
     "LambdaPriceTable",
     "PriceTier",
+    "node_price_per_hour",
     "price_per_ms",
 ]

@@ -14,8 +14,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence
 
-from repro.cost.pricing import AWS_LAMBDA_X86_PRICING, LambdaPriceTable
+from repro.cost.pricing import (
+    AWS_LAMBDA_X86_PRICING,
+    DEFAULT_PRICE_PER_CORE_HOUR,
+    LambdaPriceTable,
+    node_price_per_hour,
+)
 from repro.simulation.task import Task
+
+#: Seconds per billing hour.
+_SECONDS_PER_HOUR = 3600.0
 
 
 @dataclass(frozen=True)
@@ -32,6 +40,37 @@ class CostBreakdown:
         return self.execution_cost + self.request_cost
 
 
+@dataclass(frozen=True)
+class ClusterCostBreakdown:
+    """Cost of one cluster run: user-facing billing plus provider node-hours.
+
+    ``execution_cost``/``request_cost`` follow the single-machine
+    :class:`CostBreakdown` methodology (what users are billed).
+    ``node_cost`` prices the fleet itself: every node is billed from the
+    moment it is commissioned (cold-start boot included) until it retires
+    (drain time included) — the latency-vs-cost axis of the autoscaler
+    trade-off.
+    """
+
+    execution_cost: float
+    request_cost: float
+    invocations: int
+    billed_seconds: float
+    node_cost: float
+    node_hours: float
+    node_costs: Dict[int, float]
+
+    @property
+    def user_cost(self) -> float:
+        """What the workload's users pay (execution + request fees)."""
+        return self.execution_cost + self.request_cost
+
+    @property
+    def total(self) -> float:
+        """User-facing billing plus provider node-hours."""
+        return self.user_cost + self.node_cost
+
+
 class CostModel:
     """Computes user-facing cost from finished tasks."""
 
@@ -40,6 +79,7 @@ class CostModel:
         pricing: Optional[LambdaPriceTable] = None,
         include_request_fee: bool = False,
         bill_response_time: bool = False,
+        price_per_core_hour: float = DEFAULT_PRICE_PER_CORE_HOUR,
     ) -> None:
         """Args:
         pricing: Price table (defaults to AWS Lambda x86).
@@ -50,10 +90,18 @@ class CostModel:
             Providers bill from function start, so the default (execution
             time only) matches the paper; the alternative is exposed for
             sensitivity studies.
+        price_per_core_hour: Node-hour price per baseline-core equivalent,
+            used for fleet cost when a node's spec carries no explicit
+            ``price_per_hour``.
         """
         self.pricing = pricing or AWS_LAMBDA_X86_PRICING
         self.include_request_fee = include_request_fee
         self.bill_response_time = bill_response_time
+        if price_per_core_hour < 0:
+            raise ValueError(
+                f"price_per_core_hour must be >= 0, got {price_per_core_hour!r}"
+            )
+        self.price_per_core_hour = price_per_core_hour
 
     # ---------------------------------------------------------------- billing
 
@@ -104,6 +152,36 @@ class CostModel:
             billed_seconds=billed_seconds,
         )
 
+    def workload_cost_columns(self, columns) -> CostBreakdown:
+        """Columnar :meth:`workload_cost`: one vectorised pass, no task loop.
+
+        Valid for linear (GB-second) price tables — which
+        :class:`~repro.cost.pricing.LambdaPriceTable` always is; custom
+        pricing objects without ``price_per_gb_second`` fall back to the
+        per-task path via the caller.
+        """
+        count = len(columns)
+        if count == 0:
+            return CostBreakdown(
+                execution_cost=0.0, request_cost=0.0, invocations=0, billed_seconds=0.0
+            )
+        duration = (
+            columns.turnaround() if self.bill_response_time else columns.execution()
+        )
+        memory_gb = columns.column("memory_mb") / 1024.0
+        execution_cost = float(
+            (duration * memory_gb).sum() * self.pricing.price_per_gb_second
+        )
+        request_cost = (
+            self.pricing.price_per_request * count if self.include_request_fee else 0.0
+        )
+        return CostBreakdown(
+            execution_cost=execution_cost,
+            request_cost=request_cost,
+            invocations=count,
+            billed_seconds=float(duration.sum()),
+        )
+
     def cost_by_memory_size(
         self, tasks: Sequence[Task], memory_sizes_mb: Sequence[int]
     ) -> Dict[int, float]:
@@ -116,6 +194,72 @@ class CostModel:
         for memory in memory_sizes_mb:
             result[int(memory)] = self.pricing.execution_cost(total_seconds, memory)
         return result
+
+    # --------------------------------------------------------------- clusters
+
+    def node_uptime_cost(self, uptime_seconds: float, price_per_hour: float) -> float:
+        """Cost of keeping one node commissioned for ``uptime_seconds``."""
+        if uptime_seconds < 0:
+            raise ValueError(
+                f"uptime_seconds must be >= 0, got {uptime_seconds!r}"
+            )
+        if price_per_hour < 0:
+            raise ValueError(
+                f"price_per_hour must be >= 0, got {price_per_hour!r}"
+            )
+        return uptime_seconds / _SECONDS_PER_HOUR * price_per_hour
+
+    def cluster_cost(self, result) -> ClusterCostBreakdown:
+        """Full latency-vs-cost accounting for one cluster run.
+
+        Args:
+            result: A :class:`~repro.cluster.results.ClusterResult` (duck
+                typed: needs ``finished_tasks``, ``node_stats``,
+                ``simulated_time`` and ``node_capacity``).
+
+        Node-hours run from each node's commissioning (cold-start boot is
+        paid capacity) to its retirement — or to the end of the run for
+        nodes still in service — priced per
+        :class:`~repro.cluster.config.NodeSpec` when the spec carries an
+        explicit ``price_per_hour``, otherwise at
+        ``capacity * price_per_core_hour``.
+        """
+        if hasattr(result, "task_columns") and hasattr(
+            self.pricing, "price_per_gb_second"
+        ):
+            base = self.workload_cost_columns(result.task_columns())
+        else:
+            base = self.workload_cost(result.finished_tasks)
+        node_costs: Dict[int, float] = {}
+        node_seconds = 0.0
+        # Hand-assembled results without node_stats still carry per-node
+        # results; bill those nodes for the whole run (mirroring
+        # ClusterResult.node_uptime's fallback) so node_hours()/cost() agree.
+        node_ids = result.node_stats or getattr(result, "node_results", {})
+        for node_id in node_ids:
+            stats = result.node_stats.get(node_id, {})
+            uptime = stats.get("uptime")
+            if uptime is None:
+                # Lifecycle stats missing: bill the whole run for this node.
+                uptime = result.simulated_time
+            explicit = stats.get("price_per_hour", -1.0)
+            if explicit is not None and explicit >= 0:
+                hourly = explicit
+            else:
+                hourly = node_price_per_hour(
+                    result.node_capacity(node_id), self.price_per_core_hour
+                )
+            node_costs[node_id] = self.node_uptime_cost(uptime, hourly)
+            node_seconds += uptime
+        return ClusterCostBreakdown(
+            execution_cost=base.execution_cost,
+            request_cost=base.request_cost,
+            invocations=base.invocations,
+            billed_seconds=base.billed_seconds,
+            node_cost=sum(node_costs.values()),
+            node_hours=node_seconds / _SECONDS_PER_HOUR,
+            node_costs=node_costs,
+        )
 
     def cost_ratio(self, tasks_a: Sequence[Task], tasks_b: Sequence[Task]) -> float:
         """Ratio total_cost(a) / total_cost(b) using each task's own memory."""

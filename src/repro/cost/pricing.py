@@ -19,6 +19,25 @@ PRICE_PER_GB_SECOND = 0.0000166667
 #: Price per request (USD).
 PRICE_PER_REQUEST = 0.20 / 1_000_000
 
+#: Provider-side node price per baseline-core-hour (USD).  Matches compute-
+#: optimised EC2 on-demand pricing (c5 family, ~$0.085/h for 2 vCPU) spread
+#: per core; a :class:`repro.cluster.config.NodeSpec` without an explicit
+#: ``price_per_hour`` is billed at ``capacity * this`` per hour.
+DEFAULT_PRICE_PER_CORE_HOUR = 0.0425
+
+
+def node_price_per_hour(
+    capacity: float, price_per_core_hour: float = DEFAULT_PRICE_PER_CORE_HOUR
+) -> float:
+    """Hourly price of a node from its capacity in baseline-core equivalents."""
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity!r}")
+    if price_per_core_hour < 0:
+        raise ValueError(
+            f"price_per_core_hour must be >= 0, got {price_per_core_hour!r}"
+        )
+    return capacity * price_per_core_hour
+
 #: Memory configurations listed in the AWS pricing table (MB).
 PUBLISHED_MEMORY_TIERS_MB: Tuple[int, ...] = (128, 512, 1024, 1536, 2048, 3072, 4096, 5120, 6144, 7168, 8192, 9216, 10240)
 

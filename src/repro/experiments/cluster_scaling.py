@@ -24,17 +24,13 @@ most of the tail latency a load-aware dispatcher would have bought.
 from __future__ import annotations
 
 from repro.analysis.fleet import policy_comparison_table
-from repro.cluster import (
-    ClusterConfig,
-    NodeSpec,
-    available_dispatchers,
-    simulate_cluster,
-)
+from repro.cluster import NodeSpec, available_dispatchers
 from repro.experiments.common import (
     ExperimentOutput,
     register_experiment,
-    ten_minute_workload,
+    run_scenario,
 )
+from repro.scenario import Scenario, Workload
 
 EXPERIMENT_ID = "cluster_scaling"
 TITLE = "Dispatch policy vs fleet shape on the 10-minute workload"
@@ -55,34 +51,37 @@ HETEROGENEOUS_SPECS = (
 )
 
 
-def heterogeneous_config(**overrides) -> ClusterConfig:
+def heterogeneous_scenario(scale: float, **overrides) -> Scenario:
     """The big/little fleet the heterogeneous sweep and its tests share."""
     defaults = dict(
-        node_specs=HETEROGENEOUS_SPECS, scheduler="fifo", dispatcher="jsq"
+        workload=Workload("ten_minute", scale=scale),
+        node_specs=HETEROGENEOUS_SPECS,
+        scheduler="fifo",
+        dispatcher="jsq",
     )
     defaults.update(overrides)
-    return ClusterConfig(**defaults)
+    return Scenario(**defaults)
 
 
 def run_heterogeneous_sweep(scale: float, scheduler: str = "fifo") -> dict:
     """Four runs on the big/little fleet; returns results keyed by label."""
     variants = {
-        "jsq_normalized": heterogeneous_config(scheduler=scheduler),
-        "jsq_raw": heterogeneous_config(
-            scheduler=scheduler, dispatcher_kwargs={"normalized": False}
+        "jsq_normalized": heterogeneous_scenario(scale, scheduler=scheduler),
+        "jsq_raw": heterogeneous_scenario(
+            scale, scheduler=scheduler, dispatcher_kwargs={"normalized": False}
         ),
-        "round_robin": heterogeneous_config(
-            scheduler=scheduler, dispatcher="round_robin"
+        "round_robin": heterogeneous_scenario(
+            scale, scheduler=scheduler, dispatcher="round_robin"
         ),
-        "round_robin_stealing": heterogeneous_config(
+        "round_robin_stealing": heterogeneous_scenario(
+            scale,
             scheduler=scheduler,
             dispatcher="round_robin",
             migration="work_stealing",
         ),
     }
     return {
-        label: simulate_cluster(ten_minute_workload(scale), config=config)
-        for label, config in variants.items()
+        label: run_scenario(scenario).result for label, scenario in variants.items()
     }
 
 
@@ -93,13 +92,14 @@ def run(scale: float = 1.0) -> ExperimentOutput:
     for num_nodes in NODE_COUNTS:
         results = {}
         for policy in policies:
-            config = ClusterConfig(
+            scenario = Scenario(
+                workload=Workload("ten_minute", scale=scale),
                 num_nodes=num_nodes,
                 cores_per_node=CORES_PER_NODE,
                 scheduler="fifo",
                 dispatcher=policy,
             )
-            results[policy] = simulate_cluster(ten_minute_workload(scale), config=config)
+            results[policy] = run_scenario(scenario).result
         table = policy_comparison_table(results)
         sections.append(
             table.render(

@@ -1,41 +1,41 @@
 """Shared infrastructure for the experiment harness.
 
-Provides the experiment registry, the canonical workloads (the paper's
-2-minute and 10-minute Azure-like traces), and helpers that turn simulation
-results into the comparison rows the figures report.
+Provides the experiment registry and the glue between experiments and the
+declarative scenario layer: every experiment builds
+:class:`~repro.scenario.scenario.Scenario` objects and runs them through the
+single :func:`repro.scenario.run.run` pipeline.  The canonical paper
+workloads live in :mod:`repro.scenario.workloads` and are re-exported here
+for convenience.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import lru_cache
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.analysis.report import ComparisonTable
 from repro.core.config import HybridConfig
 from repro.cost.cost_model import CostModel
+from repro.scenario import Scenario, Workload
+from repro.scenario.run import RunResult, run as run_scenario
+from repro.scenario.scenario import DEFAULT_NUM_CORES
+from repro.scenario.workloads import (  # noqa: F401  (re-exported API)
+    firecracker_invocations,
+    scaled_limit,
+    ten_minute_workload,
+    two_minute_items,
+    two_minute_workload,
+)
 from repro.schedulers.base import Scheduler
 from repro.simulation.config import SimulationConfig
-from repro.simulation.engine import Simulator, simulate
-from repro.simulation.machine import Machine
 from repro.simulation.results import SimulationResult
 from repro.simulation.task import Task
-from repro.workload.azure import AzureTraceConfig, generate_trace
-from repro.workload.calibration import default_calibration_table
-from repro.workload.extraction import ExtractionPipeline
-from repro.workload.generator import (
-    PAPER_FIRECRACKER_INVOCATIONS,
-    PAPER_TWO_MINUTE_INVOCATIONS,
-    WorkloadGenerator,
-    WorkloadItem,
-    WorkloadSpec,
-    items_to_tasks,
-)
 
 #: Enclave size used by every experiment (the paper uses 50 of the 72 cores).
-ENCLAVE_CORES = 50
+ENCLAVE_CORES = DEFAULT_NUM_CORES
 
 #: The fixed FIFO preemption limit the paper derives as the 90th percentile of
 #: its sampled workload (1,633 ms); our default workload's p90 lands within a
@@ -57,6 +57,22 @@ class ExperimentOutput:
     def render(self) -> str:
         header = f"== {self.experiment_id}: {self.title} =="
         return "\n".join([header, self.description.strip(), "", self.text])
+
+    def write_csv(self, directory: Union[str, Path]) -> Dict[str, Path]:
+        """Write every comparison table as ``<id>_<table>.csv``.
+
+        Shares the one CSV formatting helper in :mod:`repro.analysis.export`
+        so experiment output and result export stay byte-compatible.
+        """
+        from repro.analysis.export import export_comparison_table
+
+        base = Path(directory)
+        return {
+            name: export_comparison_table(
+                table, base / f"{self.experiment_id}_{name}.csv"
+            )
+            for name, table in self.tables.items()
+        }
 
 
 ExperimentFunction = Callable[..., ExperimentOutput]
@@ -91,63 +107,61 @@ def run_experiment(experiment_id: str, scale: float = 1.0) -> ExperimentOutput:
 
 
 # ---------------------------------------------------------------------------
-# Canonical workloads
-# ---------------------------------------------------------------------------
-
-
-@lru_cache(maxsize=8)
-def _workload_items(minutes: int, limit: Optional[int]) -> tuple:
-    """Cache workload items (immutable); tasks are rebuilt per run."""
-    trace = generate_trace(AzureTraceConfig(minutes=max(minutes, 2)))
-    pipeline = ExtractionPipeline(calibration=default_calibration_table())
-    buckets = pipeline.run(trace)
-    generator = WorkloadGenerator(buckets)
-    items = generator.generate_items(WorkloadSpec(minutes=minutes, limit=limit))
-    return tuple(items)
-
-
-def scaled_limit(base: int, scale: float) -> int:
-    """Scale an invocation count, keeping at least a small viable workload."""
-    if scale <= 0:
-        raise ValueError(f"scale must be positive, got {scale!r}")
-    return max(200, int(round(base * scale)))
-
-
-def two_minute_workload(scale: float = 1.0) -> List[Task]:
-    """Fresh tasks for the paper's 12,442-invocation (~2 minute) workload."""
-    limit = scaled_limit(PAPER_TWO_MINUTE_INVOCATIONS, scale)
-    return items_to_tasks(list(_workload_items(2, limit)))
-
-
-def ten_minute_workload(scale: float = 1.0) -> List[Task]:
-    """Fresh tasks for the paper's 10-minute workload (utilization studies)."""
-    items = list(_workload_items(10, None))
-    if scale < 1.0:
-        keep = scaled_limit(len(items), scale)
-        items = items[:keep]
-    return items_to_tasks(items)
-
-
-def two_minute_items(scale: float = 1.0) -> List[WorkloadItem]:
-    limit = scaled_limit(PAPER_TWO_MINUTE_INVOCATIONS, scale)
-    return list(_workload_items(2, limit))
-
-
-def firecracker_invocations(scale: float = 1.0) -> List[Task]:
-    """First invocations of the 10-minute workload used for Firecracker runs."""
-    limit = scaled_limit(PAPER_FIRECRACKER_INVOCATIONS, scale)
-    items = list(_workload_items(10, None))[:limit]
-    return items_to_tasks(items)
-
-
-# ---------------------------------------------------------------------------
-# Simulation helpers
+# Scenario builders
 # ---------------------------------------------------------------------------
 
 
 def standard_config(num_cores: int = ENCLAVE_CORES, **overrides) -> SimulationConfig:
-    """Simulation configuration shared by the experiments."""
+    """Simulation configuration shared by the experiments.
+
+    Programmatic counterpart of a default single-machine scenario; kept for
+    callers (examples, ablation benches) that need non-serialisable knobs
+    such as a custom context-switch model.
+    """
     return SimulationConfig(num_cores=num_cores, **overrides)
+
+
+def policy_scenario(
+    scheduler: str,
+    *,
+    scale: float = 1.0,
+    workload: str = "two_minute",
+    num_cores: int = ENCLAVE_CORES,
+    **scheduler_kwargs,
+) -> Scenario:
+    """A single-machine scenario on one of the canonical paper workloads."""
+    return Scenario(
+        workload=Workload(source=workload, scale=scale),
+        scheduler=scheduler,
+        scheduler_kwargs=scheduler_kwargs,
+        num_cores=num_cores,
+    )
+
+
+def hybrid_kwargs(config: Optional[HybridConfig] = None) -> Dict[str, object]:
+    """A :class:`HybridConfig` as the plain kwargs the registry factory takes."""
+    cfg = config or paper_hybrid_config()
+    data = asdict(cfg)
+    data["cfs_placement"] = cfg.cfs_placement.value
+    return data
+
+
+def hybrid_scenario(
+    config: Optional[HybridConfig] = None,
+    *,
+    scale: float = 1.0,
+    workload: str = "two_minute",
+    num_cores: Optional[int] = None,
+) -> Scenario:
+    """A single-machine hybrid-scheduler scenario from a :class:`HybridConfig`."""
+    cfg = config or paper_hybrid_config()
+    return policy_scenario(
+        "hybrid",
+        scale=scale,
+        workload=workload,
+        num_cores=num_cores if num_cores is not None else ENCLAVE_CORES,
+        **hybrid_kwargs(cfg),
+    )
 
 
 def run_policy(
@@ -156,9 +170,22 @@ def run_policy(
     num_cores: int = ENCLAVE_CORES,
     config: Optional[SimulationConfig] = None,
 ) -> SimulationResult:
-    """Run one scheduler over ``tasks`` on a fresh machine."""
-    cfg = config or standard_config(num_cores)
-    return simulate(scheduler, list(tasks), config=cfg)
+    """Run one already-built scheduler instance over explicit tasks.
+
+    Compatibility shim for callers holding instances (tests, the golden
+    suite); routes through the scenario pipeline's programmatic overrides.
+    New code should build a declarative :class:`Scenario` instead.
+    """
+    scenario = Scenario(
+        scheduler=getattr(scheduler, "name", type(scheduler).__name__),
+        num_cores=config.num_cores if config is not None else num_cores,
+    )
+    return run_scenario(
+        scenario,
+        tasks=list(tasks),
+        scheduler=scheduler,
+        sim_config=config or scenario.build_simulation_config(),
+    ).result
 
 
 def paper_hybrid_config(num_cores: int = ENCLAVE_CORES, **overrides) -> HybridConfig:
@@ -181,11 +208,26 @@ METRIC_COLUMNS = (
 )
 
 
-def metric_row(result: SimulationResult, cost_model: Optional[CostModel] = None) -> Dict[str, float]:
-    """One comparison-table row (Table I style) from a simulation result."""
-    model = cost_model or CostModel()
-    summary = result.summary()
-    cost = model.workload_cost(result.finished_tasks).total
+def metric_row(
+    result: Union[SimulationResult, RunResult],
+    cost_model: Optional[CostModel] = None,
+) -> Dict[str, float]:
+    """One comparison-table row (Table I style) from a run.
+
+    Accepts either a raw :class:`SimulationResult` (cost recomputed) or a
+    :class:`RunResult` (the pipeline's cost report reused unless an explicit
+    model asks otherwise).
+    """
+    if isinstance(result, RunResult):
+        summary = result.summary()
+        if cost_model is None:
+            cost = result.cost.total
+        else:
+            cost = cost_model.workload_cost(result.finished_tasks).total
+    else:
+        summary = result.summary()
+        model = cost_model or CostModel()
+        cost = model.workload_cost(result.finished_tasks).total
     return {
         "p50_execution": summary.p50_execution,
         "p99_execution": summary.p99_execution,

@@ -12,12 +12,10 @@ from repro.analysis.report import format_usd, render_table
 from repro.cost.cost_model import CostModel
 from repro.experiments.common import (
     ExperimentOutput,
+    policy_scenario,
     register_experiment,
-    run_policy,
-    two_minute_workload,
+    run_scenario,
 )
-from repro.schedulers.cfs import CFSScheduler
-from repro.schedulers.fifo import FIFOScheduler
 
 #: Memory sizes swept in the figure (MB).
 MEMORY_SWEEP_MB = (128, 256, 512, 1024, 2048, 4096, 10240)
@@ -30,8 +28,8 @@ def run(scale: float = 1.0) -> ExperimentOutput:
     """Run FIFO and CFS over the 2-minute workload and price both."""
     cost_model = CostModel()
 
-    fifo_result = run_policy(FIFOScheduler(), two_minute_workload(scale))
-    cfs_result = run_policy(CFSScheduler(), two_minute_workload(scale))
+    fifo_result = run_scenario(policy_scenario("fifo", scale=scale)).result
+    cfs_result = run_scenario(policy_scenario("cfs", scale=scale)).result
 
     fifo_costs = cost_model.cost_by_memory_size(fifo_result.finished_tasks, MEMORY_SWEEP_MB)
     cfs_costs = cost_model.cost_by_memory_size(cfs_result.finished_tasks, MEMORY_SWEEP_MB)

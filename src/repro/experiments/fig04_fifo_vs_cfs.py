@@ -14,29 +14,27 @@ from repro.experiments.common import (
     ExperimentOutput,
     METRIC_COLUMNS,
     metric_row,
+    policy_scenario,
     register_experiment,
-    run_policy,
-    two_minute_workload,
+    run_scenario,
 )
-from repro.schedulers.cfs import CFSScheduler
-from repro.schedulers.fifo import FIFOScheduler
 
 EXPERIMENT_ID = "fig04"
 TITLE = "FIFO vs CFS: execution, response and turnaround time"
 
 
 def run(scale: float = 1.0) -> ExperimentOutput:
-    fifo = run_policy(FIFOScheduler(), two_minute_workload(scale))
-    cfs = run_policy(CFSScheduler(), two_minute_workload(scale))
+    fifo = run_scenario(policy_scenario("fifo", scale=scale))
+    cfs = run_scenario(policy_scenario("cfs", scale=scale))
 
     table = ComparisonTable(columns=METRIC_COLUMNS)
     table.add_row("fifo", metric_row(fifo))
     table.add_row("cfs", metric_row(cfs))
 
-    fifo_exec = compute_cdf(fifo.execution_times())
-    cfs_exec = compute_cdf(cfs.execution_times())
-    fifo_resp = compute_cdf(fifo.response_times())
-    cfs_resp = compute_cdf(cfs.response_times())
+    fifo_exec = compute_cdf(fifo.result.execution_times())
+    cfs_exec = compute_cdf(cfs.result.execution_times())
+    fifo_resp = compute_cdf(fifo.result.response_times())
+    cfs_resp = compute_cdf(cfs.result.response_times())
 
     text = table.render(title="Per-scheduler metric summary (seconds / USD)")
     text += (

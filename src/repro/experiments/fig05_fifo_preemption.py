@@ -13,12 +13,10 @@ from repro.experiments.common import (
     ExperimentOutput,
     METRIC_COLUMNS,
     metric_row,
+    policy_scenario,
     register_experiment,
-    run_policy,
-    two_minute_workload,
+    run_scenario,
 )
-from repro.schedulers.fifo import FIFOScheduler
-from repro.schedulers.fifo_preempt import FIFOPreemptScheduler
 
 EXPERIMENT_ID = "fig05"
 TITLE = "FIFO vs FIFO with 100 ms preemption"
@@ -27,9 +25,9 @@ PREEMPTION_QUANTUM = 0.100
 
 
 def run(scale: float = 1.0) -> ExperimentOutput:
-    fifo = run_policy(FIFOScheduler(), two_minute_workload(scale))
-    fifo_100ms = run_policy(
-        FIFOPreemptScheduler(quantum=PREEMPTION_QUANTUM), two_minute_workload(scale)
+    fifo = run_scenario(policy_scenario("fifo", scale=scale))
+    fifo_100ms = run_scenario(
+        policy_scenario("fifo_preempt", scale=scale, quantum=PREEMPTION_QUANTUM)
     )
 
     table = ComparisonTable(columns=METRIC_COLUMNS)

@@ -17,27 +17,23 @@ ablation (``scale`` < 1 keeps the same behaviour) shows the Fig. 6 ordering.
 from __future__ import annotations
 
 from repro.analysis.report import ComparisonTable
-from repro.core.hybrid import HybridScheduler
 from repro.experiments.common import (
     ExperimentOutput,
     METRIC_COLUMNS,
+    hybrid_scenario,
     metric_row,
-    paper_hybrid_config,
+    policy_scenario,
     register_experiment,
-    run_policy,
-    two_minute_workload,
+    run_scenario,
 )
-from repro.schedulers.fifo import FIFOScheduler
 
 EXPERIMENT_ID = "fig06"
 TITLE = "FIFO vs hybrid FIFO+CFS (25/25 cores, 1,633 ms limit)"
 
 
 def run(scale: float = 1.0) -> ExperimentOutput:
-    fifo = run_policy(FIFOScheduler(), two_minute_workload(scale))
-    hybrid = run_policy(
-        HybridScheduler(paper_hybrid_config()), two_minute_workload(scale)
-    )
+    fifo = run_scenario(policy_scenario("fifo", scale=scale))
+    hybrid = run_scenario(hybrid_scenario(scale=scale))
 
     table = ComparisonTable(columns=METRIC_COLUMNS)
     table.add_row("fifo", metric_row(fifo))

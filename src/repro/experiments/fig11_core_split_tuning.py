@@ -9,18 +9,17 @@ the few CFS cores are overwhelmed by the preempted long functions.
 from __future__ import annotations
 
 from repro.analysis.report import ComparisonTable
-from repro.core.hybrid import HybridScheduler
 from repro.experiments.common import (
     ENCLAVE_CORES,
     ExperimentOutput,
     METRIC_COLUMNS,
+    hybrid_scenario,
     metric_row,
     paper_hybrid_config,
+    policy_scenario,
     register_experiment,
-    run_policy,
-    two_minute_workload,
+    run_scenario,
 )
-from repro.schedulers.cfs import CFSScheduler
 
 EXPERIMENT_ID = "fig11"
 TITLE = "Execution time across FIFO/CFS core splits"
@@ -32,16 +31,14 @@ SPLITS = ((10, 40), (25, 25), (40, 10))
 def run(scale: float = 1.0) -> ExperimentOutput:
     table = ComparisonTable(columns=METRIC_COLUMNS)
 
-    cfs = run_policy(CFSScheduler(), two_minute_workload(scale))
+    cfs = run_scenario(policy_scenario("cfs", scale=scale))
     table.add_row("cfs_50", metric_row(cfs))
 
     split_rows = {}
     for fifo_cores, cfs_cores in SPLITS:
         config = paper_hybrid_config(fifo_cores=fifo_cores, cfs_cores=cfs_cores)
-        result = run_policy(
-            HybridScheduler(config),
-            two_minute_workload(scale),
-            num_cores=fifo_cores + cfs_cores,
+        result = run_scenario(
+            hybrid_scenario(config, scale=scale, num_cores=fifo_cores + cfs_cores)
         )
         label = f"hybrid_{fifo_cores}_{cfs_cores}"
         row = metric_row(result)

@@ -8,25 +8,23 @@ queue instead of immediately time-sharing), and better turnaround overall.
 from __future__ import annotations
 
 from repro.analysis.report import ComparisonTable
-from repro.core.hybrid import HybridScheduler
 from repro.experiments.common import (
     ExperimentOutput,
     METRIC_COLUMNS,
+    hybrid_scenario,
     metric_row,
-    paper_hybrid_config,
+    policy_scenario,
     register_experiment,
-    run_policy,
-    two_minute_workload,
+    run_scenario,
 )
-from repro.schedulers.cfs import CFSScheduler
 
 EXPERIMENT_ID = "fig12"
 TITLE = "Hybrid FIFO+CFS vs CFS: execution, response, turnaround"
 
 
 def run(scale: float = 1.0) -> ExperimentOutput:
-    cfs = run_policy(CFSScheduler(), two_minute_workload(scale))
-    hybrid = run_policy(HybridScheduler(paper_hybrid_config()), two_minute_workload(scale))
+    cfs = run_scenario(policy_scenario("cfs", scale=scale))
+    hybrid = run_scenario(hybrid_scenario(scale=scale))
 
     table = ComparisonTable(columns=METRIC_COLUMNS)
     table.add_row("cfs", metric_row(cfs))

@@ -13,15 +13,13 @@ import numpy as np
 
 from repro.analysis.report import render_table
 from repro.core.config import CFS_GROUP, FIFO_GROUP
-from repro.core.hybrid import HybridScheduler
 from repro.experiments.common import (
     ExperimentOutput,
-    paper_hybrid_config,
+    hybrid_scenario,
+    policy_scenario,
     register_experiment,
-    run_policy,
-    two_minute_workload,
+    run_scenario,
 )
-from repro.schedulers.cfs import CFSScheduler
 
 EXPERIMENT_ID = "fig13"
 TITLE = "Preemption count per core: CFS vs hybrid"
@@ -37,8 +35,8 @@ def _group_stats(per_core: dict, core_ids: list) -> dict:
 
 
 def run(scale: float = 1.0) -> ExperimentOutput:
-    cfs = run_policy(CFSScheduler(), two_minute_workload(scale))
-    hybrid = run_policy(HybridScheduler(paper_hybrid_config()), two_minute_workload(scale))
+    cfs = run_scenario(policy_scenario("cfs", scale=scale)).result
+    hybrid = run_scenario(hybrid_scenario(scale=scale)).result
 
     cfs_per_core = cfs.preemptions_per_core()
     hybrid_per_core = hybrid.preemptions_per_core()

@@ -12,13 +12,11 @@ import numpy as np
 
 from repro.analysis.report import render_series, render_table
 from repro.core.config import CFS_GROUP, FIFO_GROUP
-from repro.core.hybrid import HybridScheduler
 from repro.experiments.common import (
     ExperimentOutput,
-    paper_hybrid_config,
+    hybrid_scenario,
     register_experiment,
-    run_policy,
-    two_minute_workload,
+    run_scenario,
 )
 
 EXPERIMENT_ID = "fig14"
@@ -26,7 +24,7 @@ TITLE = "Average utilization of FIFO vs CFS core groups (hybrid 25/25)"
 
 
 def run(scale: float = 1.0) -> ExperimentOutput:
-    hybrid = run_policy(HybridScheduler(paper_hybrid_config()), two_minute_workload(scale))
+    hybrid = run_scenario(hybrid_scenario(scale=scale)).result
 
     fifo_series = [(p.time, p.value) for p in hybrid.utilization_series(FIFO_GROUP)]
     cfs_series = [(p.time, p.value) for p in hybrid.utilization_series(CFS_GROUP)]

@@ -9,15 +9,14 @@ preempted onto the CFS cores.
 from __future__ import annotations
 
 from repro.analysis.report import ComparisonTable
-from repro.core.hybrid import HybridScheduler
 from repro.experiments.common import (
     ExperimentOutput,
     METRIC_COLUMNS,
+    hybrid_scenario,
     metric_row,
     paper_hybrid_config,
     register_experiment,
-    run_policy,
-    two_minute_workload,
+    run_scenario,
 )
 
 EXPERIMENT_ID = "fig15"
@@ -31,7 +30,7 @@ def run(scale: float = 1.0) -> ExperimentOutput:
     rows = {}
     for percentile in PERCENTILES:
         config = paper_hybrid_config().with_adaptive_limit(percentile=percentile, window=100)
-        result = run_policy(HybridScheduler(config), two_minute_workload(scale))
+        result = run_scenario(hybrid_scenario(config, scale=scale))
         label = f"ts_p{percentile}"
         row = metric_row(result)
         table.add_row(label, row)

@@ -12,13 +12,12 @@ import numpy as np
 
 from repro.analysis.report import render_series, render_table
 from repro.core.config import CFS_GROUP, FIFO_GROUP
-from repro.core.hybrid import HybridScheduler
 from repro.experiments.common import (
     ExperimentOutput,
+    hybrid_scenario,
     paper_hybrid_config,
     register_experiment,
-    run_policy,
-    ten_minute_workload,
+    run_scenario,
 )
 
 EXPERIMENT_ID = "fig16"
@@ -29,7 +28,9 @@ PERCENTILE = 75
 
 def run(scale: float = 1.0, percentile: float = PERCENTILE) -> ExperimentOutput:
     config = paper_hybrid_config().with_adaptive_limit(percentile=percentile, window=100)
-    result = run_policy(HybridScheduler(config), ten_minute_workload(scale))
+    result = run_scenario(
+        hybrid_scenario(config, scale=scale, workload="ten_minute")
+    ).result
 
     limit_series = [(p.time, p.value) for p in result.series_values("time_limit")]
     fifo_util = [(p.time, p.value) for p in result.utilization_series(FIFO_GROUP)]

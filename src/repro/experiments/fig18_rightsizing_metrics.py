@@ -9,15 +9,14 @@ while the (smaller) CFS group shares its cores among more preempted tasks.
 from __future__ import annotations
 
 from repro.analysis.report import ComparisonTable
-from repro.core.hybrid import HybridScheduler
 from repro.experiments.common import (
     ExperimentOutput,
     METRIC_COLUMNS,
+    hybrid_scenario,
     metric_row,
     paper_hybrid_config,
     register_experiment,
-    run_policy,
-    two_minute_workload,
+    run_scenario,
 )
 
 EXPERIMENT_ID = "fig18"
@@ -25,10 +24,12 @@ TITLE = "Hybrid scheduler: fixed 25/25 groups vs dynamic core rightsizing"
 
 
 def run(scale: float = 1.0) -> ExperimentOutput:
-    fixed = run_policy(HybridScheduler(paper_hybrid_config()), two_minute_workload(scale))
+    fixed = run_scenario(hybrid_scenario(scale=scale))
 
-    adaptive_scheduler = HybridScheduler(paper_hybrid_config().with_rightsizing(True))
-    adaptive = run_policy(adaptive_scheduler, two_minute_workload(scale))
+    adaptive = run_scenario(
+        hybrid_scenario(paper_hybrid_config().with_rightsizing(True), scale=scale)
+    )
+    adaptive_scheduler = adaptive.scheduler
 
     table = ComparisonTable(columns=METRIC_COLUMNS)
     table.add_row("fixed_25_25", metric_row(fixed))

@@ -12,13 +12,12 @@ import numpy as np
 
 from repro.analysis.report import render_series, render_table
 from repro.core.config import CFS_GROUP, FIFO_GROUP
-from repro.core.hybrid import HybridScheduler
 from repro.experiments.common import (
     ExperimentOutput,
+    hybrid_scenario,
     paper_hybrid_config,
     register_experiment,
-    run_policy,
-    ten_minute_workload,
+    run_scenario,
 )
 
 EXPERIMENT_ID = "fig19"
@@ -26,8 +25,15 @@ TITLE = "Utilization and FIFO core count under dynamic rightsizing"
 
 
 def run(scale: float = 1.0) -> ExperimentOutput:
-    scheduler = HybridScheduler(paper_hybrid_config().with_rightsizing(True))
-    result = run_policy(scheduler, ten_minute_workload(scale))
+    run_result = run_scenario(
+        hybrid_scenario(
+            paper_hybrid_config().with_rightsizing(True),
+            scale=scale,
+            workload="ten_minute",
+        )
+    )
+    scheduler = run_result.scheduler
+    result = run_result.result
 
     fifo_util = [(p.time, p.value) for p in result.utilization_series(FIFO_GROUP)]
     cfs_util = [(p.time, p.value) for p in result.utilization_series(CFS_GROUP)]

@@ -9,18 +9,15 @@ to the FIFO lower bound and far below CFS.
 from __future__ import annotations
 
 from repro.analysis.report import format_usd, render_table
-from repro.core.hybrid import HybridScheduler
 from repro.cost.cost_model import CostModel
 from repro.experiments.common import (
     ExperimentOutput,
-    paper_hybrid_config,
+    hybrid_scenario,
+    policy_scenario,
     register_experiment,
-    run_policy,
-    two_minute_workload,
+    run_scenario,
 )
 from repro.experiments.fig01_cost_fifo_vs_cfs import MEMORY_SWEEP_MB
-from repro.schedulers.cfs import CFSScheduler
-from repro.schedulers.fifo import FIFOScheduler
 
 EXPERIMENT_ID = "fig20"
 TITLE = "Workload cost by memory size: hybrid vs FIFO vs CFS"
@@ -29,9 +26,9 @@ TITLE = "Workload cost by memory size: hybrid vs FIFO vs CFS"
 def run(scale: float = 1.0) -> ExperimentOutput:
     cost_model = CostModel()
 
-    fifo = run_policy(FIFOScheduler(), two_minute_workload(scale))
-    cfs = run_policy(CFSScheduler(), two_minute_workload(scale))
-    hybrid = run_policy(HybridScheduler(paper_hybrid_config()), two_minute_workload(scale))
+    fifo = run_scenario(policy_scenario("fifo", scale=scale)).result
+    cfs = run_scenario(policy_scenario("cfs", scale=scale)).result
+    hybrid = run_scenario(hybrid_scenario(scale=scale)).result
 
     fifo_costs = cost_model.cost_by_memory_size(fifo.finished_tasks, MEMORY_SWEEP_MB)
     cfs_costs = cost_model.cost_by_memory_size(cfs.finished_tasks, MEMORY_SWEEP_MB)

@@ -12,20 +12,17 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analysis.report import ComparisonTable
-from repro.core.hybrid import HybridScheduler
 from repro.experiments.common import (
-    ENCLAVE_CORES,
     ExperimentOutput,
     METRIC_COLUMNS,
     firecracker_invocations,
-    paper_hybrid_config,
+    hybrid_kwargs,
     register_experiment,
-    standard_config,
+    run_scenario,
 )
 from repro.cost.cost_model import CostModel
 from repro.firecracker.fleet import FirecrackerFleet, FirecrackerWorkload
-from repro.schedulers.cfs import CFSScheduler
-from repro.simulation.engine import simulate
+from repro.scenario import Scenario, Workload
 from repro.simulation.metrics import TaskMetricsSummary
 from repro.simulation.task import Task
 
@@ -33,13 +30,22 @@ EXPERIMENT_ID = "fig21"
 TITLE = "Firecracker microVMs: hybrid vs CFS metrics"
 
 
-def _run_vm_workload(scheduler, scale: float) -> tuple:
-    """Expand invocations into microVM threads, schedule them, return both."""
+def _run_vm_workload(scheduler: str, scale: float, **scheduler_kwargs) -> tuple:
+    """Expand invocations into microVM threads, schedule them, return both.
+
+    The invocation→thread expansion happens outside the workload registry
+    (it needs the admission record), so the scenario carries the declarative
+    ``firecracker`` reference for provenance and the expanded thread tasks
+    are passed to the pipeline explicitly.
+    """
     fleet = FirecrackerFleet()
     workload: FirecrackerWorkload = fleet.admit(firecracker_invocations(scale))
-    result = simulate(
-        scheduler, workload.thread_tasks, config=standard_config(ENCLAVE_CORES)
+    scenario = Scenario(
+        workload=Workload("firecracker", scale=scale),
+        scheduler=scheduler,
+        scheduler_kwargs=scheduler_kwargs,
     )
+    result = run_scenario(scenario, tasks=workload.thread_tasks).result
     return workload, result
 
 
@@ -62,8 +68,8 @@ def _vm_metric_row(workload: FirecrackerWorkload, cost_model: CostModel) -> Dict
 def run(scale: float = 1.0) -> ExperimentOutput:
     cost_model = CostModel()
 
-    cfs_workload, _ = _run_vm_workload(CFSScheduler(), scale)
-    hybrid_workload, _ = _run_vm_workload(HybridScheduler(paper_hybrid_config()), scale)
+    cfs_workload, _ = _run_vm_workload("cfs", scale)
+    hybrid_workload, _ = _run_vm_workload("hybrid", scale, **hybrid_kwargs())
 
     table = ComparisonTable(columns=METRIC_COLUMNS)
     cfs_row = _vm_metric_row(cfs_workload, cost_model)

@@ -9,12 +9,14 @@ overhead dilute the benefit — but the hybrid scheduler still reduces cost.
 from __future__ import annotations
 
 from repro.analysis.report import format_usd, render_table
-from repro.core.hybrid import HybridScheduler
 from repro.cost.cost_model import CostModel
-from repro.experiments.common import ExperimentOutput, paper_hybrid_config, register_experiment
+from repro.experiments.common import (
+    ExperimentOutput,
+    hybrid_kwargs,
+    register_experiment,
+)
 from repro.experiments.fig01_cost_fifo_vs_cfs import MEMORY_SWEEP_MB
 from repro.experiments.fig21_firecracker_metrics import _run_vm_workload
-from repro.schedulers.cfs import CFSScheduler
 
 EXPERIMENT_ID = "fig22"
 TITLE = "Firecracker microVMs: workload cost, hybrid vs CFS"
@@ -23,8 +25,8 @@ TITLE = "Firecracker microVMs: workload cost, hybrid vs CFS"
 def run(scale: float = 1.0) -> ExperimentOutput:
     cost_model = CostModel()
 
-    cfs_workload, _ = _run_vm_workload(CFSScheduler(), scale)
-    hybrid_workload, _ = _run_vm_workload(HybridScheduler(paper_hybrid_config()), scale)
+    cfs_workload, _ = _run_vm_workload("cfs", scale)
+    hybrid_workload, _ = _run_vm_workload("hybrid", scale, **hybrid_kwargs())
 
     cfs_tasks = [t for t in cfs_workload.vcpu_tasks() if t.is_finished]
     hybrid_tasks = [t for t in hybrid_workload.vcpu_tasks() if t.is_finished]

@@ -12,50 +12,40 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.analysis.report import render_table
-from repro.core.hybrid import HybridScheduler
-from repro.cost.cost_model import CostModel
 from repro.experiments.common import (
     ExperimentOutput,
-    paper_hybrid_config,
+    hybrid_kwargs,
+    policy_scenario,
     register_experiment,
-    run_policy,
-    two_minute_workload,
+    run_scenario,
 )
-from repro.schedulers.cfs import CFSScheduler
-from repro.schedulers.edf import EDFScheduler
-from repro.schedulers.fifo import FIFOScheduler
-from repro.schedulers.fifo_preempt import FIFOPreemptScheduler
-from repro.schedulers.round_robin import RoundRobinScheduler
-from repro.schedulers.shinjuku import ShinjukuScheduler
-from repro.schedulers.sjf import SJFScheduler
-from repro.schedulers.srtf import SRTFScheduler
 
 EXPERIMENT_ID = "fig23"
 TITLE = "Cost vs p99 response time for several schedulers"
 
 
-def _schedulers():
+def _scenarios(scale: float):
+    """One declarative scenario per (registry) scheduling policy."""
     return {
-        "fifo": FIFOScheduler(),
-        "fifo_100ms": FIFOPreemptScheduler(quantum=0.100),
-        "round_robin": RoundRobinScheduler(),
-        "cfs": CFSScheduler(),
-        "edf": EDFScheduler(),
-        "sjf": SJFScheduler(),
-        "srtf": SRTFScheduler(),
-        "shinjuku": ShinjukuScheduler(),
-        "hybrid": HybridScheduler(paper_hybrid_config()),
+        "fifo": policy_scenario("fifo", scale=scale),
+        "fifo_100ms": policy_scenario("fifo_preempt", scale=scale, quantum=0.100),
+        "round_robin": policy_scenario("round_robin", scale=scale),
+        "cfs": policy_scenario("cfs", scale=scale),
+        "edf": policy_scenario("edf", scale=scale),
+        "sjf": policy_scenario("sjf", scale=scale),
+        "srtf": policy_scenario("srtf", scale=scale),
+        "shinjuku": policy_scenario("shinjuku", scale=scale),
+        "hybrid": policy_scenario("hybrid", scale=scale, **hybrid_kwargs()),
     }
 
 
 def run(scale: float = 1.0) -> ExperimentOutput:
-    cost_model = CostModel()
     points: Dict[str, Dict[str, float]] = {}
-    for name, scheduler in _schedulers().items():
-        result = run_policy(scheduler, two_minute_workload(scale))
-        summary = result.summary()
+    for name, scenario in _scenarios(scale).items():
+        run_result = run_scenario(scenario)
+        summary = run_result.summary()
         points[name] = {
-            "cost_usd": cost_model.workload_cost(result.finished_tasks).total,
+            "cost_usd": run_result.cost.total,
             "p99_response": summary.p99_response,
             "p99_execution": summary.p99_execution,
         }

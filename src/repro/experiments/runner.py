@@ -6,9 +6,13 @@ Usage::
     repro-experiments fig01 table1
     repro-experiments --all --scale 0.2
     repro-experiments --all --output results/
+    repro-experiments --scenario my_run.json
 
 Each experiment prints the rows/series of the corresponding paper figure and
-can optionally write its text output to a file per experiment.
+can optionally write its text output (plus each comparison table as CSV) to
+``--output``.  ``--scenario`` runs one declarative
+:class:`~repro.scenario.scenario.Scenario` JSON file through the single run
+pipeline instead of a registered experiment.
 """
 
 from __future__ import annotations
@@ -37,16 +41,55 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale",
         type=float,
-        default=1.0,
-        help="workload scale factor (1.0 = the paper's invocation counts)",
+        default=None,
+        help="workload scale factor (default 1.0 = the paper's invocation "
+        "counts; with --scenario it overrides the file's workload scale)",
     )
     parser.add_argument(
         "--output",
         type=Path,
         default=None,
-        help="directory to write one <experiment>.txt file per experiment",
+        help="directory to write one <experiment>.txt file (and table CSVs) per experiment",
+    )
+    parser.add_argument(
+        "--scenario",
+        type=Path,
+        default=None,
+        help="run one declarative Scenario JSON file through the run pipeline",
     )
     return parser
+
+
+def _run_scenario_file(
+    path: Path, scale: Optional[float] = None, output: Optional[Path] = None
+) -> int:
+    """Run one scenario JSON file; print (and optionally save) the summary."""
+    from dataclasses import replace
+
+    from repro.scenario import Scenario, run
+
+    try:
+        scenario = Scenario.from_json(path.read_text())
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: cannot load scenario {path}: {exc}", file=sys.stderr)
+        return 1
+    if scale is not None:
+        if scenario.workload is None:
+            print(
+                f"error: scenario {path} has no workload to scale",
+                file=sys.stderr,
+            )
+            return 1
+        scenario = replace(
+            scenario, workload=replace(scenario.workload, scale=scale)
+        )
+    result = run(scenario)
+    rendered = result.describe()
+    print(rendered)
+    if output is not None:
+        output.mkdir(parents=True, exist_ok=True)
+        (output / f"{path.stem}.txt").write_text(rendered + "\n")
+    return 0
 
 
 def run_cli(argv: Optional[Sequence[str]] = None) -> int:
@@ -57,6 +100,9 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
         for experiment_id in list_experiments():
             print(experiment_id)
         return 0
+
+    if args.scenario is not None:
+        return _run_scenario_file(args.scenario, scale=args.scale, output=args.output)
 
     if args.all:
         selected: List[str] = list_experiments()
@@ -70,21 +116,23 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
 
+    scale = args.scale if args.scale is not None else 1.0
     failures = 0
     for experiment_id in selected:
         started = time.perf_counter()
         try:
-            output = run_experiment(experiment_id, scale=args.scale)
+            output = run_experiment(experiment_id, scale=scale)
         except KeyError as exc:
             print(f"error: {exc}", file=sys.stderr)
             failures += 1
             continue
         elapsed = time.perf_counter() - started
-        rendered = output.render() + f"\n\n[completed in {elapsed:.1f}s at scale {args.scale}]"
+        rendered = output.render() + f"\n\n[completed in {elapsed:.1f}s at scale {scale}]"
         print(rendered)
         print()
         if args.output is not None:
             (args.output / f"{experiment_id}.txt").write_text(rendered + "\n")
+            output.write_csv(args.output)
     return 1 if failures else 0
 
 

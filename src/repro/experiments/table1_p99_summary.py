@@ -15,19 +15,16 @@ execution time and cost form the lower bound the hybrid approaches.
 from __future__ import annotations
 
 from repro.analysis.report import ComparisonTable
-from repro.core.hybrid import HybridScheduler
 from repro.cost.cost_model import CostModel
 from repro.experiments.common import (
     ExperimentOutput,
     METRIC_COLUMNS,
+    hybrid_scenario,
     metric_row,
-    paper_hybrid_config,
+    policy_scenario,
     register_experiment,
-    run_policy,
-    two_minute_workload,
+    run_scenario,
 )
-from repro.schedulers.cfs import CFSScheduler
-from repro.schedulers.fifo import FIFOScheduler
 
 EXPERIMENT_ID = "table1"
 TITLE = "Schedulers' overall performance and cost (Table I)"
@@ -36,9 +33,9 @@ TITLE = "Schedulers' overall performance and cost (Table I)"
 def run(scale: float = 1.0) -> ExperimentOutput:
     cost_model = CostModel()
     results = {
-        "fifo": run_policy(FIFOScheduler(), two_minute_workload(scale)),
-        "cfs": run_policy(CFSScheduler(), two_minute_workload(scale)),
-        "hybrid": run_policy(HybridScheduler(paper_hybrid_config()), two_minute_workload(scale)),
+        "fifo": run_scenario(policy_scenario("fifo", scale=scale)),
+        "cfs": run_scenario(policy_scenario("cfs", scale=scale)),
+        "hybrid": run_scenario(hybrid_scenario(scale=scale)),
     }
 
     table = ComparisonTable(columns=METRIC_COLUMNS)

@@ -1,0 +1,52 @@
+"""Declarative scenario layer: one description, one run pipeline.
+
+The repo used to have three parallel ways to run an experiment —
+``SimulationConfig`` + ``simulate()`` for one machine,
+``ClusterSimulator`` for fleets, and per-figure glue in the experiment
+harness.  A :class:`Scenario` replaces all three with a single declarative
+value object (workload + machine/fleet shape + scheduler + dispatcher +
+migration + autoscaler + cost model + seed) that serialises to/from JSON,
+and :func:`run` is the single entry point that routes it to the right
+engine and attaches a cost report.
+
+Quick example::
+
+    from repro.scenario import Scenario, Workload, run
+
+    single = Scenario(workload=Workload("two_minute", scale=0.1),
+                      scheduler="hybrid")
+    print(run(single).describe())
+
+    fleet = Scenario(workload=Workload("ten_minute", scale=0.1),
+                     scheduler="fifo", num_nodes=4, cores_per_node=24,
+                     dispatcher="jsq", migration="work_stealing")
+    print(run(fleet).describe())          # includes node-hour cost
+
+    blob = fleet.to_json()                # portable experiment description
+    rerun = run(Scenario.from_json(blob)) # bit-identical to the first run
+"""
+
+from repro.scenario.run import RunResult, run
+from repro.scenario.scenario import (
+    DEFAULT_NUM_CORES,
+    CostSpec,
+    Scenario,
+    Workload,
+)
+from repro.scenario.workloads import (
+    available_workloads,
+    create_workload,
+    register_workload,
+)
+
+__all__ = [
+    "DEFAULT_NUM_CORES",
+    "CostSpec",
+    "RunResult",
+    "Scenario",
+    "Workload",
+    "available_workloads",
+    "create_workload",
+    "register_workload",
+    "run",
+]

@@ -1,0 +1,122 @@
+"""Declarative workload registry.
+
+Scenarios name their workload instead of holding task lists, so a scenario
+serialised to JSON can be re-run anywhere.  The canonical paper workloads
+(the 2-minute and 10-minute Azure-like traces and the Firecracker invocation
+subset) are registered here; experiments and users can register additional
+sources with :func:`register_workload`.
+
+Builders return *fresh* :class:`~repro.simulation.task.Task` lists on every
+call (tasks carry mutable bookkeeping); the immutable workload items behind
+them are cached, so repeated runs of the same scenario are cheap and — the
+generators being seeded — bit-identical.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional
+
+from repro.simulation.task import Task
+from repro.workload.azure import AzureTraceConfig, generate_trace
+from repro.workload.calibration import default_calibration_table
+from repro.workload.extraction import ExtractionPipeline
+from repro.workload.generator import (
+    PAPER_FIRECRACKER_INVOCATIONS,
+    PAPER_TWO_MINUTE_INVOCATIONS,
+    WorkloadGenerator,
+    WorkloadItem,
+    WorkloadSpec,
+    items_to_tasks,
+)
+
+WorkloadBuilder = Callable[..., List[Task]]
+
+_WORKLOADS: Dict[str, WorkloadBuilder] = {}
+
+
+def register_workload(
+    name: str, builder: WorkloadBuilder, *, overwrite: bool = False
+) -> None:
+    """Register a workload builder under ``name``.
+
+    Args:
+        name: Registry key (e.g. ``"two_minute"``).
+        builder: Callable returning a fresh task list; must accept a
+            ``scale`` keyword (fraction of the canonical invocation count).
+        overwrite: Allow replacing an existing registration.
+    """
+    key = name.lower()
+    if key in _WORKLOADS and not overwrite:
+        raise ValueError(f"workload {name!r} is already registered")
+    _WORKLOADS[key] = builder
+
+
+def available_workloads() -> List[str]:
+    """Names of every registered workload, sorted."""
+    return sorted(_WORKLOADS)
+
+
+def create_workload(name: str, **params) -> List[Task]:
+    """Build a fresh task list for a registered workload."""
+    key = name.lower()
+    if key not in _WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
+        )
+    return _WORKLOADS[key](**params)
+
+
+# ---------------------------------------------------------------------------
+# Canonical paper workloads
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=8)
+def _workload_items(minutes: int, limit: Optional[int]) -> tuple:
+    """Cache workload items (immutable); tasks are rebuilt per run."""
+    trace = generate_trace(AzureTraceConfig(minutes=max(minutes, 2)))
+    pipeline = ExtractionPipeline(calibration=default_calibration_table())
+    buckets = pipeline.run(trace)
+    generator = WorkloadGenerator(buckets)
+    items = generator.generate_items(WorkloadSpec(minutes=minutes, limit=limit))
+    return tuple(items)
+
+
+def scaled_limit(base: int, scale: float) -> int:
+    """Scale an invocation count, keeping at least a small viable workload."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale!r}")
+    return max(200, int(round(base * scale)))
+
+
+def two_minute_workload(scale: float = 1.0) -> List[Task]:
+    """Fresh tasks for the paper's 12,442-invocation (~2 minute) workload."""
+    limit = scaled_limit(PAPER_TWO_MINUTE_INVOCATIONS, scale)
+    return items_to_tasks(list(_workload_items(2, limit)))
+
+
+def ten_minute_workload(scale: float = 1.0) -> List[Task]:
+    """Fresh tasks for the paper's 10-minute workload (utilization studies)."""
+    items = list(_workload_items(10, None))
+    if scale < 1.0:
+        keep = scaled_limit(len(items), scale)
+        items = items[:keep]
+    return items_to_tasks(items)
+
+
+def two_minute_items(scale: float = 1.0) -> List[WorkloadItem]:
+    limit = scaled_limit(PAPER_TWO_MINUTE_INVOCATIONS, scale)
+    return list(_workload_items(2, limit))
+
+
+def firecracker_invocations(scale: float = 1.0) -> List[Task]:
+    """First invocations of the 10-minute workload used for Firecracker runs."""
+    limit = scaled_limit(PAPER_FIRECRACKER_INVOCATIONS, scale)
+    items = list(_workload_items(10, None))[:limit]
+    return items_to_tasks(items)
+
+
+register_workload("two_minute", two_minute_workload)
+register_workload("ten_minute", ten_minute_workload)
+register_workload("firecracker", firecracker_invocations)

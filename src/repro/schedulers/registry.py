@@ -54,6 +54,22 @@ def available_schedulers() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def _hybrid_factory(**kwargs) -> Scheduler:
+    """Build the hybrid FIFO+CFS scheduler from plain (JSON-able) kwargs.
+
+    Deferred import: :mod:`repro.core.hybrid` itself imports the scheduler
+    base, so importing it at module load would be circular.  ``cfs_placement``
+    accepts the enum's string value so serialised scenarios round-trip.
+    """
+    from repro.core.config import CFSPlacement, HybridConfig
+    from repro.core.hybrid import HybridScheduler
+
+    placement = kwargs.get("cfs_placement")
+    if isinstance(placement, str):
+        kwargs["cfs_placement"] = CFSPlacement(placement)
+    return HybridScheduler(HybridConfig(**kwargs))
+
+
 def _register_builtins() -> None:
     register_scheduler("fifo", FIFOScheduler, overwrite=True)
     register_scheduler("fifo_preempt", FIFOPreemptScheduler, overwrite=True)
@@ -63,6 +79,7 @@ def _register_builtins() -> None:
     register_scheduler("sjf", SJFScheduler, overwrite=True)
     register_scheduler("srtf", SRTFScheduler, overwrite=True)
     register_scheduler("shinjuku", ShinjukuScheduler, overwrite=True)
+    register_scheduler("hybrid", _hybrid_factory, overwrite=True)
 
 
 _register_builtins()

@@ -1,0 +1,191 @@
+"""Columnar task-metrics store.
+
+``TaskMetricsSummary.from_tasks`` used to rebuild one Python list per metric
+(execution / response / turnaround) every time a result was summarised; on
+fleet-scale runs that is hundreds of thousands of attribute lookups and list
+appends per aggregation.  :class:`TaskColumns` keeps the same per-task facts
+in one numpy structured array that the
+:class:`~repro.simulation.metrics.MetricsCollector` fills *incrementally* as
+tasks finish, so result aggregation is O(1) allocations: summaries,
+percentiles, CDFs and CSV export all read (views of) the same columns.
+
+The store records tasks in completion order.  Percentile/mean statistics are
+order-independent (within float rounding), and consumers that need a stable
+per-task ordering (CSV export) sort by ``task_id``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+#: Sentinel for "task never ran on a core" in the ``last_core`` column.
+NO_CORE = -1
+
+#: One row per finished task.  Times are seconds on the simulation clock.
+TASK_COLUMNS_DTYPE = np.dtype(
+    [
+        ("task_id", np.int64),
+        ("arrival", np.float64),
+        ("service", np.float64),
+        ("first_run", np.float64),
+        ("completion", np.float64),
+        ("memory_mb", np.int64),
+        ("weight", np.float64),
+        ("preemptions", np.int64),
+        ("migrations", np.int64),
+        ("last_core", np.int64),
+    ]
+)
+
+#: Initial capacity of an incrementally filled store.
+_INITIAL_CAPACITY = 256
+
+
+class TaskColumns:
+    """Growable structured-array store of finished-task metrics.
+
+    Appends land in a row buffer of plain tuples (sub-µs on the completion
+    hot path — structured-array row writes are ~10x more expensive) and are
+    flushed into the structured array in one vectorised conversion on first
+    read; reads between completions therefore stay cheap and every accessor
+    returns a numpy view/array, never a Python list.
+    """
+
+    __slots__ = ("_data", "_size", "_pending")
+
+    def __init__(self, capacity: int = 0) -> None:
+        self._data = np.empty(max(int(capacity), 0), dtype=TASK_COLUMNS_DTYPE)
+        self._size = 0
+        self._pending: List[tuple] = []
+
+    # ------------------------------------------------------------------ fill
+
+    def _grow_to(self, needed: int) -> None:
+        capacity = len(self._data)
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, capacity * 2, _INITIAL_CAPACITY)
+        data = np.empty(new_capacity, dtype=TASK_COLUMNS_DTYPE)
+        data[: self._size] = self._data[: self._size]
+        self._data = data
+
+    def append(self, task) -> None:
+        """Record one finished task (called by the collector per completion)."""
+        if not task.is_finished:
+            raise ValueError(f"task {task.task_id} is not finished")
+        last_core = task.last_core
+        self._pending.append(
+            (
+                task.task_id,
+                task.arrival_time,
+                task.service_time,
+                task.first_run_time,
+                task.completion_time,
+                task.memory_mb,
+                task.weight,
+                task.preemptions,
+                task.migrations,
+                NO_CORE if last_core is None else last_core,
+            )
+        )
+
+    def extend(self, tasks: Iterable) -> None:
+        for task in tasks:
+            self.append(task)
+
+    def _flush(self) -> None:
+        """Convert buffered rows into the structured array (one C-level pass)."""
+        pending = self._pending
+        if not pending:
+            return
+        rows = np.array(pending, dtype=TASK_COLUMNS_DTYPE)
+        self._pending = []
+        self._grow_to(self._size + len(rows))
+        self._data[self._size : self._size + len(rows)] = rows
+        self._size += len(rows)
+
+    @classmethod
+    def from_tasks(cls, tasks: Sequence) -> "TaskColumns":
+        """Build a store from a task list, keeping finished tasks only."""
+        columns = cls()
+        columns.extend(t for t in tasks if t.is_finished)
+        return columns
+
+    # ----------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return self._size + len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._size or self._pending)
+
+    @property
+    def data(self) -> np.ndarray:
+        """Structured-array view over the filled rows (no copy once flushed)."""
+        self._flush()
+        return self._data[: self._size]
+
+    def column(self, name: str) -> np.ndarray:
+        """One raw column as a numpy view (no copy)."""
+        return self.data[name]
+
+    # Derived metric columns, matching the Task property definitions:
+    # execution = completion - first_run, response = first_run - arrival,
+    # turnaround = completion - arrival.
+
+    def execution(self) -> np.ndarray:
+        data = self.data
+        return data["completion"] - data["first_run"]
+
+    def response(self) -> np.ndarray:
+        data = self.data
+        return data["first_run"] - data["arrival"]
+
+    def turnaround(self) -> np.ndarray:
+        data = self.data
+        return data["completion"] - data["arrival"]
+
+    def metric(self, name: str) -> np.ndarray:
+        """One derived metric column by name (execution/response/turnaround)."""
+        derived = {
+            "execution": self.execution,
+            "response": self.response,
+            "turnaround": self.turnaround,
+        }
+        if name in derived:
+            return derived[name]()
+        if name not in (TASK_COLUMNS_DTYPE.names or ()):
+            raise KeyError(
+                f"unknown metric {name!r}; expected a derived metric "
+                f"{sorted(derived)} or a raw column {list(TASK_COLUMNS_DTYPE.names)}"
+            )
+        return np.array(self.column(name), copy=True)
+
+    def sorted_by_task_id(self) -> np.ndarray:
+        """Filled rows sorted by task id (stable per-task ordering for export)."""
+        data = self.data
+        return data[np.argsort(data["task_id"], kind="stable")]
+
+    def summary(self):
+        """Aggregate statistics over the stored tasks (columnar fast path)."""
+        # Deferred import: metrics.py imports this module.
+        from repro.simulation.metrics import TaskMetricsSummary
+
+        return TaskMetricsSummary.from_columns(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskColumns(size={self._size}, capacity={len(self._data)})"
+
+
+def merge_columns(parts: Sequence[TaskColumns]) -> TaskColumns:
+    """Concatenate several stores (per-node results into a fleet view)."""
+    merged = TaskColumns(capacity=sum(len(p) for p in parts))
+    for part in parts:
+        size = len(part)
+        if size:
+            merged._grow_to(merged._size + size)
+            merged._data[merged._size : merged._size + size] = part.data
+            merged._size += size
+    return merged

@@ -16,17 +16,21 @@ Both behaviours come from the same primitive, so a core can migrate between
 the FIFO and CFS groups at runtime (Fig. 8 of the paper) without changing its
 type — only the scheduler's usage pattern changes.
 
-**Virtual-time accounting.**  Because every assigned task receives the same
-service rate, the core only needs one monotonically increasing counter — the
-*attained service per task* (``_attained``) — advanced in O(1) at each sync.
-Each task records the counter value at assignment; its remaining work at any
-instant is ``remaining_at_entry - (attained_now - attained_at_entry)`` and is
-folded into the task's concrete fields lazily (on read, deschedule or
-completion).  Each task's *virtual finish point* (``attained_at_entry +
-remaining_at_entry``) sits in a per-core min-heap, so the next completion is
-an O(log n) peek instead of an O(n) scan and per-event cost no longer grows
+**Virtual-time accounting.**  Service is shared in proportion to each task's
+``weight`` (1.0 by default — the equal-share case).  The core keeps one
+monotonically increasing counter — the *attained service per unit weight*
+(``_attained``) — advanced in O(1) at each sync.  Each task records the
+counter value at assignment; the service it accrued since is
+``(attained_now - attained_at_entry) * weight`` and is folded into the
+task's concrete fields lazily (on read, deschedule or completion).  Each
+task's *virtual finish point* (``attained_at_entry + remaining_at_entry /
+weight``) sits in a per-core min-heap, so the next completion is an
+O(log n) peek instead of an O(n) scan and per-event cost no longer grows
 with the multiprogramming level.  Heap entries are invalidated lazily;
 writes to ``task.remaining`` (e.g. migration-cost charges) re-key the entry.
+With every weight at 1.0 the arithmetic reduces exactly (bit-identically)
+to the equal-share model: the total weight is the float ``n`` and every
+``* weight`` / ``/ weight`` multiplies or divides by exactly 1.0.
 
 All methods take the current simulation time explicitly; a core never reads
 the clock itself, which keeps it trivially testable.
@@ -99,6 +103,7 @@ class Core:
         "_completion_handle",
         "_engine",
         "_attained",
+        "_total_weight",
         "_vstart",
         "_entries",
         "_finish_heap",
@@ -133,8 +138,11 @@ class Core:
         # (cluster) runs can route tag-dispatched completion events home.
         self._engine = None
         # --- virtual-time accounting ---------------------------------------
-        #: Cumulative service attained per task since this core was built.
+        #: Cumulative service attained per unit weight since this core was
+        #: built (equal to per-task service while every weight is 1.0).
         self._attained = 0.0
+        #: Sum of the assigned tasks' fair-share weights.
+        self._total_weight = 0.0
         #: Attained-counter value at each task's last materialization.
         self._vstart: Dict[int, float] = {}
         #: Live heap entry per task id: (virtual finish point, sequence).
@@ -178,11 +186,15 @@ class Core:
     # ------------------------------------------------------------------ rates
 
     def service_rate(self) -> float:
-        """Service rate each assigned task currently receives (seconds/second)."""
-        n = len(self._tasks)
-        if n == 0:
+        """Service rate per unit of fair-share weight (seconds/second).
+
+        A task receives ``service_rate() * task.weight``; with every weight
+        at the default 1.0 this is exactly the equal per-task share
+        ``speed * efficiency(n) / n``.
+        """
+        if not self._tasks:
             return 0.0
-        return self.speed * self._cs_model.efficiency(n) / n
+        return self.speed * self._cs_model.efficiency(len(self._tasks)) / self._total_weight
 
     def time_to_next_completion(self) -> Optional[float]:
         """Seconds until the earliest assigned task completes, or None if idle."""
@@ -199,7 +211,7 @@ class Core:
     def _push_entry(self, task: Task) -> None:
         """(Re-)key ``task``'s virtual finish point in the completion heap."""
         self._entry_seq += 1
-        vfinish = self._attained + task._remaining
+        vfinish = self._attained + task._remaining / task.weight
         entry = (vfinish, self._entry_seq)
         self._entries[task.task_id] = entry
         heapq.heappush(self._finish_heap, (vfinish, self._entry_seq, task.task_id))
@@ -221,12 +233,13 @@ class Core:
 
         This is the ``sync``-on-read accessor behind ``task.remaining``: it
         charges the service the task attained since its last materialization
-        (clamped at its remaining demand, mirroring the eager model's
-        per-sync clamp) and resets its virtual start point.  The virtual
-        finish point is unchanged by construction, so no re-keying is needed.
+        (its weight's share of the per-unit-weight counter advance, clamped
+        at its remaining demand, mirroring the eager model's per-sync clamp)
+        and resets its virtual start point.  The virtual finish point is
+        unchanged by construction, so no re-keying is needed.
         """
         vstart = self._vstart[task.task_id]
-        accrued = self._attained - vstart
+        accrued = (self._attained - vstart) * task.weight
         remaining = task._remaining
         if accrued <= 0.0:
             return remaining
@@ -255,6 +268,7 @@ class Core:
     def _attach(self, task: Task) -> None:
         self._tasks[task.task_id] = task
         task._core = self
+        self._total_weight += task.weight
         self._vstart[task.task_id] = self._attained
         self._push_entry(task)
 
@@ -263,12 +277,16 @@ class Core:
         del self._vstart[task.task_id]
         self._entries.pop(task.task_id, None)
         task._core = None
+        self._total_weight -= task.weight
         if not self._tasks:
             # Rebase virtual time whenever the core runs dry: the attained
             # counter would otherwise grow without bound over a long run and
             # erode the absolute REMAINING_EPSILON completion test (ULP of a
-            # double exceeds 1e-9 once the counter passes ~4.5e6).
+            # double exceeds 1e-9 once the counter passes ~4.5e6).  Resetting
+            # the weight sum likewise drops any float drift from repeated
+            # non-integer weight adds/subtracts.
             self._attained = 0.0
+            self._total_weight = 0.0
             self._finish_heap.clear()
 
     def _notify_load(self) -> None:
@@ -296,10 +314,10 @@ class Core:
         n = len(self._tasks)
         if n > 0:
             rate = self.service_rate()
-            delivered = rate * elapsed
+            delivered = rate * elapsed  # service per unit weight
             self._attained += delivered
             self.stats.busy_time += elapsed
-            self.stats.service_delivered += n * delivered
+            self.stats.service_delivered += self._total_weight * delivered
             self.stats.estimated_context_switches += self._cs_model.switches_over(
                 n, elapsed
             )

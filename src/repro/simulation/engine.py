@@ -152,25 +152,36 @@ class Simulator:
             self.collector.start_utilization_window(self.machine.cores, self.now)
             self._schedule_utilization_sample()
 
-        while True:
+        done = False
+        while not done:
             next_time = self.events.peek_time()
             if next_time is None:
                 break
             if limit is not None and next_time > limit:
                 self.clock.advance_to(limit)
                 break
-            event = self.events.pop()
-            if event is None:
-                break
-            self.clock.advance_to(event.time)
-            self._events_processed += 1
-            callback = event.callback
-            if callback is not None:
-                callback()
-            else:
-                self._dispatch_tagged(event)
-            if self._unfinished == 0 and self._pending_arrivals == 0:
-                break
+            self.clock.advance_to(next_time)
+            # Batched draining: every event sharing this timestamp (including
+            # ones pushed *at* it by the handlers below) is dispatched in one
+            # loop iteration, paying the clock advance and limit check once.
+            # Events are still popped strictly in (time, priority, seq)
+            # order, so results are bit-identical to one-at-a-time draining.
+            while True:
+                event = self.events.pop()
+                if event is None:
+                    done = True
+                    break
+                self._events_processed += 1
+                callback = event.callback
+                if callback is not None:
+                    callback()
+                else:
+                    self._dispatch_tagged(event)
+                if self._unfinished == 0 and self._pending_arrivals == 0:
+                    done = True
+                    break
+                if self.events.peek_time() != next_time:
+                    break
 
         # Flush lazily accounted service so task fields (remaining,
         # cpu_time_received) are concrete in the result, even for tasks cut

@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.simulation.columns import TaskColumns
 from repro.simulation.cpu import Core
 from repro.simulation.task import Task
 
@@ -66,8 +67,13 @@ class TaskMetricsSummary:
 
     @classmethod
     def from_tasks(cls, tasks: Sequence[Task]) -> "TaskMetricsSummary":
-        finished = [t for t in tasks if t.is_finished]
-        if not finished:
+        """Summarise a plain task list (packs it into columns first)."""
+        return cls.from_columns(TaskColumns.from_tasks(tasks))
+
+    @classmethod
+    def from_columns(cls, columns: TaskColumns) -> "TaskMetricsSummary":
+        """Summarise a columnar store — the allocation-free fast path."""
+        if not len(columns):
             return cls(
                 count=0,
                 mean_execution=0.0,
@@ -86,26 +92,29 @@ class TaskMetricsSummary:
                 total_service=0.0,
                 makespan=0.0,
             )
-        execution = np.array([t.execution_time for t in finished])
-        response = np.array([t.response_time for t in finished])
-        turnaround = np.array([t.turnaround_time for t in finished])
+        execution = columns.execution()
+        response = columns.response()
+        turnaround = columns.turnaround()
+        exec_pcts = np.percentile(execution, (50, 90, 99))
+        resp_pcts = np.percentile(response, (50, 90, 99))
+        turn_pcts = np.percentile(turnaround, (50, 90, 99))
         return cls(
-            count=len(finished),
+            count=len(columns),
             mean_execution=float(execution.mean()),
             mean_response=float(response.mean()),
             mean_turnaround=float(turnaround.mean()),
-            p50_execution=float(np.percentile(execution, 50)),
-            p50_response=float(np.percentile(response, 50)),
-            p50_turnaround=float(np.percentile(turnaround, 50)),
-            p90_execution=float(np.percentile(execution, 90)),
-            p90_response=float(np.percentile(response, 90)),
-            p90_turnaround=float(np.percentile(turnaround, 90)),
-            p99_execution=float(np.percentile(execution, 99)),
-            p99_response=float(np.percentile(response, 99)),
-            p99_turnaround=float(np.percentile(turnaround, 99)),
+            p50_execution=float(exec_pcts[0]),
+            p50_response=float(resp_pcts[0]),
+            p50_turnaround=float(turn_pcts[0]),
+            p90_execution=float(exec_pcts[1]),
+            p90_response=float(resp_pcts[1]),
+            p90_turnaround=float(turn_pcts[1]),
+            p99_execution=float(exec_pcts[2]),
+            p99_response=float(resp_pcts[2]),
+            p99_turnaround=float(turn_pcts[2]),
             total_execution=float(execution.sum()),
-            total_service=float(sum(t.service_time for t in finished)),
-            makespan=float(max(t.completion_time for t in finished)),
+            total_service=float(columns.column("service").sum()),
+            makespan=float(columns.column("completion").max()),
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -134,6 +143,9 @@ class MetricsCollector:
 
     def __init__(self) -> None:
         self.finished_tasks: List[Task] = []
+        #: Columnar metrics store, filled incrementally per completion so
+        #: result aggregation never rebuilds per-metric Python lists.
+        self.columns = TaskColumns()
         self.utilization_samples: List[UtilizationSample] = []
         self.series: Dict[str, List[SeriesPoint]] = {}
         self._busy_snapshots: Dict[int, float] = {}
@@ -145,6 +157,7 @@ class MetricsCollector:
         if not task.is_finished:
             raise ValueError(f"task {task.task_id} is not finished")
         self.finished_tasks.append(task)
+        self.columns.append(task)
 
     # ------------------------------------------------------------ time series
 
@@ -195,16 +208,16 @@ class MetricsCollector:
     # -------------------------------------------------------------- summaries
 
     def summary(self) -> TaskMetricsSummary:
-        return TaskMetricsSummary.from_tasks(self.finished_tasks)
+        return TaskMetricsSummary.from_columns(self.columns)
 
     def execution_times(self) -> np.ndarray:
-        return np.array([t.execution_time for t in self.finished_tasks])
+        return self.columns.execution()
 
     def response_times(self) -> np.ndarray:
-        return np.array([t.response_time for t in self.finished_tasks])
+        return self.columns.response()
 
     def turnaround_times(self) -> np.ndarray:
-        return np.array([t.turnaround_time for t in self.finished_tasks])
+        return self.columns.turnaround()
 
     def preemptions_per_core(self, cores: Sequence[Core]) -> Dict[int, float]:
         """Total (explicit + estimated slice) preemptions per core (Fig. 13)."""

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.simulation.columns import TaskColumns
 from repro.simulation.config import SimulationConfig
 from repro.simulation.cpu import CoreStats
 from repro.simulation.metrics import (
@@ -38,6 +39,17 @@ class SimulationResult:
     simulated_time: float = 0.0
     wall_clock_seconds: float = 0.0
     events_processed: int = 0
+    #: Columnar store of the finished tasks, filled incrementally by the
+    #: collector during the run; built lazily for hand-assembled results.
+    columns: Optional[TaskColumns] = None
+
+    # ---------------------------------------------------------------- columns
+
+    def task_columns(self) -> TaskColumns:
+        """The columnar finished-task store backing every metric accessor."""
+        if self.columns is None:
+            self.columns = TaskColumns.from_tasks(self.tasks)
+        return self.columns
 
     # ------------------------------------------------------------------ tasks
 
@@ -56,16 +68,16 @@ class SimulationResult:
         return len(self.finished_tasks) / len(self.tasks)
 
     def execution_times(self) -> np.ndarray:
-        return np.array([t.execution_time for t in self.finished_tasks], dtype=float)
+        return self.task_columns().execution()
 
     def response_times(self) -> np.ndarray:
-        return np.array([t.response_time for t in self.finished_tasks], dtype=float)
+        return self.task_columns().response()
 
     def turnaround_times(self) -> np.ndarray:
-        return np.array([t.turnaround_time for t in self.finished_tasks], dtype=float)
+        return self.task_columns().turnaround()
 
     def summary(self) -> TaskMetricsSummary:
-        return TaskMetricsSummary.from_tasks(self.tasks)
+        return TaskMetricsSummary.from_columns(self.task_columns())
 
     # ------------------------------------------------------------------ cores
 
@@ -133,4 +145,5 @@ def build_result(
         simulated_time=simulated_time,
         wall_clock_seconds=wall_clock_seconds,
         events_processed=events_processed,
+        columns=collector.columns,
     )

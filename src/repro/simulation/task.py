@@ -59,6 +59,10 @@ class Task:
             task came out of the calibration pipeline.
         deadline: Optional absolute deadline, only used by the EDF policy.
         metadata: Free-form dictionary for experiment-specific annotations.
+        weight: Fair-share weight (nice level / cgroup shares analogue).  A
+            task with weight 2.0 receives twice the service rate of a
+            weight-1.0 task sharing the same core; run-to-completion cores
+            are unaffected.
     """
 
     task_id: int
@@ -69,6 +73,7 @@ class Task:
     fibonacci_n: Optional[int] = None
     deadline: Optional[float] = None
     metadata: dict = field(default_factory=dict)
+    weight: float = 1.0
 
     # --- dynamic bookkeeping -------------------------------------------------
     state: TaskState = TaskState.CREATED
@@ -99,6 +104,10 @@ class Task:
         if self.memory_mb <= 0:
             raise ValueError(
                 f"task {self.task_id} must have positive memory size, got {self.memory_mb!r}"
+            )
+        if self.weight <= 0:
+            raise ValueError(
+                f"task {self.task_id} must have positive weight, got {self.weight!r}"
             )
         self._remaining = float(self.service_time)
 

@@ -1,0 +1,188 @@
+"""Cluster-aware cost accounting: node-hours, per-spec pricing, autoscaler."""
+
+import pytest
+
+from repro.cluster import (
+    AutoscalerConfig,
+    ClusterConfig,
+    NodeSpec,
+    ReactiveAutoscaler,
+    simulate_cluster,
+)
+from repro.cluster.simulator import ClusterSimulator
+from repro.cost.cost_model import ClusterCostBreakdown, CostModel
+from repro.cost.pricing import DEFAULT_PRICE_PER_CORE_HOUR, node_price_per_hour
+from repro.simulation.task import Task
+
+
+def _tasks(count=20, spacing=0.05, service=0.4):
+    return [
+        Task(task_id=i, arrival_time=i * spacing, service_time=service)
+        for i in range(count)
+    ]
+
+
+class TestPricing:
+    def test_node_price_from_capacity(self):
+        assert node_price_per_hour(10.0) == pytest.approx(
+            10.0 * DEFAULT_PRICE_PER_CORE_HOUR
+        )
+        assert node_price_per_hour(4.0, price_per_core_hour=0.1) == pytest.approx(0.4)
+        with pytest.raises(ValueError):
+            node_price_per_hour(0.0)
+        with pytest.raises(ValueError):
+            node_price_per_hour(1.0, price_per_core_hour=-1.0)
+
+    def test_node_spec_price_validation(self):
+        assert NodeSpec(price_per_hour=0.25).price_per_hour == 0.25
+        with pytest.raises(ValueError):
+            NodeSpec(price_per_hour=-0.1)
+
+    def test_node_uptime_cost(self):
+        model = CostModel()
+        assert model.node_uptime_cost(3600.0, 0.5) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            model.node_uptime_cost(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            model.node_uptime_cost(1.0, -0.5)
+
+
+class TestClusterCost:
+    def test_static_fleet_node_hours(self):
+        config = ClusterConfig(num_nodes=3, cores_per_node=4, scheduler="fifo")
+        result = simulate_cluster(_tasks(), config=config)
+        cost = result.cost()
+        assert isinstance(cost, ClusterCostBreakdown)
+        # Static fleet: every node is billed for the whole run.
+        assert cost.node_hours == pytest.approx(3 * result.simulated_time / 3600.0)
+        expected_hourly = 4 * DEFAULT_PRICE_PER_CORE_HOUR
+        assert cost.node_cost == pytest.approx(
+            3 * expected_hourly * result.simulated_time / 3600.0
+        )
+        assert cost.total == pytest.approx(cost.user_cost + cost.node_cost)
+        assert set(cost.node_costs) == {0, 1, 2}
+
+    def test_explicit_spec_price_overrides_capacity_derivation(self):
+        config = ClusterConfig(
+            node_specs=(
+                NodeSpec(cores=4, count=1, price_per_hour=1.0),
+                NodeSpec(cores=4, count=1),
+            ),
+            scheduler="fifo",
+        )
+        result = simulate_cluster(_tasks(), config=config)
+        cost = result.cost()
+        uptime_hours = result.simulated_time / 3600.0
+        assert cost.node_costs[0] == pytest.approx(1.0 * uptime_hours)
+        assert cost.node_costs[1] == pytest.approx(
+            4 * DEFAULT_PRICE_PER_CORE_HOUR * uptime_hours
+        )
+
+    def test_custom_core_hour_price(self):
+        config = ClusterConfig(num_nodes=1, cores_per_node=2, scheduler="fifo")
+        result = simulate_cluster(_tasks(count=5), config=config)
+        cheap = result.cost(CostModel(price_per_core_hour=0.01))
+        pricey = result.cost(CostModel(price_per_core_hour=1.0))
+        assert pricey.node_cost == pytest.approx(100.0 * cheap.node_cost)
+        # User-facing billing does not depend on node pricing.
+        assert pricey.user_cost == pytest.approx(cheap.user_cost)
+
+    def test_scaled_up_node_billed_from_commissioning(self):
+        """A node added mid-run is billed boot time included, not full run."""
+        config = ClusterConfig(
+            num_nodes=1, cores_per_node=1, scheduler="fifo", node_boot_time=0.2
+        )
+        autoscaler = ReactiveAutoscaler(
+            AutoscalerConfig(
+                min_nodes=1,
+                max_nodes=4,
+                check_interval=0.25,
+                scale_up_load=1.5,
+                scale_down_load=0.1,
+                cooldown=0.0,
+            )
+        )
+        result = simulate_cluster(
+            _tasks(count=40, spacing=0.02, service=1.0),
+            config=config,
+            autoscaler=autoscaler,
+        )
+        assert result.nodes_added > 0
+        added = max(result.node_stats)
+        stats = result.node_stats[added]
+        assert stats["commissioned_at"] > 0.0
+        assert result.node_uptime(added) == pytest.approx(
+            result.simulated_time - stats["commissioned_at"]
+        )
+        # The boot window is inside the billed span.
+        assert stats["activated_at"] == pytest.approx(
+            stats["commissioned_at"] + 0.2
+        )
+        assert result.node_uptime(added) < result.simulated_time
+
+    def test_drained_node_billed_until_retirement(self):
+        cluster = ClusterSimulator(
+            config=ClusterConfig(num_nodes=2, cores_per_node=2, scheduler="fifo")
+        )
+        # Round-robin alternates nodes: node 1 gets the two short tasks and,
+        # once drained mid-run, retires well before node 0's long work ends.
+        services = (1.0, 0.2, 1.0, 0.2)
+        cluster.submit(
+            Task(task_id=i, arrival_time=i * 0.01, service_time=service)
+            for i, service in enumerate(services)
+        )
+        victim = cluster.nodes[1]
+        cluster.events.push(0.05, lambda: cluster.drain_node(victim), tag="drain")
+        result = cluster.run()
+        stats = result.node_stats[1]
+        assert stats["retired_at"] >= 0.05
+        assert result.node_uptime(1) == pytest.approx(stats["retired_at"])
+        assert result.node_uptime(1) < result.node_uptime(0)
+        assert result.cost().node_costs[1] < result.cost().node_costs[0]
+
+    def test_hand_built_result_without_node_stats_bills_whole_run(self):
+        """cluster_cost agrees with node_hours() when lifecycle stats are absent."""
+        from repro.cluster.results import ClusterResult
+        from repro.simulation.results import SimulationResult
+        from repro.simulation.config import SimulationConfig
+
+        def node_result():
+            return SimulationResult(
+                scheduler_name="fifo",
+                config=SimulationConfig(num_cores=2),
+                tasks=[],
+                core_stats={},
+                core_groups={},
+            )
+
+        result = ClusterResult(
+            dispatcher_name="round_robin",
+            scheduler_name="fifo",
+            config=ClusterConfig(num_nodes=2, cores_per_node=2),
+            tasks=[],
+            node_results={0: node_result(), 1: node_result()},
+            simulated_time=7200.0,
+        )
+        cost = result.cost()
+        assert cost.node_hours == pytest.approx(result.node_hours()) == 4.0
+        assert cost.node_cost == pytest.approx(
+            2 * 2 * DEFAULT_PRICE_PER_CORE_HOUR * 2.0
+        )
+
+    def test_describe_reports_cost(self):
+        result = simulate_cluster(
+            _tasks(count=5), config=ClusterConfig(num_nodes=2, scheduler="fifo")
+        )
+        text = result.describe()
+        assert "node-hours consumed" in text
+        assert "user billing" in text
+
+    def test_fleet_row_includes_node_cost(self):
+        from repro.analysis.fleet import FLEET_COLUMNS, fleet_metric_row
+
+        result = simulate_cluster(
+            _tasks(count=5), config=ClusterConfig(num_nodes=2, scheduler="fifo")
+        )
+        row = fleet_metric_row(result)
+        assert "node_cost_usd" in FLEET_COLUMNS
+        assert row["node_cost_usd"] > 0.0

@@ -1,0 +1,119 @@
+"""Unit tests for the columnar task-metrics store."""
+
+import numpy as np
+import pytest
+
+from repro.schedulers.fifo import FIFOScheduler
+from repro.simulation.columns import NO_CORE, TaskColumns, merge_columns
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate
+from repro.simulation.metrics import TaskMetricsSummary
+from tests.conftest import make_task, make_tasks
+
+
+def finished_task(task_id=0, arrival=0.0, start=1.0, end=2.0, core_id=0):
+    task = make_task(task_id=task_id, arrival=arrival, service=end - start)
+    task.mark_running(start, core_id=core_id)
+    task.account_service(end - start)
+    task.mark_finished(end)
+    return task
+
+
+class TestStore:
+    def test_empty_store(self):
+        columns = TaskColumns()
+        assert len(columns) == 0
+        assert not columns
+        assert columns.execution().size == 0
+        assert columns.summary().count == 0
+
+    def test_append_records_task_facts(self):
+        columns = TaskColumns()
+        columns.append(finished_task(task_id=7, arrival=1.0, start=2.0, end=5.0, core_id=3))
+        assert len(columns) == 1
+        row = columns.data[0]
+        assert row["task_id"] == 7
+        assert row["arrival"] == 1.0
+        assert row["first_run"] == 2.0
+        assert row["completion"] == 5.0
+        assert row["last_core"] == 3
+        assert columns.execution()[0] == pytest.approx(3.0)
+        assert columns.response()[0] == pytest.approx(1.0)
+        assert columns.turnaround()[0] == pytest.approx(4.0)
+
+    def test_append_rejects_unfinished(self):
+        with pytest.raises(ValueError):
+            TaskColumns().append(make_task())
+
+    def test_append_after_read_flushes_incrementally(self):
+        columns = TaskColumns()
+        columns.append(finished_task(task_id=0))
+        assert len(columns.data) == 1
+        columns.append(finished_task(task_id=1, start=2.0, end=3.0))
+        assert len(columns) == 2
+        assert list(columns.column("task_id")) == [0, 1]
+
+    def test_from_tasks_keeps_finished_only(self):
+        tasks = [finished_task(task_id=0), make_task(task_id=1)]
+        columns = TaskColumns.from_tasks(tasks)
+        assert len(columns) == 1
+
+    def test_sorted_by_task_id(self):
+        columns = TaskColumns()
+        columns.append(finished_task(task_id=5))
+        columns.append(finished_task(task_id=2))
+        columns.append(finished_task(task_id=9))
+        assert list(columns.sorted_by_task_id()["task_id"]) == [2, 5, 9]
+
+    def test_metric_accessor(self):
+        columns = TaskColumns.from_tasks([finished_task()])
+        assert columns.metric("execution")[0] == pytest.approx(1.0)
+        assert columns.metric("service")[0] == pytest.approx(1.0)
+        with pytest.raises(KeyError):
+            columns.metric("nope")
+
+    def test_merge_columns(self):
+        a = TaskColumns.from_tasks([finished_task(task_id=0)])
+        b = TaskColumns.from_tasks([finished_task(task_id=1), finished_task(task_id=2)])
+        merged = merge_columns([a, b])
+        assert len(merged) == 3
+        assert list(merged.column("task_id")) == [0, 1, 2]
+
+    def test_growth_beyond_initial_capacity(self):
+        columns = TaskColumns()
+        for i in range(600):
+            columns.append(finished_task(task_id=i))
+        assert len(columns) == 600
+        assert list(columns.column("task_id")) == list(range(600))
+
+
+class TestSummaryEquivalence:
+    def test_from_columns_matches_from_tasks_exactly(self):
+        tasks = [
+            finished_task(task_id=i, arrival=0.1 * i, start=0.5 + 0.3 * i, end=1.7 + 0.9 * i)
+            for i in range(25)
+        ]
+        by_tasks = TaskMetricsSummary.from_tasks(tasks)
+        by_columns = TaskMetricsSummary.from_columns(TaskColumns.from_tasks(tasks))
+        assert by_tasks == by_columns
+
+    def test_collector_columns_match_rebuilt_columns(self):
+        """The incrementally filled store agrees with a post-hoc rebuild."""
+        result = simulate(
+            FIFOScheduler(),
+            make_tasks([(0.0, 0.5), (0.1, 1.0), (0.2, 0.3), (0.3, 0.8)]),
+            config=SimulationConfig(num_cores=2),
+        )
+        incremental = result.task_columns()
+        rebuilt = TaskColumns.from_tasks(result.tasks)
+        assert len(incremental) == len(rebuilt) == 4
+        # Same rows (the incremental store is in completion order).
+        assert np.array_equal(
+            incremental.sorted_by_task_id(), rebuilt.sorted_by_task_id()
+        )
+        assert incremental.summary().as_dict() == pytest.approx(
+            rebuilt.summary().as_dict(), rel=1e-12, abs=1e-15
+        )
+
+    def test_no_core_sentinel(self):
+        assert NO_CORE == -1

@@ -10,8 +10,9 @@ from repro.analysis.export import (
     export_result_bundle,
     export_series,
     export_task_metrics,
+    write_csv,
 )
-from repro.analysis.report import ComparisonTable
+from repro.analysis.report import ComparisonTable, csv_cell, format_float
 from repro.schedulers.fifo import FIFOScheduler
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import simulate
@@ -68,6 +69,51 @@ class TestSeriesExport:
         rows = read_csv(path)[1:]
         series_names = {row[0] for row in rows}
         assert any(name.startswith("utilization:") for name in series_names)
+
+
+class TestCSVHelper:
+    """The one row-formatting helper every CSV writer shares."""
+
+    def test_csv_cell_formatting(self):
+        assert csv_cell(1.5) == "1.500000"
+        assert csv_cell(1.23456789) == "1.234568"
+        assert csv_cell(None) == ""
+        assert csv_cell(7) == "7"
+        assert csv_cell("fifo") == "fifo"
+        assert csv_cell(True) == "True"
+        assert format_float(0.5, precision=2) == "0.50"
+
+    def test_write_csv_round_trip(self, tmp_path):
+        path = write_csv(
+            tmp_path / "nested" / "out.csv",
+            ["a", "b", "c"],
+            [[1, 0.25, None], ["x", 2.0, 3]],
+        )
+        rows = read_csv(path)
+        assert rows == [
+            ["a", "b", "c"],
+            ["1", "0.250000", ""],
+            ["x", "2.000000", "3"],
+        ]
+
+    def test_experiment_output_tables_share_the_helper(self, tmp_path):
+        """ExperimentOutput.write_csv produces export_comparison_table bytes."""
+        from repro.experiments.common import ExperimentOutput
+
+        table = ComparisonTable(columns=("cost",))
+        table.add_row("fifo", {"cost": 0.125})
+        output = ExperimentOutput(
+            experiment_id="figX",
+            title="t",
+            description="d",
+            text="",
+            tables={"metrics": table},
+        )
+        written = output.write_csv(tmp_path)
+        reference = export_comparison_table(table, tmp_path / "ref.csv")
+        assert written["metrics"].name == "figX_metrics.csv"
+        assert written["metrics"].read_bytes() == reference.read_bytes()
+        assert read_csv(written["metrics"])[1] == ["fifo", "0.125000"]
 
 
 class TestTableAndBundle:

@@ -1,0 +1,106 @@
+"""Weighted fair sharing: per-task ``weight`` scales the attained service."""
+
+import pytest
+
+from repro.schedulers.cfs import CFSScheduler
+from repro.simulation.config import SimulationConfig
+from repro.simulation.context_switch import ContextSwitchModel
+from repro.simulation.cpu import Core
+from repro.simulation.engine import simulate
+from repro.simulation.task import Task
+
+
+def _task(task_id, service, weight=1.0, arrival=0.0):
+    return Task(
+        task_id=task_id, arrival_time=arrival, service_time=service, weight=weight
+    )
+
+
+def _free_switching():
+    """A cost-free context-switch model so shares are exact fractions."""
+    return ContextSwitchModel(switch_cost=0.0)
+
+
+class TestCoreWeights:
+    def test_two_weight_shares(self):
+        """Weight 2 vs 1: the heavy task gets exactly twice the service."""
+        core = Core(core_id=0, group="all", context_switch=_free_switching())
+        heavy = _task(0, service=10.0, weight=2.0)
+        light = _task(1, service=10.0, weight=1.0)
+        core.add_task(heavy, 0.0)
+        core.add_task(light, 0.0)
+        core.sync(3.0)
+        # Unit rate is 1/3 of the core: heavy accrues 2 s, light 1 s.
+        assert heavy.remaining == pytest.approx(8.0)
+        assert light.remaining == pytest.approx(9.0)
+        assert heavy.cpu_time_received == pytest.approx(2 * light.cpu_time_received)
+
+    def test_weighted_completion_order_and_times(self):
+        """Equal demands, unequal weights: the heavy task finishes first."""
+        core = Core(core_id=0, group="all", context_switch=_free_switching())
+        heavy = _task(0, service=2.0, weight=2.0)
+        light = _task(1, service=2.0, weight=1.0)
+        core.add_task(heavy, 0.0)
+        core.add_task(light, 0.0)
+        # Heavy runs at 2/3: finishes after 3 s; light then has 1 s left at
+        # full speed: finishes at 4 s.  (Total service 4 s on one core.)
+        delta = core.time_to_next_completion()
+        assert delta == pytest.approx(3.0)
+        finished = core.finish_ready_tasks(3.0)
+        assert [t.task_id for t in finished] == [0]
+        assert core.time_to_next_completion() == pytest.approx(1.0)
+        finished = core.finish_ready_tasks(4.0)
+        assert [t.task_id for t in finished] == [1]
+
+    def test_unit_weights_keep_equal_share_arithmetic(self):
+        """All-default weights reproduce the equal-share split exactly."""
+        core = Core(core_id=0, group="all", context_switch=_free_switching())
+        tasks = [_task(i, service=5.0) for i in range(4)]
+        for task in tasks:
+            core.add_task(task, 0.0)
+        assert core.service_rate() == pytest.approx(0.25)
+        core.sync(2.0)
+        for task in tasks:
+            assert task.remaining == pytest.approx(4.5)
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ValueError):
+            _task(0, service=1.0, weight=0.0)
+        with pytest.raises(ValueError):
+            _task(0, service=1.0, weight=-1.5)
+
+    def test_set_remaining_rekeys_with_weight(self):
+        core = Core(core_id=0, group="all", context_switch=_free_switching())
+        heavy = _task(0, service=4.0, weight=2.0)
+        core.add_task(heavy, 0.0)
+        heavy.remaining = 1.0
+        # Alone on the core a weight-2 task still runs at full core speed:
+        # unit rate = 1/2, task rate = weight * unit = 1.
+        assert core.time_to_next_completion() == pytest.approx(1.0)
+
+
+class TestEngineWeights:
+    def test_two_weight_priority_end_to_end(self):
+        """CFS machine, one core, two equal tasks: higher weight wins."""
+        tasks = [
+            _task(0, service=3.0, weight=2.0),
+            _task(1, service=3.0, weight=1.0),
+        ]
+        result = simulate(
+            CFSScheduler(),
+            tasks,
+            config=SimulationConfig(num_cores=1, record_utilization=False),
+        )
+        heavy, light = result.tasks[0], result.tasks[1]
+        assert heavy.is_finished and light.is_finished
+        assert heavy.completion_time < light.completion_time
+        assert heavy.execution_time < light.execution_time
+        # The columnar store carries the weights through to analysis.
+        weights = dict(
+            zip(
+                result.task_columns().column("task_id"),
+                result.task_columns().column("weight"),
+            )
+        )
+        assert weights[0] == pytest.approx(2.0)
+        assert weights[1] == pytest.approx(1.0)

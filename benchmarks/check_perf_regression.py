@@ -7,9 +7,10 @@ time a fixed pure-Python loop takes on the same host (see
 :func:`hotpath.calibration_units`).  The gate recomputes units here and
 fails when any gated bench exceeds its baseline by more than 25%.
 
-Two baseline files are gated: ``BENCH_3.json`` (virtual-time engine +
-indexed dispatch hot paths) and ``BENCH_4.json`` (columnar metrics
-aggregation).
+Three baseline files are gated: ``BENCH_3.json`` (virtual-time engine +
+indexed dispatch hot paths), ``BENCH_4.json`` (columnar metrics
+aggregation) and ``BENCH_5.json`` (dispatch through per-node ingress queues
+under a non-zero-RTT network model).
 
 Usage::
 
@@ -37,7 +38,8 @@ _REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir)
 #: columnar metrics aggregation, gated via 10 back-to-back 100k aggregations
 #: (~50 ms) for the same noise reason; the single-pass 10k/100k sizes and
 #: the list-based reference are recorded in the file's before/after section
-#: but not gated.
+#: but not gated.  BENCH_5: 512-node JSQ dispatch with a non-zero RTT (every
+#: task through an ingress queue) — the dispatch-with-delay hot path.
 GATED_BY_FILE = {
     os.path.join(_REPO_ROOT, "BENCH_3.json"): (
         "engine_mp512",
@@ -46,6 +48,9 @@ GATED_BY_FILE = {
     ),
     os.path.join(_REPO_ROOT, "BENCH_4.json"): (
         "metrics_columnar_100k_x10",
+    ),
+    os.path.join(_REPO_ROOT, "BENCH_5.json"): (
+        "dispatcher_rtt_512nodes",
     ),
 }
 

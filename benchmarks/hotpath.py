@@ -11,6 +11,11 @@ the virtual-time refactor rewrote:
 * **dispatcher** — a JSQ cluster of *n* single-core nodes: every arrival
   used to scan all ``n`` nodes; the incrementally maintained load index
   makes the pick O(log n).
+* **dispatcher_rtt** — the same JSQ cluster under a non-zero-RTT
+  :class:`~repro.cluster.config.NetworkSpec` (the ``BENCH_5.json`` case):
+  every dispatch now routes through a per-node ingress queue — one extra
+  arrival-priority event plus two load-index touches per task — which is
+  the dispatch-with-delay hot path this bench gates.
 
 A third family targets result aggregation (the ``BENCH_4.json`` columnar
 refactor): summarising N finished tasks via the pre-refactor per-metric
@@ -28,7 +33,7 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
-from repro.cluster import ClusterConfig, simulate_cluster
+from repro.cluster import ClusterConfig, NetworkSpec, simulate_cluster
 from repro.schedulers.cfs import CFSScheduler
 from repro.simulation.columns import TaskColumns
 from repro.simulation.config import SimulationConfig
@@ -96,6 +101,27 @@ def run_dispatcher_bench(num_nodes: int):
     )
     result = simulate_cluster(dispatcher_tasks(num_nodes), config=config)
     assert len(result.tasks) == num_nodes * 4
+    return result
+
+
+#: Wire RTT of the dispatch-with-delay bench: small against the 0.05 s
+#: service time so the run stays load-shaped like the zero-RTT bench while
+#: every task crosses an ingress queue.
+DISPATCHER_RTT = 0.01
+
+
+def run_dispatcher_rtt_bench(num_nodes: int):
+    """One JSQ cluster run with a non-zero dispatcher→node RTT."""
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        cores_per_node=1,
+        scheduler="fifo",
+        dispatcher="jsq",
+        network=NetworkSpec(rtt=DISPATCHER_RTT),
+    )
+    result = simulate_cluster(dispatcher_tasks(num_nodes), config=config)
+    assert len(result.tasks) == num_nodes * 4
+    assert result.tasks_ingressed() == num_nodes * 4
     return result
 
 
@@ -208,6 +234,10 @@ BENCHES: Dict[str, Callable[[], object]] = {
     **{f"engine_mp{mp}": (lambda mp=mp: run_engine_bench(mp)) for mp in ENGINE_MP_LEVELS},
     **{
         f"dispatcher_{n}nodes": (lambda n=n: run_dispatcher_bench(n))
+        for n in DISPATCHER_NODE_COUNTS
+    },
+    **{
+        f"dispatcher_rtt_{n}nodes": (lambda n=n: run_dispatcher_rtt_bench(n))
         for n in DISPATCHER_NODE_COUNTS
     },
     "object_churn": run_object_churn,

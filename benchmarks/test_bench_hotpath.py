@@ -17,6 +17,7 @@ from hotpath import (
     ENGINE_MP_LEVELS,
     METRICS_TASK_COUNTS,
     run_dispatcher_bench,
+    run_dispatcher_rtt_bench,
     run_engine_bench,
     run_metrics_columnar,
     run_metrics_list,
@@ -39,6 +40,22 @@ def test_bench_dispatcher_jsq(benchmark, num_nodes):
     )
     assert len(result.tasks) == num_nodes * 4
     assert all(task.is_finished for task in result.tasks)
+
+
+@pytest.mark.parametrize("num_nodes", DISPATCHER_NODE_COUNTS)
+def test_bench_dispatcher_jsq_rtt(benchmark, num_nodes):
+    """JSQ dispatch through per-node ingress queues (non-zero-RTT network).
+
+    The 512-node case is the ``BENCH_5.json`` perf-smoke gate: every task
+    pays one extra arrival-priority event plus two load-index touches over
+    the zero-RTT dispatch bench above.
+    """
+    result = benchmark.pedantic(
+        run_dispatcher_rtt_bench, kwargs={"num_nodes": num_nodes}, rounds=1, iterations=1
+    )
+    assert len(result.tasks) == num_nodes * 4
+    assert all(task.is_finished for task in result.tasks)
+    assert result.mean_ingress_wait() > 0.0
 
 
 def test_bench_object_churn(benchmark):

@@ -31,6 +31,7 @@ from repro.analysis.fleet import (
 from repro.cluster import (
     AutoscalerConfig,
     ClusterConfig,
+    NetworkSpec,
     ReactiveAutoscaler,
     available_dispatchers,
     simulate_cluster,
@@ -52,6 +53,7 @@ def run_policy_sweep(args: argparse.Namespace) -> None:
             scheduler=args.scheduler,
             dispatcher=policy,
             migration=migration,
+            network=NetworkSpec(rtt=args.rtt),
         )
         tasks = ten_minute_workload(args.scale)  # fresh tasks: mutated in place
         result = simulate_cluster(tasks, config=config)
@@ -144,6 +146,9 @@ def main() -> None:
                         help="fraction of the 10-minute workload to run")
     parser.add_argument("--scheduler", default="fifo",
                         help="per-node scheduling policy (registry name)")
+    parser.add_argument("--rtt", type=float, default=0.0,
+                        help="dispatcher→node round-trip time in seconds "
+                        "(policy sweep; probing dispatchers pay the probe RTT)")
     parser.add_argument("--all-policies", action="store_true",
                         help="sweep every registered dispatcher, not just the headline four")
     parser.add_argument("--heterogeneous", action="store_true",

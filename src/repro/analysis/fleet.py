@@ -23,6 +23,7 @@ FLEET_COLUMNS = (
     "fairness",
     "completed",
     "migrated",
+    "mean_ingress_wait",
     "node_cost_usd",
 )
 
@@ -64,7 +65,10 @@ def fleet_metric_row(result) -> Dict[str, float]:
     """One comparison-table row summarising a cluster run.
 
     ``node_cost_usd`` is the provider-side node-hours bill (boot and drain
-    time included), so every fleet comparison reports latency *and* cost.
+    time included), so every fleet comparison reports latency *and* cost;
+    ``mean_ingress_wait`` is the average wire delay per task under the
+    network model (0.0 on zero-RTT runs), separating dispatch latency from
+    queueing in the same row.
     """
     summary = result.summary()
     return {
@@ -77,6 +81,7 @@ def fleet_metric_row(result) -> Dict[str, float]:
         ),
         "completed": float(len(result.finished_tasks)),
         "migrated": float(result.tasks_migrated),
+        "mean_ingress_wait": result.mean_ingress_wait(),
         "node_cost_usd": result.cost().node_cost,
     }
 

@@ -13,7 +13,12 @@ join-shortest-queue, power-of-two-choices, consistent hashing on the
 function id), a pluggable migration policy (work stealing) periodically lets
 cool or draining nodes pull queued tasks from hot neighbours, and an
 optional reactive autoscaler adds/removes nodes with Firecracker cold-start
-delays.
+delays.  A :class:`NetworkSpec` adds a dispatcher→node RTT: dispatched tasks
+sit in per-node *ingress queues* while on the wire (counted by load
+signals), and load-probing dispatchers pay an extra probe round trip — the
+Sparrow-style late-binding tradeoff that lets locality-aware policies show
+their latency advantage.  The default zero-RTT model is bit-identical to
+instantaneous dispatch.
 
 Quick example::
 
@@ -30,7 +35,12 @@ Quick example::
 """
 
 from repro.cluster.autoscaler import AutoscalerConfig, ReactiveAutoscaler
-from repro.cluster.config import ClusterConfig, DEFAULT_NODE_BOOT_TIME, NodeSpec
+from repro.cluster.config import (
+    ClusterConfig,
+    DEFAULT_NODE_BOOT_TIME,
+    NetworkSpec,
+    NodeSpec,
+)
 from repro.cluster.dispatchers import (
     ConsistentHashDispatcher,
     Dispatcher,
@@ -64,6 +74,7 @@ __all__ = [
     "AutoscalerConfig",
     "ReactiveAutoscaler",
     "ClusterConfig",
+    "NetworkSpec",
     "NodeSpec",
     "DEFAULT_NODE_BOOT_TIME",
     "DEFAULT_MIGRATION_DELAY",

@@ -1,9 +1,11 @@
 """Reactive fleet autoscaler.
 
-Watches the fleet's load (inflight invocations per core, averaged over the
-active nodes) on a fixed control interval and adds or drains nodes when the
-load leaves a target band — the classic reactive loop of serverless control
-planes.  New nodes pay the cold-start delay from
+Watches the fleet's load — invocations per core that the fleet is on the
+hook for: delivered (inflight) work, ingress work on the wire, and the
+cluster's waiting backlog, over every non-retired node's cores — on a fixed
+control interval and adds or drains nodes when the load leaves a target
+band: the classic reactive loop of serverless control planes.  New nodes pay
+the cold-start delay from
 :class:`~repro.cluster.config.ClusterConfig.node_boot_time` (modeled on the
 Firecracker microVM boot figure) before they accept work; removed nodes
 drain first so no running invocation is killed.
@@ -12,6 +14,8 @@ drain first so no running invocation is killed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.cluster.dispatchers import bound_work
 
 
 @dataclass(frozen=True)
@@ -22,10 +26,11 @@ class AutoscalerConfig:
         min_nodes: Never drain below this many active nodes.
         max_nodes: Never grow the fleet beyond this many nodes.
         check_interval: Seconds between control decisions.
-        scale_up_load: Add a node when fleet load (inflight per core) exceeds
+        scale_up_load: Add a node when the fleet load signal (see
+            :meth:`ReactiveAutoscaler.fleet_load`: inflight + ingress +
+            waiting invocations per non-retired core) exceeds this threshold.
+        scale_down_load: Drain a node when the fleet load signal falls below
             this threshold.
-        scale_down_load: Drain a node when fleet load falls below this
-            threshold.
         cooldown: Minimum seconds between two scaling actions, so one burst
             does not trigger a flapping add/drain sequence.
     """
@@ -74,18 +79,32 @@ class ReactiveAutoscaler:
     # ----------------------------------------------------------------- signal
 
     def fleet_load(self) -> float:
-        """Inflight invocations per core, averaged over non-retired nodes.
+        """Invocations per core the fleet is on the hook for.
+
+        The numerator counts every invocation awaiting or receiving service:
+        work *delivered* to node schedulers (inflight), work *on the wire*
+        under a non-zero-RTT network model (ingress), and the cluster's
+        *waiting* backlog — tasks parked because no node was active when
+        they arrived (e.g. while the whole fleet boots).  The explicit
+        waiting term is what lets a backlog alone trigger a scale-up before
+        any node accepts work.
 
         Booting and draining nodes count in the denominator: capacity that
-        was already paid for should damp further scale-ups.
+        was already paid for should damp further scale-ups.  A fleet whose
+        non-retired nodes expose no cores reports infinite load while work
+        is pending — nothing can ever serve it — instead of masking the
+        division by zero with a floor.
         """
         nodes = [n for n in self.cluster.nodes if n.state.value != "retired"]
         if not nodes:
             return 0.0
         total_cores = sum(len(n.machine) for n in nodes)
-        total_inflight = sum(n.inflight for n in nodes)
+        bound = sum(bound_work(n) for n in nodes)
         waiting = len(self.cluster.waiting_tasks)
-        return (total_inflight + waiting) / max(1, total_cores)
+        demand = bound + waiting
+        if total_cores == 0:
+            return float("inf") if demand else 0.0
+        return demand / total_cores
 
     # ------------------------------------------------------------------- tick
 
@@ -102,7 +121,9 @@ class ReactiveAutoscaler:
             self.scale_ups += 1
             self._last_action_time = now
         elif load < self.config.scale_down_load and len(active) > self.config.min_nodes:
-            victim = min(active, key=lambda n: (n.inflight, -n.node_id))
+            # Least *committed* node drains: work on the wire toward a node
+            # must land and run there, so it counts like delivered work.
+            victim = min(active, key=lambda n: (bound_work(n), -n.node_id))
             self.cluster.drain_node(victim)
             self.scale_downs += 1
             self._last_action_time = now

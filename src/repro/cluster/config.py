@@ -24,6 +24,75 @@ DEFAULT_NODE_BOOT_TIME = MicroVMSpec().boot_time
 
 
 @dataclass(frozen=True)
+class NetworkSpec:
+    """Dispatcher→node network model.
+
+    With the default (``rtt=0``) dispatch is instantaneous and the cluster
+    engine is bit-identical to the network-free engine: no ingress events are
+    scheduled and every task is handed to its node's scheduler at the dispatch
+    decision instant.
+
+    With a non-zero ``rtt`` a dispatched task first enters the target node's
+    *ingress queue* — in flight on the wire, visible to load signals as a
+    distinct ingress state — and only reaches the node's scheduler after the
+    wire delay:
+
+    * every task pays the one-way trip, ``rtt / 2``;
+    * *load-probing* dispatchers (``least_loaded``, ``jsq``,
+      ``power_of_two`` — any policy with
+      :attr:`~repro.cluster.dispatchers.Dispatcher.probes_load`) pay
+      ``probe_rtts`` extra round trips per decision, charged at the landing
+      node's RTT — the cost of sampling remote queue state that
+      locality-aware and oblivious policies never pay (the Sparrow-style
+      late-binding tradeoff).
+
+    Attributes:
+        rtt: Dispatcher→node round-trip time in seconds (fleet-wide default;
+            :attr:`NodeSpec.rtt` overrides it per node shape).
+        probe_rtts: Extra round trips a load-probing dispatcher pays per
+            dispatch decision.  Set to ``0.0`` to model an oracle load signal
+            (piggybacked on completions) that probing gets for free.
+    """
+
+    rtt: float = 0.0
+    probe_rtts: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rtt < 0:
+            raise ValueError(f"rtt must be >= 0, got {self.rtt!r}")
+        if self.probe_rtts < 0:
+            raise ValueError(f"probe_rtts must be >= 0, got {self.probe_rtts!r}")
+
+    def dispatch_delay(self, rtt: float, probes_load: bool) -> float:
+        """Wire delay of one dispatched task (seconds).
+
+        Args:
+            rtt: Effective round-trip time to the landing node.
+            probes_load: Whether the dispatching policy samples per-node load
+                (and therefore pays the probe round trips).
+        """
+        delay = rtt * 0.5
+        if probes_load:
+            delay += rtt * self.probe_rtts
+        return delay
+
+    # ------------------------------------------------------------ serialising
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly dict, omitting fields left at their defaults."""
+        data: Dict[str, object] = {}
+        if self.rtt != 0.0:
+            data["rtt"] = self.rtt
+        if self.probe_rtts != 1.0:
+            data["probe_rtts"] = self.probe_rtts
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NetworkSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class NodeSpec:
     """Shape of one node (or ``count`` identical nodes) in the fleet.
 
@@ -38,6 +107,10 @@ class NodeSpec:
             ``None`` lets :class:`repro.cost.CostModel` derive a price from
             the node's capacity; set it explicitly to model spot discounts
             or premium instance types.
+        rtt: Dispatcher→node round-trip time (seconds) for nodes of this
+            type; ``None`` uses the fleet-wide
+            :attr:`ClusterConfig.network` RTT.  Set it to model mixed
+            placements (same-rack nodes next to remote ones).
     """
 
     cores: int = 12
@@ -45,6 +118,7 @@ class NodeSpec:
     count: int = 1
     label: str = ""
     price_per_hour: Optional[float] = None
+    rtt: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.cores <= 0:
@@ -59,6 +133,8 @@ class NodeSpec:
             raise ValueError(
                 f"price_per_hour must be >= 0 when set, got {self.price_per_hour!r}"
             )
+        if self.rtt is not None and self.rtt < 0:
+            raise ValueError(f"rtt must be >= 0 when set, got {self.rtt!r}")
 
     @property
     def capacity(self) -> float:
@@ -84,6 +160,8 @@ class NodeSpec:
             data["label"] = self.label
         if self.price_per_hour is not None:
             data["price_per_hour"] = self.price_per_hour
+        if self.rtt is not None:
+            data["rtt"] = self.rtt
         return data
 
     @classmethod
@@ -113,6 +191,9 @@ class ClusterConfig:
         migration_kwargs: Extra keyword arguments for the migration factory.
         node_boot_time: Seconds between a scale-up decision and the new node
             accepting work (cold-start delay).
+        network: Dispatcher→node network model (RTT + probe cost); the
+            default zero-RTT spec keeps dispatch instantaneous and the run
+            bit-identical to the network-free engine.
         seed: Seed for every randomized dispatcher; two runs with the same
             config and workload are bit-identical.
         node_config: Per-node simulation configuration; when omitted a
@@ -130,6 +211,7 @@ class ClusterConfig:
     migration: Optional[str] = None
     migration_kwargs: Dict[str, object] = field(default_factory=dict)
     node_boot_time: float = DEFAULT_NODE_BOOT_TIME
+    network: NetworkSpec = field(default_factory=NetworkSpec)
     seed: int = 7
     node_config: Optional[SimulationConfig] = None
 
@@ -157,6 +239,10 @@ class ClusterConfig:
         if self.node_boot_time < 0:
             raise ValueError(
                 f"node_boot_time must be >= 0, got {self.node_boot_time!r}"
+            )
+        if not isinstance(self.network, NetworkSpec):
+            raise TypeError(
+                f"network must be a NetworkSpec, got {self.network!r}"
             )
 
     # ------------------------------------------------------------------ fleet
@@ -195,6 +281,13 @@ class ClusterConfig:
     def total_capacity(self) -> float:
         """Initial fleet capacity in baseline-core equivalents."""
         return sum(spec.capacity for spec in self.expanded_specs())
+
+    def effective_rtt(self, spec: Optional[NodeSpec]) -> float:
+        """Dispatcher→node RTT for one node: its spec's override, else the
+        fleet-wide network default."""
+        if spec is not None and spec.rtt is not None:
+            return spec.rtt
+        return self.network.rtt
 
     def build_node_config(self, spec: Optional[NodeSpec] = None) -> SimulationConfig:
         """Simulation config for one node's machine and engine.
@@ -246,3 +339,7 @@ class ClusterConfig:
     def with_node_specs(self, specs: Sequence[NodeSpec]) -> "ClusterConfig":
         """Copy of this config describing a heterogeneous fleet."""
         return replace(self, node_specs=tuple(specs))
+
+    def with_network(self, **kwargs) -> "ClusterConfig":
+        """Copy of this config with a different network model."""
+        return replace(self, network=NetworkSpec(**kwargs))

@@ -44,6 +44,13 @@ class Dispatcher(ABC):
     #: Short machine-readable name, used by the registry and result labels.
     name: str = "base"
 
+    #: True for policies that sample per-node load before picking (the
+    #: JSQ family).  Under a non-zero-RTT :class:`~repro.cluster.config.
+    #: NetworkSpec` these pay the probe round trip(s) on every dispatch;
+    #: oblivious and locality-aware policies dispatch blind and pay only the
+    #: one-way wire delay — the Sparrow-style late-binding tradeoff.
+    probes_load: bool = False
+
     @abstractmethod
     def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
         """Pick the node that should run ``task``.
@@ -88,16 +95,39 @@ class RandomDispatcher(Dispatcher):
 
 
 class RoundRobinDispatcher(Dispatcher):
-    """Cyclic assignment over the active nodes."""
+    """Cyclic assignment over the active nodes.
+
+    The cursor tracks the *node id* last dispatched to, not a raw index, so
+    the cycle stays anchored when the active set changes under it: a raw
+    index silently re-targets a different node whenever the autoscaler adds
+    or drains a node mid-run, skewing the sweep.  ``nodes`` is id-ordered
+    (the cluster's active view), so "the next node after the last id, wrapping"
+    resumes the cycle deterministically — a drained node is skipped, a new
+    node (ids are never reused, so always the highest id) joins at the end of
+    the cycle.  On a static fleet this is pick-for-pick identical to the
+    index counter.
+    """
 
     name = "round_robin"
 
     def __init__(self) -> None:
-        self._next = 0
+        self._last_id: Optional[int] = None
 
     def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
-        node = nodes[self._next % len(nodes)]
-        self._next += 1
+        if self._last_id is None:
+            node = nodes[0]
+        else:
+            # First node with an id beyond the cursor (binary search over the
+            # id-ordered active view), wrapping to the lowest id.
+            lo, hi = 0, len(nodes)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if nodes[mid].node_id <= self._last_id:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            node = nodes[lo] if lo < len(nodes) else nodes[0]
+        self._last_id = node.node_id
         return node
 
 
@@ -111,42 +141,74 @@ def _node_capacity(node: ClusterNode) -> float:
     return float(getattr(node, "capacity", 1.0))
 
 
+def bound_work(node: ClusterNode) -> int:
+    """Jobs committed to a node: delivered plus ingress (on the wire).
+
+    Under a non-zero-RTT network model, work a dispatcher just committed to
+    a node is in flight for the wire delay; queue-depth signals must count
+    it or every arrival in that window sees the same "shortest" queue and
+    JSQ herds onto one node.  Load surfaces without an ingress queue (test
+    stubs, zero-RTT nodes) contribute zero.
+
+    This is the one definition of "committed work" — the dispatch load
+    keys, the autoscaler signal and victim choice, and the simulator's
+    drain/retire checks all call it.
+    """
+    return node.inflight + getattr(node, "ingress", 0)
+
+
 def normalized_load(node: ClusterNode) -> float:
-    """Jobs in the system per unit of capacity — the heterogeneous-fleet
+    """Jobs bound to the node per unit of capacity — the heterogeneous-fleet
     load signal shared by the JSQ-family dispatchers and the migration
     layer."""
-    return node.inflight / _node_capacity(node)
+    return bound_work(node) / _node_capacity(node)
 
 
 def _queue_load(node: ClusterNode, normalized: bool) -> float:
-    """The JSQ-family load key: normalised or raw jobs in the system."""
+    """The JSQ-family load key: normalised or raw jobs bound to the node."""
     if normalized:
         return normalized_load(node)
-    return float(node.inflight)
+    return float(bound_work(node))
 
 
 def _raw_queue_load(node: ClusterNode) -> float:
-    return float(node.inflight)
+    return float(bound_work(node))
+
+
+def _busy_load(node: ClusterNode) -> int:
+    """Busy cores plus ingress: utilization the node is committed to.
+
+    Ingress counts for the same reason it does in :func:`bound_work` — a
+    wire-delayed task will occupy a core the moment it lands, and a
+    busy-core signal blind to it would herd every burst onto one node for
+    the whole wire window.
+    """
+    return node.busy_core_count() + getattr(node, "ingress", 0)
 
 
 def _normalized_busy_load(node: ClusterNode) -> float:
-    return node.busy_core_count() / _node_capacity(node)
+    return _busy_load(node) / _node_capacity(node)
 
 
 def _raw_busy_load(node: ClusterNode) -> float:
-    return float(node.busy_core_count())
+    return float(_busy_load(node))
 
 
 class LeastLoadedDispatcher(Dispatcher):
     """Node with the fewest busy cores (instantaneous utilization).
 
-    With ``normalized`` (the default) busy cores are divided by node
+    Under a non-zero-RTT network the signal also counts ingress-pending
+    tasks — each will occupy a core on landing — so a burst spreads instead
+    of herding onto whichever node looked idle when the wave started (at
+    zero RTT the term is always zero and this is exactly busy cores).
+    With ``normalized`` (the default) the count is divided by node
     capacity, so a half-busy little node looks hotter than a quarter-busy
     big one; unnormalized is the PR-1 behaviour and treats all nodes alike.
     On homogeneous fleets the two orderings are identical.
     """
 
     name = "least_loaded"
+    probes_load = True
 
     def __init__(self, normalized: bool = True) -> None:
         self.normalized = normalized
@@ -165,10 +227,9 @@ class LeastLoadedDispatcher(Dispatcher):
                 return pick
         if self.normalized:
             return min(
-                nodes,
-                key=lambda n: (n.busy_core_count() / _node_capacity(n), n.node_id),
+                nodes, key=lambda n: (_normalized_busy_load(n), n.node_id)
             )
-        return min(nodes, key=lambda n: (n.busy_core_count(), n.node_id))
+        return min(nodes, key=lambda n: (_busy_load(n), n.node_id))
 
 
 class JoinShortestQueueDispatcher(Dispatcher):
@@ -180,6 +241,7 @@ class JoinShortestQueueDispatcher(Dispatcher):
     """
 
     name = "jsq"
+    probes_load = True
 
     def __init__(self, normalized: bool = True) -> None:
         self.normalized = normalized
@@ -210,6 +272,7 @@ class PowerOfTwoDispatcher(Dispatcher):
     """
 
     name = "power_of_two"
+    probes_load = True
 
     def __init__(self, seed: int = 7, choices: int = 2, normalized: bool = True) -> None:
         if choices < 2:
@@ -246,6 +309,11 @@ class ConsistentHashDispatcher(Dispatcher):
         self.replicas = replicas
         self._ring: List[Tuple[int, int]] = []  # (point, node_id), sorted
         self._ring_ids: Optional[Tuple[int, ...]] = None
+        #: node_id -> position in the fleet the ring was built from.  The
+        #: pick indexes the *caller's* node sequence through this map (never
+        #: a cached node object), so a node that drained and was replaced can
+        #: never be served from a stale ring entry.
+        self._positions: dict = {}
 
     @staticmethod
     def _hash(key: str) -> int:
@@ -258,15 +326,24 @@ class ConsistentHashDispatcher(Dispatcher):
             for replica in range(self.replicas)
         )
         self._ring_ids = tuple(node.node_id for node in nodes)
+        self._positions = {node.node_id: i for i, node in enumerate(nodes)}
 
     def select_node(self, task: Task, nodes: Sequence[ClusterNode]) -> ClusterNode:
         ids = tuple(node.node_id for node in nodes)
         if ids != self._ring_ids:
+            # Membership changed (drain, scale-up, drain→re-add): rebuild.
             self._rebuild(nodes)
         point = self._hash(function_key(task))
         index = bisect_right(self._ring, (point, -1)) % len(self._ring)
         target_id = self._ring[index][1]
-        for node in nodes:
-            if node.node_id == target_id:
-                return node
-        raise RuntimeError(f"consistent-hash ring is stale: node {target_id} missing")
+        position = self._positions.get(target_id)
+        if position is None or position >= len(nodes):
+            raise RuntimeError(
+                f"consistent-hash ring is stale: node {target_id} missing"
+            )
+        node = nodes[position]
+        if node.node_id != target_id:
+            raise RuntimeError(
+                f"consistent-hash ring is stale: node {target_id} missing"
+            )
+        return node

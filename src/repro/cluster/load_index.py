@@ -4,7 +4,12 @@ The JSQ-family dispatchers used to rescan every active node per arrival —
 O(fleet) on the hottest cluster path.  The index keeps one lazily-invalidated
 min-heap per registered load key (e.g. capacity-normalised queue depth),
 refreshed by O(log n) pushes whenever a node's load changes, so the
-least-loaded pick is an O(log n) peek.
+least-loaded pick is an O(log n) peek.  Load changes include the network
+model's ingress transitions: ``begin_ingress`` / ``complete_ingress`` run
+through the same ``Node -> touch`` notify chain as deliveries and
+completions, so queue-depth keys (which count ingress-pending work, see
+:func:`repro.cluster.dispatchers.bound_work`) stay fresh while tasks are on
+the wire.
 
 Determinism: heap entries order by ``(load, node_id, version)``, exactly the
 ``(load, node_id)`` tie-break the scanning implementations use, so an

@@ -107,8 +107,17 @@ class ClusterNode:
         )
         self.engine = _NodeEngine(machine, scheduler, config, clock, events)
         self.inflight = 0
+        #: Tasks dispatched to this node but still in flight on the wire
+        #: (inside the ingress queue); they count toward the node's load but
+        #: have not reached its scheduler yet.
+        self.ingress = 0
+        #: Wire delay one dispatched task pays to reach this node (seconds);
+        #: assigned by the cluster from its network model at node creation.
+        self.dispatch_delay = 0.0
         self.tasks_assigned = 0
         self.tasks_completed = 0
+        self.tasks_ingressed = 0
+        self.ingress_wait_total = 0.0
         self.tasks_stolen_away = 0
         self.tasks_stolen_in = 0
         #: When this node started being paid for (booting counts: the
@@ -156,9 +165,10 @@ class ClusterNode:
             self.state = NodeState.DRAINING
 
     def retire(self, now: float) -> None:
-        if self.inflight > 0:
+        if self.inflight > 0 or self.ingress > 0:
             raise RuntimeError(
-                f"node {self.node_id} cannot retire with {self.inflight} tasks inflight"
+                f"node {self.node_id} cannot retire with {self.inflight} tasks "
+                f"inflight and {self.ingress} in its ingress queue"
             )
         self.state = NodeState.RETIRED
         self.retired_at = now
@@ -220,6 +230,39 @@ class ClusterNode:
         self.inflight -= 1
         self.tasks_completed += 1
         self._notify_load()
+
+    # ---------------------------------------------------------------- ingress
+
+    def begin_ingress(self, task: Task) -> None:
+        """Put one dispatched task on the wire toward this node.
+
+        The task counts as load immediately (so queue-depth dispatchers see
+        work they just committed here and do not herd onto one node), but it
+        reaches the scheduler only when :meth:`complete_ingress` lands it
+        after the wire delay.
+        """
+        if self.state is not NodeState.ACTIVE:
+            raise RuntimeError(
+                f"cannot dispatch to node {self.node_id} in state {self.state.value}"
+            )
+        self.ingress += 1
+        self._notify_load()
+
+    def complete_ingress(self, task: Task, now: float) -> None:
+        """Land one wire-delayed task on this node's scheduler.
+
+        Ingress tasks were committed at dispatch time, so a node that started
+        draining mid-flight still accepts the landing (force delivery); the
+        cluster never retires a node with ingress pending, so a RETIRED
+        landing is an engine invariant violation and raises.
+        """
+        self.ingress -= 1
+        self.tasks_ingressed += 1
+        self.ingress_wait_total += self.dispatch_delay
+        task.metadata["ingress_wait"] = (
+            task.metadata.get("ingress_wait", 0.0) + self.dispatch_delay
+        )
+        self.deliver(task, now, force=self.state is NodeState.DRAINING)
 
     # --------------------------------------------------------------- stealing
 

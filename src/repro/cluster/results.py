@@ -132,6 +132,62 @@ class ClusterResult:
         """Latency-vs-cost accounting: user billing plus fleet node-hours."""
         return (model or CostModel()).cluster_cost(self)
 
+    # --------------------------------------------------------------- network
+
+    def ingress_waits(self) -> np.ndarray:
+        """Per-finished-task wire wait (seconds) under the network model.
+
+        Tasks dispatched with zero RTT (or before the network model existed)
+        contribute 0.0, so the array always has one entry per finished task.
+        This materialises a per-task array (an O(tasks) metadata walk); for
+        the aggregate, :meth:`mean_ingress_wait` answers from O(nodes)
+        counters instead.
+        """
+        return np.array(
+            [
+                float(task.metadata.get("ingress_wait", 0.0))
+                for task in self.finished_tasks
+            ],
+            dtype=float,
+        )
+
+    def mean_ingress_wait(self) -> float:
+        """Mean wire wait per finished task (0.0 on zero-RTT runs).
+
+        Answered from the per-node ``ingress_wait_total`` counters (O(nodes),
+        the fleet-table hot path); hand-built results without node stats
+        fall back to the per-task metadata walk.  On runs cut off by a time
+        limit the counters include tasks that landed but never finished, a
+        deliberate slight overcount of the wire share.
+        """
+        if self.node_stats:
+            finished = len(self.task_columns())
+            if finished == 0:
+                return 0.0
+            total = sum(
+                stats.get("ingress_wait_total", 0.0)
+                for stats in self.node_stats.values()
+            )
+            return total / finished
+        waits = self.ingress_waits()
+        return float(waits.mean()) if waits.size else 0.0
+
+    def tasks_ingressed(self) -> int:
+        """Tasks that paid a wire delay landing on some node.
+
+        Hand-built results without node stats fall back to counting tasks
+        carrying ``ingress_wait`` metadata, mirroring
+        :meth:`mean_ingress_wait` so the two never contradict each other.
+        """
+        if self.node_stats:
+            return sum(
+                int(stats.get("ingressed", 0.0))
+                for stats in self.node_stats.values()
+            )
+        return sum(
+            1 for task in self.tasks if task.metadata.get("ingress_wait", 0.0) > 0.0
+        )
+
     # ------------------------------------------------------------- migration
 
     def migrations_per_node(self) -> Dict[int, int]:
@@ -174,6 +230,8 @@ class ClusterResult:
             f"tasks (finished/all) : {len(self.finished_tasks)}/{len(self.tasks)}",
             f"tasks per node       : {spread}",
             f"tasks migrated       : {self.tasks_migrated}",
+            f"ingress wait (mean)  : {self.mean_ingress_wait():.4f} s"
+            f" ({self.tasks_ingressed()} tasks over the wire)",
             f"simulated time       : {self.simulated_time:.2f} s",
             f"node-hours consumed  : {cost.node_hours:.4f} h"
             f" (${cost.node_cost:.4f} fleet cost)",

@@ -7,8 +7,12 @@ its own per-node scheduler from the scheduler registry.  Arrivals are routed
 by a pluggable dispatch policy (see :mod:`repro.cluster.dispatchers`), an
 optional migration policy periodically rebalances queued work across nodes
 (see :mod:`repro.cluster.migration`), and an optional reactive autoscaler
-grows and shrinks the fleet with cold-start delays.  Everything stays
-deterministic: same config + same workload ⇒ bit-identical results.
+grows and shrinks the fleet with cold-start delays.  A configurable network
+model (:class:`~repro.cluster.config.NetworkSpec`) makes dispatch pay a
+dispatcher→node wire delay through per-node ingress queues; the default
+zero-RTT model keeps dispatch instantaneous and bit-identical to the
+pre-network engine.  Everything stays deterministic: same config + same
+workload ⇒ bit-identical results.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.cluster.autoscaler import ReactiveAutoscaler
 from repro.cluster.config import ClusterConfig, NodeSpec
-from repro.cluster.dispatchers import Dispatcher, normalized_load
+from repro.cluster.dispatchers import Dispatcher, bound_work, normalized_load
 from repro.cluster.load_index import ActiveNodeView, NodeLoadIndex
 from repro.cluster.migration import Migration, MigrationPolicy
 from repro.cluster.node import ClusterNode, NodeState
@@ -125,6 +129,14 @@ class ClusterSimulator:
             pending_arrivals=lambda: self._pending_arrivals,
             finished_callback=lambda task, n=node: self._on_task_finished(n, task),
         )
+        # Wire delay a dispatched task pays to reach this node, resolved once
+        # from the network model (per-spec RTT override, probe cost of the
+        # installed dispatcher).  Zero keeps dispatch on the instantaneous
+        # (pre-network) path.
+        node.dispatch_delay = self.config.network.dispatch_delay(
+            self.config.effective_rtt(spec),
+            getattr(self.dispatcher, "probes_load", False),
+        )
         node.load_listener = self._load_index.touch
         self.nodes.append(node)
         if state is NodeState.ACTIVE:
@@ -206,7 +218,7 @@ class ClusterSimulator:
         self._untrack_active(node)
         if self.migration_policy is not None and self._running:
             self._run_migration_pass()
-        if node.state is NodeState.DRAINING and node.inflight == 0:
+        if node.state is NodeState.DRAINING and bound_work(node) == 0:
             self._retire_node(node)
         self._record_fleet_size()
 
@@ -261,6 +273,10 @@ class ClusterSimulator:
         if event.tag == "cluster-arrival":
             self._handle_arrival(event.payload)
             return
+        if event.tag == "cluster-ingress":
+            node, task = event.payload
+            node.complete_ingress(task, self.now)
+            return
         owner = getattr(event.payload, "_engine", None)
         if owner is None:
             raise SimulationError(
@@ -283,13 +299,28 @@ class ClusterSimulator:
             self.waiting_tasks.append(task)
             return
         node = self.dispatcher.select_node(task, active)
-        node.deliver(task, self.now)
+        delay = node.dispatch_delay
+        if delay <= 0.0:
+            # Zero-RTT network: the exact instantaneous pre-network path.
+            node.deliver(task, self.now)
+            return
+        # Non-zero RTT: the task goes on the wire into the node's ingress
+        # queue (counted by load signals immediately) and lands on the node's
+        # scheduler after the wire delay, as its own arrival-priority event.
+        node.begin_ingress(task)
+        self.events.push(
+            self.now + delay,
+            None,
+            priority=EventPriority.ARRIVAL,
+            tag="cluster-ingress",
+            payload=(node, task),
+        )
 
     def _on_task_finished(self, node: ClusterNode, task: Task) -> None:
         node.on_task_finished(task)
         self.columns.append(task)
         self._unfinished -= 1
-        if node.state is NodeState.DRAINING and node.inflight == 0:
+        if node.state is NodeState.DRAINING and bound_work(node) == 0:
             self._retire_node(node)
 
     # -------------------------------------------------------------- migration
@@ -328,7 +359,7 @@ class ClusterSimulator:
         )
         # Stealing may have emptied a draining node whose running work is
         # already done — without a completion event, retire it here.
-        if source.state is NodeState.DRAINING and source.inflight == 0:
+        if source.state is NodeState.DRAINING and bound_work(source) == 0:
             self._retire_node(source)
         return True
 
@@ -483,6 +514,10 @@ class ClusterSimulator:
                     "completed": float(node.tasks_completed),
                     "stolen_in": float(node.tasks_stolen_in),
                     "stolen_away": float(node.tasks_stolen_away),
+                    # Network-model accounting: tasks that paid a wire delay
+                    # landing here, and their summed ingress wait.
+                    "ingressed": float(node.tasks_ingressed),
+                    "ingress_wait_total": float(node.ingress_wait_total),
                     # Lifecycle timestamps for node-hour cost accounting;
                     # -1.0 marks "never happened" (kept numeric for JSON).
                     "commissioned_at": float(node.commissioned_at),

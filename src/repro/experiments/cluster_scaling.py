@@ -19,12 +19,22 @@ effects appear: JSQ must normalise queue depth by node capacity or it
 starves the big nodes and overloads the little ones, and enabling
 work-stealing migration under an oblivious round-robin dispatcher recovers
 most of the tail latency a load-aware dispatcher would have bought.
+
+A fourth sweep turns on the network model (:class:`~repro.cluster.config.
+NetworkSpec`): with a zero RTT, JSQ's oracle view of every queue makes it
+unbeatable and locality-aware consistent hashing can only tie; once the
+dispatcher→node RTT is non-zero, JSQ pays a probe round trip per decision
+on top of the wire delay while consistent hashing routes blind and pays
+only the one-way trip — the Sparrow-style late-binding tradeoff — so on a
+fleet whose nodes are big enough that hash partitions do not saturate
+(4 x 48 cores, the same 192-core capacity as the 8-node sweep),
+``consistent_hash`` beats JSQ on p99.
 """
 
 from __future__ import annotations
 
 from repro.analysis.fleet import policy_comparison_table
-from repro.cluster import NodeSpec, available_dispatchers
+from repro.cluster import NetworkSpec, NodeSpec, available_dispatchers
 from repro.experiments.common import (
     ExperimentOutput,
     register_experiment,
@@ -49,6 +59,16 @@ HETEROGENEOUS_SPECS = (
     NodeSpec(cores=24, count=2, label="big"),
     NodeSpec(cores=8, count=4, label="little"),
 )
+
+#: Dispatcher→node round-trip time of the locality-vs-RTT sweep (seconds):
+#: a cross-zone hop, large against the trace's sub-second median invocation.
+LOCALITY_RTT = 0.2
+
+#: Fleet of the locality-vs-RTT sweep: the 8-node sweep's 192 cores in 4
+#: big nodes, so each consistent-hash partition has headroom and the tail is
+#: decided by dispatch latency, not partition hot spots.
+LOCALITY_NUM_NODES = 4
+LOCALITY_CORES_PER_NODE = 48
 
 
 def heterogeneous_scenario(scale: float, **overrides) -> Scenario:
@@ -79,6 +99,35 @@ def run_heterogeneous_sweep(scale: float, scheduler: str = "fifo") -> dict:
             dispatcher="round_robin",
             migration="work_stealing",
         ),
+    }
+    return {
+        label: run_scenario(scenario).result for label, scenario in variants.items()
+    }
+
+
+def locality_rtt_scenario(
+    scale: float, dispatcher: str, rtt: float = LOCALITY_RTT
+) -> Scenario:
+    """One leg of the locality-vs-RTT sweep (shared with its tests)."""
+    return Scenario(
+        workload=Workload("ten_minute", scale=scale),
+        num_nodes=LOCALITY_NUM_NODES,
+        cores_per_node=LOCALITY_CORES_PER_NODE,
+        scheduler="fifo",
+        dispatcher=dispatcher,
+        network=NetworkSpec(rtt=rtt) if rtt else None,
+    )
+
+
+def run_locality_rtt_sweep(scale: float) -> dict:
+    """JSQ vs consistent hashing, with and without the probe-costly RTT."""
+    variants = {
+        "jsq_rtt0": locality_rtt_scenario(scale, "jsq", rtt=0.0),
+        "consistent_hash_rtt0": locality_rtt_scenario(
+            scale, "consistent_hash", rtt=0.0
+        ),
+        "jsq_rtt": locality_rtt_scenario(scale, "jsq"),
+        "consistent_hash_rtt": locality_rtt_scenario(scale, "consistent_hash"),
     }
     return {
         label: run_scenario(scenario).result for label, scenario in variants.items()
@@ -157,6 +206,37 @@ def run(scale: float = 1.0) -> ExperimentOutput:
         < het["round_robin"]["p99_turnaround"]
     )
 
+    rtt_results = run_locality_rtt_sweep(scale)
+    rtt_table = policy_comparison_table(rtt_results)
+    sections.append(
+        rtt_table.render(
+            title=(
+                f"locality vs RTT: {LOCALITY_NUM_NODES} nodes x "
+                f"{LOCALITY_CORES_PER_NODE} cores, rtt={LOCALITY_RTT}s "
+                "(seconds / index)"
+            )
+        )
+    )
+    data["locality_rtt"] = {
+        label: {
+            "p99_turnaround": rtt_table.metric(label, "p99_turnaround"),
+            "p99_response": rtt_results[label].summary().p99_response,
+            "mean_ingress_wait": rtt_table.metric(label, "mean_ingress_wait"),
+        }
+        for label in rtt_results
+    }
+    rtt = data["locality_rtt"]
+    # With oracle-instant dispatch JSQ cannot lose; with a real RTT its probe
+    # round trip costs more than hashing's blind one-way dispatch.
+    data["rtt0_jsq_at_least_as_good_p99"] = (
+        rtt["jsq_rtt0"]["p99_turnaround"]
+        <= rtt["consistent_hash_rtt0"]["p99_turnaround"]
+    )
+    data["rtt_consistent_hash_beats_jsq_p99"] = (
+        rtt["consistent_hash_rtt"]["p99_turnaround"]
+        < rtt["jsq_rtt"]["p99_turnaround"]
+    )
+
     text = "\n\n".join(sections)
     text += (
         "\n\npower-of-two-choices beats random on p99 turnaround: "
@@ -167,6 +247,10 @@ def run(scale: float = 1.0) -> ExperimentOutput:
         f"{data['het_normalized_jsq_beats_raw_p99']}"
         "\nwork stealing beats no-migration under round-robin dispatch: "
         f"{data['het_stealing_beats_none_p99']}"
+        "\nzero-RTT JSQ at least matches consistent hashing on p99: "
+        f"{data['rtt0_jsq_at_least_as_good_p99']}"
+        f"\nconsistent hashing beats JSQ on p99 at rtt={LOCALITY_RTT}s: "
+        f"{data['rtt_consistent_hash_beats_jsq_p99']}"
     )
     return ExperimentOutput(
         experiment_id=EXPERIMENT_ID,

@@ -31,7 +31,7 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.config import ClusterConfig, NodeSpec
+from repro.cluster.config import ClusterConfig, NetworkSpec, NodeSpec
 from repro.cost.cost_model import CostModel
 from repro.cost.pricing import DEFAULT_PRICE_PER_CORE_HOUR
 from repro.simulation.config import SimulationConfig
@@ -141,6 +141,9 @@ class Scenario:
         autoscaler: Reactive-autoscaler config as a plain kwargs dict (see
             :class:`~repro.cluster.autoscaler.AutoscalerConfig`); ``None``
             disables autoscaling.  Cluster only.
+        network: Dispatcher→node network model (see
+            :class:`~repro.cluster.config.NetworkSpec`); ``None`` keeps the
+            zero-RTT default (instantaneous dispatch).  Cluster only.
         node_boot_time: Cold-start seconds for scale-ups; ``None`` keeps the
             engine default (one Firecracker microVM boot).
         seed: Run seed; ``None`` keeps the engine default (0 for the single
@@ -168,6 +171,7 @@ class Scenario:
     migration: Optional[str] = None
     migration_kwargs: Dict[str, Any] = field(default_factory=dict)
     autoscaler: Optional[Dict[str, Any]] = None
+    network: Optional[NetworkSpec] = None
     node_boot_time: Optional[float] = None
     # --- run knobs ---------------------------------------------------------
     seed: Optional[int] = None
@@ -184,11 +188,16 @@ class Scenario:
                 for spec in self.node_specs
             )
             object.__setattr__(self, "node_specs", specs)
+        if self.network is not None and not isinstance(self.network, NetworkSpec):
+            object.__setattr__(
+                self, "network", NetworkSpec.from_dict(self.network)
+            )
         if not self.is_cluster:
             cluster_only = {
                 "migration": self.migration is not None,
                 "migration_kwargs": bool(self.migration_kwargs),
                 "autoscaler": self.autoscaler is not None,
+                "network": self.network is not None,
                 "node_boot_time": self.node_boot_time is not None,
                 "dispatcher": self.dispatcher != "round_robin",
                 "dispatcher_kwargs": bool(self.dispatcher_kwargs),
@@ -241,6 +250,8 @@ class Scenario:
         )
         if self.num_nodes is not None:
             kwargs["num_nodes"] = self.num_nodes
+        if self.network is not None:
+            kwargs["network"] = self.network
         if self.node_boot_time is not None:
             kwargs["node_boot_time"] = self.node_boot_time
         if self.seed is not None:
@@ -271,6 +282,10 @@ class Scenario:
         """Copy of this (cluster) scenario using a different dispatch policy."""
         return replace(self, dispatcher=name, dispatcher_kwargs=kwargs)
 
+    def with_network(self, **kwargs) -> "Scenario":
+        """Copy of this (cluster) scenario under a different network model."""
+        return replace(self, network=NetworkSpec(**kwargs))
+
     # ------------------------------------------------------------ serialising
 
     def to_dict(self) -> Dict[str, Any]:
@@ -299,6 +314,8 @@ class Scenario:
                     data["migration_kwargs"] = dict(self.migration_kwargs)
             if self.autoscaler is not None:
                 data["autoscaler"] = dict(self.autoscaler)
+            if self.network is not None:
+                data["network"] = self.network.to_dict()
             if self.node_boot_time is not None:
                 data["node_boot_time"] = self.node_boot_time
         else:
@@ -329,6 +346,13 @@ class Scenario:
             payload["node_specs"] = tuple(
                 spec if isinstance(spec, NodeSpec) else NodeSpec.from_dict(spec)
                 for spec in specs
+            )
+        network = payload.pop("network", None)
+        if network is not None:
+            payload["network"] = (
+                network
+                if isinstance(network, NetworkSpec)
+                else NetworkSpec.from_dict(network)
             )
         cost = payload.pop("cost", None)
         if cost is not None:

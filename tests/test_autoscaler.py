@@ -132,6 +132,83 @@ class TestScaling:
         autoscaler.attach(FakeCluster())
         assert autoscaler.fleet_load() == pytest.approx(2.0)
 
+    def test_load_signal_counts_ingress_work(self):
+        """Tasks on the wire under a non-zero-RTT network are fleet load."""
+        autoscaler = ReactiveAutoscaler()
+
+        class FakeNode:
+            state = type("S", (), {"value": "active"})()
+            inflight = 2
+            ingress = 6
+
+            def __init__(self):
+                self.machine = [None] * 4
+
+        class FakeCluster:
+            nodes = [FakeNode()]
+            waiting_tasks = []
+
+            def active_nodes(self):
+                return self.nodes
+
+        autoscaler.attach(FakeCluster())
+        assert autoscaler.fleet_load() == pytest.approx(2.0)
+
+    def test_zero_core_fleet_is_not_masked(self):
+        """Regression: ``max(1, total_cores)`` silently turned a coreless
+        fleet into a one-core fleet.  No cores + pending work = infinite
+        load (nothing can ever serve it); no cores + no work = idle."""
+        autoscaler = ReactiveAutoscaler()
+
+        class CorelessNode:
+            state = type("S", (), {"value": "booting"})()
+            inflight = 0
+
+            def __init__(self):
+                self.machine = []
+
+        class FakeCluster:
+            nodes = [CorelessNode()]
+            waiting_tasks = [object()] * 3
+
+            def active_nodes(self):
+                return []
+
+        cluster = FakeCluster()
+        autoscaler.attach(cluster)
+        assert autoscaler.fleet_load() == float("inf")
+        cluster.waiting_tasks = []
+        assert autoscaler.fleet_load() == 0.0
+
+    def test_waiting_backlog_alone_triggers_scale_up(self):
+        """Regression for the documented signal: a backlog parked behind a
+        booting fleet (zero inflight anywhere) must still trip the
+        scale-up threshold."""
+        from repro.cluster import ClusterSimulator
+
+        autoscaler = ReactiveAutoscaler(
+            AutoscalerConfig(
+                min_nodes=1, max_nodes=4, check_interval=0.2, cooldown=0.0
+            )
+        )
+        cluster = ClusterSimulator(
+            config=cluster_config(num_nodes=1, node_boot_time=10.0),
+            autoscaler=autoscaler,
+        )
+        # The whole fleet is one *booting* node: arrivals park in
+        # waiting_tasks and nothing is inflight until t=10.
+        cluster.drain_node(cluster.nodes[0])  # idle, retires immediately
+        cluster.add_node(booting=True)
+        cluster.submit(burst(12, service=0.5))
+        result = cluster.run()
+        assert result.completion_ratio == 1.0
+        assert autoscaler.scale_ups > 0
+        # The scale-up decision happened while everything was still parked
+        # (before the first boot completed at t=10).
+        growth = [n for n in cluster.nodes if n.commissioned_at > 0.0]
+        assert growth
+        assert min(n.commissioned_at for n in growth) < 10.0
+
 
 class TestAutoscalerMigrationInteraction:
     """Scale-downs must drain via stealing, never strand queued tasks."""

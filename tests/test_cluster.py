@@ -128,6 +128,93 @@ class TestNodeLifecycle:
         assert node.tasks_completed > 0
 
 
+class TestWholeFleetBootingOrDraining:
+    """Arrivals while *no* node is active: the waiting backlog and the
+    "no active or booting node" error, with and without a network RTT."""
+
+    def all_booting_cluster(self, rtt: float = 0.0, booting: int = 2, cores: int = 1):
+        """A cluster whose entire fleet is still paying its cold start."""
+        from repro.cluster import NetworkSpec
+
+        config = small_config(
+            num_nodes=1,
+            cores_per_node=cores,
+            dispatcher="round_robin",
+            network=NetworkSpec(rtt=rtt),
+        )
+        cluster = ClusterSimulator(config=config)
+        cluster.drain_node(cluster.nodes[0])  # idle: retires immediately
+        for _ in range(booting):
+            cluster.add_node(booting=True)
+        return cluster
+
+    @pytest.mark.parametrize("rtt", [0.0, 0.2])
+    def test_backlog_replay_preserves_arrival_order(self, rtt):
+        """The parked backlog replays in exactly the (time, priority, seq)
+        order the arrival events popped in.
+
+        The whole backlog is replayed by the *first* node to finish booting
+        (both boots share one timestamp; the lower seq wins the backlog), so
+        on that 1-core FIFO node the service order — first_run_time — must
+        follow arrival order exactly.
+        """
+        cluster = self.all_booting_cluster(rtt=rtt)
+        # All four arrive (in seq order at two distinct times) before the
+        # first boot completes at DEFAULT_NODE_BOOT_TIME.
+        cluster.submit(make_tasks([(0.0, 0.3), (0.0, 0.3), (0.01, 0.3), (0.02, 0.3)]))
+        result = cluster.run()
+        assert result.completion_ratio == 1.0
+        tasks = sorted(result.finished_tasks, key=lambda t: t.task_id)
+        replayer = tasks[0].metadata["node_id"]
+        assert all(task.metadata["node_id"] == replayer for task in tasks)
+        starts = [task.first_run_time for task in tasks]
+        assert starts == sorted(starts)
+        completions = [task.completion_time for task in tasks]
+        assert completions == sorted(completions)
+
+    @pytest.mark.parametrize("rtt", [0.0, 0.2])
+    def test_same_timestamp_backlog_keeps_seq_order(self, rtt):
+        """Tasks sharing one arrival timestamp park in submission (seq)
+        order and replay in that same order."""
+        cluster = self.all_booting_cluster(rtt=rtt, booting=1)
+        cluster.submit(make_tasks([(0.0, 0.2)] * 4))
+        seen = []
+        original = cluster._dispatch
+
+        def spy(task):
+            seen.append(task.task_id)
+            original(task)
+
+        cluster._dispatch = spy
+        result = cluster.run()
+        assert result.completion_ratio == 1.0
+        # First sweep: the four same-timestamp arrivals pop in seq order and
+        # park; second sweep: the boot replays the backlog in the same order.
+        assert seen == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    @pytest.mark.parametrize("rtt", [0.0, 0.2])
+    def test_error_fires_only_with_no_booting_node(self, rtt):
+        """The "no active or booting node" error is precise: a fleet that is
+        merely *booting* parks arrivals instead of failing, an all-retired
+        fleet fails loudly."""
+        from repro.cluster import NetworkSpec
+
+        config = small_config(
+            num_nodes=1, cores_per_node=2, network=NetworkSpec(rtt=rtt)
+        )
+        alive = ClusterSimulator(config=config)
+        alive.drain_node(alive.nodes[0])
+        alive.add_node(booting=True)
+        alive.submit(make_tasks([(0.0, 0.2)]))
+        assert alive.run().completion_ratio == 1.0
+
+        dead = ClusterSimulator(config=config)
+        dead.drain_node(dead.nodes[0])
+        dead.submit(make_tasks([(0.0, 0.2)]))
+        with pytest.raises(SimulationError, match="no active or booting node"):
+            dead.run()
+
+
 #: The two fleet shapes every dispatcher's determinism is checked on.
 FLEET_SHAPES = {
     "homogeneous": dict(num_nodes=4, cores_per_node=4),

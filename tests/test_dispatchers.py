@@ -91,6 +91,49 @@ class TestRoundRobin:
         picks = [dispatcher.select_node(make_task(), nodes).node_id for _ in range(6)]
         assert picks == [0, 1, 2, 0, 1, 2]
 
+    def test_cursor_survives_node_churn(self):
+        """Regression: the raw index cursor skewed whenever the active set
+        changed mid-sweep — adding or draining a node silently re-targeted
+        a different node.  The cycle must continue from the last *id*."""
+        dispatcher = RoundRobinDispatcher()
+        fleet = {i: StubNode(i) for i in range(3)}
+        nodes = [fleet[0], fleet[1], fleet[2]]
+
+        def pick():
+            return dispatcher.select_node(make_task(), nodes).node_id
+
+        assert [pick(), pick()] == [0, 1]
+        # Node 1 drains right after being dispatched to: the sweep resumes
+        # at node 2 (the raw index would have re-targeted it anyway here,
+        # but the cursor must not point at the removed node).
+        nodes.remove(fleet[1])
+        assert pick() == 2
+        # A new node (ids are never reused: always the highest) joins the
+        # *end* of the cycle; after wrapping we sweep 0 -> 2 -> 3.
+        fleet[3] = StubNode(3)
+        nodes.append(fleet[3])
+        assert [pick(), pick(), pick()] == [3, 0, 2]
+
+    def test_cursor_wraps_when_last_dispatched_node_drains(self):
+        dispatcher = RoundRobinDispatcher()
+        fleet = {i: StubNode(i) for i in range(3)}
+        nodes = [fleet[0], fleet[1], fleet[2]]
+        for _ in range(3):  # cursor now on node 2
+            dispatcher.select_node(make_task(), nodes)
+        nodes.remove(fleet[2])
+        # No id beyond 2 remains: wrap to the lowest id, not an IndexError.
+        assert dispatcher.select_node(make_task(), nodes).node_id == 0
+
+    def test_drain_before_cursor_does_not_skip_nodes(self):
+        """The raw-index bug: removing node 0 after dispatching to it made
+        index 1 point at node 2, silently skipping node 1."""
+        dispatcher = RoundRobinDispatcher()
+        fleet = {i: StubNode(i) for i in range(3)}
+        nodes = [fleet[0], fleet[1], fleet[2]]
+        assert dispatcher.select_node(make_task(), nodes).node_id == 0
+        nodes.remove(fleet[0])
+        assert dispatcher.select_node(make_task(), nodes).node_id == 1
+
 
 class TestRandom:
     def test_seeded_and_reproducible(self):
@@ -127,6 +170,21 @@ class TestLoadAware:
         nodes = stub_fleet(2, 2, 2)
         assert JoinShortestQueueDispatcher().select_node(make_task(), nodes).node_id == 0
         assert LeastLoadedDispatcher().select_node(make_task(), nodes).node_id == 0
+
+    def test_jsq_counts_ingress_pending_work(self):
+        """Work on the wire toward a node is still that node's load."""
+        nodes = stub_fleet(1, 1)
+        nodes[0].ingress = 0
+        nodes[1].ingress = 3  # 3 more tasks already in flight to node 1
+        assert JoinShortestQueueDispatcher().select_node(make_task(), nodes).node_id == 0
+
+    def test_probe_flags_mark_the_jsq_family(self):
+        assert JoinShortestQueueDispatcher.probes_load
+        assert LeastLoadedDispatcher.probes_load
+        assert PowerOfTwoDispatcher.probes_load
+        assert not RoundRobinDispatcher.probes_load
+        assert not RandomDispatcher.probes_load
+        assert not ConsistentHashDispatcher.probes_load
 
 
 class TestCapacityNormalization:
@@ -241,3 +299,66 @@ class TestConsistentHash:
     def test_replicas_validated(self):
         with pytest.raises(ValueError):
             ConsistentHashDispatcher(replicas=0)
+
+    def test_drain_then_replacement_rebuilds_the_ring(self):
+        """A node that drains and is replaced by a fresh node (re-using its
+        freed capacity under a new id) must be routed from a rebuilt ring —
+        never served from the stale one."""
+        dispatcher = ConsistentHashDispatcher()
+        fleet = {i: StubNode(i) for i in range(4)}
+        nodes = [fleet[i] for i in range(4)]
+        keys = [f"function-{i}" for i in range(200)]
+
+        def route(active):
+            mapping = {}
+            for key in keys:
+                task = make_task()
+                task.metadata["function_id"] = key
+                mapping[key] = dispatcher.select_node(task, active).node_id
+            return mapping
+
+        before = route(nodes)
+        # Node 1 drains, a replacement joins under the next fresh id.
+        fleet[4] = StubNode(4)
+        survivors = [fleet[0], fleet[2], fleet[3], fleet[4]]
+        after = route(survivors)
+        assert set(after.values()) <= {0, 2, 3, 4}  # nothing routed to node 1
+        # Consistent hashing: keys on surviving nodes essentially stay put.
+        moved = sum(
+            1 for key in keys if before[key] != 1 and after[key] != before[key]
+        )
+        assert moved <= len(keys) * 0.1
+
+    def test_picks_come_from_the_live_sequence(self):
+        """Same ids, different node objects (a fresh fleet snapshot): the
+        pick must be the object from the *caller's* sequence, not a cached
+        node from the ring build."""
+        dispatcher = ConsistentHashDispatcher()
+        task = make_task()
+        task.metadata["function_id"] = "fib(30)"
+        first_fleet = stub_fleet(0, 0, 0)
+        pick = dispatcher.select_node(task, first_fleet)
+        second_fleet = stub_fleet(0, 0, 0)  # same ids, new objects
+        repick = dispatcher.select_node(task, second_fleet)
+        assert repick.node_id == pick.node_id
+        assert repick is second_fleet[repick.node_id]
+        assert repick is not pick
+
+    def test_stale_ring_raises_instead_of_misrouting(self):
+        """White-box: the ring-is-stale guard must fire loudly if internal
+        state ever disagrees with the fleet (both guard arms)."""
+        dispatcher = ConsistentHashDispatcher()
+        nodes = stub_fleet(0, 0, 0)
+        dispatcher.select_node(make_task(), nodes)  # builds the ring
+        dispatcher._positions = {}  # target id no longer mapped
+        with pytest.raises(RuntimeError, match="ring is stale"):
+            dispatcher.select_node(make_task(), nodes)
+        dispatcher._rebuild(nodes)
+        # Position maps to a slot holding a different node id.
+        dispatcher._positions = {node.node_id: 0 for node in nodes}
+        with pytest.raises(RuntimeError, match="ring is stale"):
+            # Route enough distinct keys that some target a non-zero slot.
+            for i in range(16):
+                probe = make_task(task_id=i)
+                probe.metadata["function_id"] = f"function-{i}"
+                dispatcher.select_node(probe, nodes)

@@ -7,10 +7,13 @@ time a fixed pure-Python loop takes on the same host (see
 :func:`hotpath.calibration_units`).  The gate recomputes units here and
 fails when any gated bench exceeds its baseline by more than 25%.
 
-Three baseline files are gated: ``BENCH_3.json`` (virtual-time engine +
+Four baseline files are gated: ``BENCH_3.json`` (virtual-time engine +
 indexed dispatch hot paths), ``BENCH_4.json`` (columnar metrics
-aggregation) and ``BENCH_5.json`` (dispatch through per-node ingress queues
-under a non-zero-RTT network model).
+aggregation), ``BENCH_5.json`` (dispatch through per-node ingress queues
+under a non-zero-RTT network model) and ``BENCH_6.json`` (the telemetry
+subsystem: the telemetry-off engine/dispatcher hot paths must stay at their
+pre-telemetry cost, and the tracing-on run is pinned so instrumentation
+cannot silently balloon).
 
 Usage::
 
@@ -40,6 +43,9 @@ _REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir)
 #: the list-based reference are recorded in the file's before/after section
 #: but not gated.  BENCH_5: 512-node JSQ dispatch with a non-zero RTT (every
 #: task through an ingress queue) — the dispatch-with-delay hot path.
+#: BENCH_6: the telemetry PR re-gates the engine/dispatcher hot paths with
+#: telemetry *off* (instrumentation must stay free when disabled) and pins
+#: the tracing-on MP-512 run so recording cost cannot silently balloon.
 GATED_BY_FILE = {
     os.path.join(_REPO_ROOT, "BENCH_3.json"): (
         "engine_mp512",
@@ -51,6 +57,11 @@ GATED_BY_FILE = {
     ),
     os.path.join(_REPO_ROOT, "BENCH_5.json"): (
         "dispatcher_rtt_512nodes",
+    ),
+    os.path.join(_REPO_ROOT, "BENCH_6.json"): (
+        "engine_mp512",
+        "dispatcher_rtt_512nodes",
+        "engine_mp512_traced",
     ),
 }
 

@@ -22,6 +22,12 @@ refactor): summarising N finished tasks via the pre-refactor per-metric
 Python lists (**metrics_list**) vs reading the incrementally filled columnar
 store (**metrics_columnar**).
 
+**engine_mp512_traced** (the ``BENCH_6.json`` case) re-runs the MP-512
+engine bench with full telemetry on — lifecycle spans plus a periodic gauge
+sampler — to pin the tracing-on cost; the telemetry-*off* overhead is gated
+by re-checking the plain ``engine_mp512`` / ``dispatcher_rtt_512nodes``
+benches against the same file.
+
 Workloads are seeded and deterministic so timings measure the engine, not
 the workload draw.
 """
@@ -122,6 +128,28 @@ def run_dispatcher_rtt_bench(num_nodes: int):
     result = simulate_cluster(dispatcher_tasks(num_nodes), config=config)
     assert len(result.tasks) == num_nodes * 4
     assert result.tasks_ingressed() == num_nodes * 4
+    return result
+
+
+def run_engine_traced_bench(mp: int = 512, cores: int = ENGINE_CORES):
+    """The MP-512 engine bench with full telemetry on (the tracing-on cost).
+
+    Spans for every queue wait and run slice plus a 0.05 s gauge sampler —
+    the worst case for tracing overhead, since CFS at high multiprogramming
+    preempts constantly and every slice becomes a span.  The telemetry-*off*
+    cost of the same run is the plain ``engine_mp512`` bench: the off path
+    is gated separately so instrumentation stays free when disabled.
+    """
+    from repro.telemetry import TelemetrySpec
+
+    result = simulate(
+        CFSScheduler(),
+        engine_tasks(mp, cores),
+        config=SimulationConfig(num_cores=cores, record_utilization=False),
+        telemetry=TelemetrySpec(sample_interval=0.05),
+    )
+    assert len(result.finished_tasks) == mp * cores
+    assert result.telemetry is not None and result.telemetry.span_count > 0
     return result
 
 
@@ -240,6 +268,7 @@ BENCHES: Dict[str, Callable[[], object]] = {
         f"dispatcher_rtt_{n}nodes": (lambda n=n: run_dispatcher_rtt_bench(n))
         for n in DISPATCHER_NODE_COUNTS
     },
+    "engine_mp512_traced": run_engine_traced_bench,
     "object_churn": run_object_churn,
     **{
         f"metrics_list_{_metrics_label(n)}": (lambda n=n: run_metrics_list(n))

@@ -38,13 +38,34 @@ from repro.cluster import (
 )
 from repro.experiments.cluster_scaling import run_heterogeneous_sweep
 from repro.experiments.common import ten_minute_workload
+from repro.telemetry import TelemetrySpec, write_chrome_trace
 
 DEFAULT_POLICIES = ("random", "round_robin", "jsq", "power_of_two")
+
+
+def build_telemetry(args: argparse.Namespace):
+    """The run's TelemetrySpec from the CLI flags, or None (telemetry off)."""
+    if args.trace_out is None and args.sample_interval is None:
+        return None
+    return TelemetrySpec(sample_interval=args.sample_interval)
+
+
+def maybe_write_trace(args: argparse.Namespace, result) -> None:
+    if args.trace_out is None:
+        return
+    count = write_chrome_trace(result, args.trace_out)
+    print(
+        f"\n[telemetry] wrote {count} trace events to {args.trace_out} "
+        "(open in https://ui.perfetto.dev)"
+    )
 
 
 def run_policy_sweep(args: argparse.Namespace) -> None:
     policies = available_dispatchers() if args.all_policies else DEFAULT_POLICIES
     migration = "work_stealing" if args.migration else None
+    # Telemetry traces one run, not the whole sweep: the first policy gets it.
+    telemetry = build_telemetry(args)
+    traced_result = None
     results = {}
     for policy in policies:
         config = ClusterConfig(
@@ -56,7 +77,12 @@ def run_policy_sweep(args: argparse.Namespace) -> None:
             network=NetworkSpec(rtt=args.rtt),
         )
         tasks = ten_minute_workload(args.scale)  # fresh tasks: mutated in place
-        result = simulate_cluster(tasks, config=config)
+        result = simulate_cluster(
+            tasks, config=config,
+            telemetry=telemetry if traced_result is None else None,
+        )
+        if traced_result is None:
+            traced_result = result
         results[policy] = result
         print(
             f"ran {policy:<16s}: {len(result.finished_tasks)} invocations on "
@@ -77,6 +103,7 @@ def run_policy_sweep(args: argparse.Namespace) -> None:
         f"\npower-of-two-choices p99 turnaround is {rnd / p2c:.2f}x better than "
         f"random ({p2c:.2f}s vs {rnd:.2f}s)."
     )
+    maybe_write_trace(args, traced_result)
 
 
 def run_heterogeneous(args: argparse.Namespace) -> None:
@@ -126,7 +153,10 @@ def run_autoscale(args: argparse.Namespace) -> None:
         AutoscalerConfig(min_nodes=2, max_nodes=args.nodes * 2, scale_up_load=1.0)
     )
     result = simulate_cluster(
-        ten_minute_workload(args.scale), config=config, autoscaler=autoscaler
+        ten_minute_workload(args.scale),
+        config=config,
+        autoscaler=autoscaler,
+        telemetry=build_telemetry(args),
     )
     print(result.describe())
     sizes = result.series_values("cluster.active_nodes")
@@ -136,6 +166,7 @@ def run_autoscale(args: argparse.Namespace) -> None:
         f"(+{result.nodes_added} added, -{result.nodes_removed} drained); "
         f"dispatch fairness {jains_fairness_index(list(result.tasks_per_node().values())):.3f}"
     )
+    maybe_write_trace(args, result)
 
 
 def main() -> None:
@@ -157,7 +188,17 @@ def main() -> None:
                         help="enable work-stealing migration in the sweep/autoscale runs")
     parser.add_argument("--autoscale", action="store_true",
                         help="run the reactive-autoscaler demo instead of the policy sweep")
+    parser.add_argument("--trace-out", default=None,
+                        help="write a Chrome trace-event JSON of the run "
+                        "(first policy in sweep mode); open in Perfetto")
+    parser.add_argument("--sample-interval", type=float, default=None,
+                        help="sample telemetry gauges every SIM-seconds "
+                        "(queue depths, busy cores, fleet load)")
     args = parser.parse_args()
+
+    if args.heterogeneous and (args.trace_out or args.sample_interval):
+        parser.error("--trace-out/--sample-interval apply to the policy sweep "
+                     "and --autoscale modes only")
 
     if args.autoscale:
         run_autoscale(args)

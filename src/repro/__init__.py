@@ -82,6 +82,7 @@ from repro.schedulers import (
 )
 from repro.simulation import Machine, SimulationConfig, SimulationResult, Simulator, Task
 from repro.simulation.engine import simulate
+from repro.telemetry import TelemetrySpec, chrome_trace, write_chrome_trace
 from repro.workload.generator import (
     build_workload,
     paper_workload_2min,
@@ -120,6 +121,9 @@ __all__ = [
     "Simulator",
     "Task",
     "simulate",
+    "TelemetrySpec",
+    "chrome_trace",
+    "write_chrome_trace",
     "build_workload",
     "paper_workload_2min",
     "paper_workload_10min",

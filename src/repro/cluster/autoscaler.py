@@ -16,6 +16,39 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.dispatchers import bound_work
+from repro.telemetry.tracer import AUTOSCALER_TID, CLUSTER_PID
+
+
+def fleet_load_signal(cluster) -> float:
+    """Invocations per core the fleet is on the hook for.
+
+    The numerator counts every invocation awaiting or receiving service:
+    work *delivered* to node schedulers (inflight), work *on the wire*
+    under a non-zero-RTT network model (ingress), and the cluster's
+    *waiting* backlog — tasks parked because no node was active when they
+    arrived (e.g. while the whole fleet boots).  The explicit waiting term
+    is what lets a backlog alone trigger a scale-up before any node
+    accepts work.
+
+    Booting and draining nodes count in the denominator: capacity that was
+    already paid for should damp further scale-ups.  A fleet whose
+    non-retired nodes expose no cores reports infinite load while work is
+    pending — nothing can ever serve it — instead of masking the division
+    by zero with a floor.
+
+    Module-level so the telemetry layer can sample the same signal as a
+    ``cluster.fleet_load`` gauge on clusters that run without an autoscaler.
+    """
+    nodes = [n for n in cluster.nodes if n.state.value != "retired"]
+    if not nodes:
+        return 0.0
+    total_cores = sum(len(n.machine) for n in nodes)
+    bound = sum(bound_work(n) for n in nodes)
+    waiting = len(cluster.waiting_tasks)
+    demand = bound + waiting
+    if total_cores == 0:
+        return float("inf") if demand else 0.0
+    return demand / total_cores
 
 
 @dataclass(frozen=True)
@@ -79,32 +112,8 @@ class ReactiveAutoscaler:
     # ----------------------------------------------------------------- signal
 
     def fleet_load(self) -> float:
-        """Invocations per core the fleet is on the hook for.
-
-        The numerator counts every invocation awaiting or receiving service:
-        work *delivered* to node schedulers (inflight), work *on the wire*
-        under a non-zero-RTT network model (ingress), and the cluster's
-        *waiting* backlog — tasks parked because no node was active when
-        they arrived (e.g. while the whole fleet boots).  The explicit
-        waiting term is what lets a backlog alone trigger a scale-up before
-        any node accepts work.
-
-        Booting and draining nodes count in the denominator: capacity that
-        was already paid for should damp further scale-ups.  A fleet whose
-        non-retired nodes expose no cores reports infinite load while work
-        is pending — nothing can ever serve it — instead of masking the
-        division by zero with a floor.
-        """
-        nodes = [n for n in self.cluster.nodes if n.state.value != "retired"]
-        if not nodes:
-            return 0.0
-        total_cores = sum(len(n.machine) for n in nodes)
-        bound = sum(bound_work(n) for n in nodes)
-        waiting = len(self.cluster.waiting_tasks)
-        demand = bound + waiting
-        if total_cores == 0:
-            return float("inf") if demand else 0.0
-        return demand / total_cores
+        """The fleet load signal (see :func:`fleet_load_signal`)."""
+        return fleet_load_signal(self.cluster)
 
     # ------------------------------------------------------------------- tick
 
@@ -120,6 +129,7 @@ class ReactiveAutoscaler:
             self.cluster.add_node(booting=True)
             self.scale_ups += 1
             self._last_action_time = now
+            self._record_decision("scale-up", now, load)
         elif load < self.config.scale_down_load and len(active) > self.config.min_nodes:
             # Least *committed* node drains: work on the wire toward a node
             # must land and run there, so it counts like delivered work.
@@ -127,3 +137,15 @@ class ReactiveAutoscaler:
             self.cluster.drain_node(victim)
             self.scale_downs += 1
             self._last_action_time = now
+            self._record_decision("scale-down", now, load)
+
+    def _record_decision(self, action: str, now: float, load: float) -> None:
+        """Mirror one scaling decision into the cluster's telemetry."""
+        telemetry = getattr(self.cluster, "telemetry", None)
+        if telemetry is None:
+            return
+        telemetry.counters.inc(f"autoscaler.{action.replace('-', '_')}s")
+        if telemetry.tracer is not None:
+            telemetry.tracer.instant(
+                action, CLUSTER_PID, AUTOSCALER_TID, now, value=load
+            )

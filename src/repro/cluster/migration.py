@@ -61,6 +61,10 @@ class MigrationPolicy(ABC):
     #: Short machine-readable name, used by the registry and result labels.
     name: str = "base"
 
+    #: Telemetry runtime, assigned by the cluster when telemetry is enabled;
+    #: policies use it to count planned moves (None keeps planning untouched).
+    telemetry = None
+
     def __init__(
         self,
         interval: float = DEFAULT_MIGRATION_INTERVAL,
@@ -202,4 +206,10 @@ class WorkStealingPolicy(MigrationPolicy):
             planned_in[thief.node_id] += 1
             steals += 1
 
+        if self.telemetry is not None and plans:
+            rescues = len(plans) - steals
+            if rescues:
+                self.telemetry.counters.inc("migration.rescues_planned", rescues)
+            if steals:
+                self.telemetry.counters.inc("migration.steals_planned", steals)
         return plans

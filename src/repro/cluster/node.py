@@ -21,6 +21,7 @@ from repro.simulation.events import EventQueue
 from repro.simulation.machine import Machine
 from repro.simulation.results import SimulationResult, build_result
 from repro.simulation.task import Task
+from repro.telemetry.tracer import QUEUE_TID
 
 
 class NodeState(Enum):
@@ -130,6 +131,10 @@ class ClusterNode:
         # count); the cluster hooks it to refresh its dispatch load index.
         self.load_listener: Optional[Callable[["ClusterNode"], None]] = None
         machine.on_load_change = self._notify_load
+        # Telemetry hooks, assigned by the cluster when tracing is enabled
+        # (kept None otherwise so guards are one attribute load).
+        self._tracer = None
+        self._trace_pid = 0
 
     # ------------------------------------------------------------------ state
 
@@ -223,6 +228,11 @@ class ClusterNode:
         self.engine._unfinished += 1
         self._notify_load()
         task.mark_queued()
+        if self._tracer is not None:
+            self._tracer.begin(
+                ("q", task.task_id), "queued", self._trace_pid, QUEUE_TID,
+                now, task.task_id,
+            )
         self.scheduler.on_task_arrival(task)
 
     def on_task_finished(self, task: Task) -> None:
@@ -258,6 +268,8 @@ class ClusterNode:
         """
         self.ingress -= 1
         self.tasks_ingressed += 1
+        if self._tracer is not None:
+            self._tracer.end(("w", task.task_id), now)
         self.ingress_wait_total += self.dispatch_delay
         task.metadata["ingress_wait"] = (
             task.metadata.get("ingress_wait", 0.0) + self.dispatch_delay

@@ -15,6 +15,7 @@ from repro.simulation.columns import TaskColumns
 from repro.simulation.metrics import SeriesPoint, TaskMetricsSummary
 from repro.simulation.results import SimulationResult
 from repro.simulation.task import Task
+from repro.telemetry.runtime import TelemetrySnapshot
 
 
 @dataclass
@@ -43,6 +44,8 @@ class ClusterResult:
     #: Fleet-wide columnar store of finished tasks, filled incrementally by
     #: the cluster during the run; built lazily for hand-assembled results.
     columns: Optional[TaskColumns] = None
+    #: Frozen telemetry of the run (``None`` unless telemetry was enabled).
+    telemetry: Optional[TelemetrySnapshot] = None
 
     # ---------------------------------------------------------------- columns
 
@@ -242,4 +245,6 @@ class ClusterResult:
             f"p50 response time    : {summary.p50_response:.4f} s",
             f"p99 response time    : {summary.p99_response:.4f} s",
         ]
+        if self.telemetry is not None:
+            lines.append(f"telemetry            : {self.telemetry.summary_line()}")
         return "\n".join(lines)

@@ -36,6 +36,17 @@ from repro.simulation.events import EventPriority, EventQueue
 from repro.simulation.machine import Machine
 from repro.simulation.metrics import SeriesPoint
 from repro.simulation.task import Task
+from repro.telemetry.gauges import SAMPLER_TAG
+from repro.telemetry.runtime import as_telemetry
+from repro.telemetry.tracer import (
+    AUTOSCALER_TID,
+    CLUSTER_PID,
+    DISPATCH_TID,
+    MIGRATION_TID,
+    QUEUE_TID,
+    core_tid,
+    node_pid,
+)
 
 
 class ClusterSimulator:
@@ -48,6 +59,7 @@ class ClusterSimulator:
         dispatcher: Optional[Dispatcher] = None,
         autoscaler: Optional[ReactiveAutoscaler] = None,
         migration_policy: Optional[MigrationPolicy] = None,
+        telemetry=None,
     ) -> None:
         self.config = config or ClusterConfig()
         self.clock = VirtualClock()
@@ -57,6 +69,10 @@ class ClusterSimulator:
         self.autoscaler = autoscaler
         if self.autoscaler is not None:
             self.autoscaler.attach(self)
+        # One shared telemetry runtime (spec or live) spans the control plane
+        # and every node engine; ``_tracer`` is cached for hot-path guards.
+        self.telemetry = as_telemetry(telemetry)
+        self._tracer = self.telemetry.tracer if self.telemetry is not None else None
         # Incrementally maintained active set + load index: dispatch consults
         # these instead of rescanning the fleet per arrival.
         self._load_index = NodeLoadIndex()
@@ -79,10 +95,69 @@ class ClusterSimulator:
         self._events_processed = 0
         self._running = False
         self._next_node_id = 0
+        if self.telemetry is not None:
+            self._wire_cluster_telemetry()
         for spec in self.config.expanded_specs():
             self._create_node(NodeState.ACTIVE, spec)
 
     # ------------------------------------------------------------------ wiring
+
+    def _wire_cluster_telemetry(self) -> None:
+        """Name the control-plane tracks, register fleet-level gauges."""
+        from repro.cluster.autoscaler import fleet_load_signal
+
+        telemetry = self.telemetry
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.name_process(CLUSTER_PID, "cluster")
+            tracer.name_track(CLUSTER_PID, DISPATCH_TID, "dispatch")
+            tracer.name_track(CLUSTER_PID, AUTOSCALER_TID, "autoscaler")
+            tracer.name_track(CLUSTER_PID, MIGRATION_TID, "migration")
+        telemetry.gauges.register(
+            "cluster.fleet_load", lambda: fleet_load_signal(self), self.series
+        )
+        if self.migration_policy is not None:
+            self.migration_policy.telemetry = telemetry
+
+    def _instrument_node(self, node: ClusterNode) -> None:
+        """Point one node (and its engine) at the shared telemetry runtime."""
+        telemetry = self.telemetry
+        tracer = self._tracer
+        pid = node_pid(node.node_id)
+        engine = node.engine
+        engine.telemetry = telemetry
+        engine._tracer = tracer
+        engine._trace_pid = pid
+        node._tracer = tracer
+        node._trace_pid = pid
+        if tracer is not None:
+            tracer.name_process(pid, f"node {node.node_id}")
+            tracer.name_track(pid, QUEUE_TID, "queue")
+            for core in node.machine.cores:
+                tracer.name_track(pid, core_tid(core.core_id), f"core {core.core_id}")
+            lifecycle = (
+                "node-boot" if node.state is NodeState.BOOTING else "node-active"
+            )
+            tracer.instant(
+                lifecycle, pid, QUEUE_TID, self.now, value=float(node.node_id)
+            )
+        nid = node.node_id
+        telemetry.gauges.register(
+            f"cluster.node{nid}.queue_depth",
+            lambda n=node: float(n.stealable_count()),
+            self.series,
+        )
+        telemetry.gauges.register(
+            f"cluster.node{nid}.busy_cores",
+            lambda n=node: float(n.busy_core_count()),
+            self.series,
+        )
+        if node.dispatch_delay > 0.0:
+            telemetry.gauges.register(
+                f"cluster.node{nid}.ingress",
+                lambda n=node: float(n.ingress),
+                self.series,
+            )
 
     def _build_dispatcher(self) -> Dispatcher:
         kwargs = dict(self.config.dispatcher_kwargs)
@@ -138,6 +213,8 @@ class ClusterSimulator:
             getattr(self.dispatcher, "probes_load", False),
         )
         node.load_listener = self._load_index.touch
+        if self.telemetry is not None:
+            self._instrument_node(node)
         self.nodes.append(node)
         if state is NodeState.ACTIVE:
             self._track_active(node)
@@ -150,8 +227,18 @@ class ClusterSimulator:
         return self.clock.now
 
     def record_series(self, name: str, value: float) -> None:
-        """Record one point of a named fleet-level time series."""
-        self.series.setdefault(name, []).append(SeriesPoint(time=self.now, value=value))
+        """Record one point of a named fleet-level time series.
+
+        With telemetry enabled the point flows through the gauge registry
+        (so it is counted in the snapshot); either way it lands in the same
+        ``self.series`` store under the same name.
+        """
+        if self.telemetry is not None:
+            self.telemetry.gauges.record(self.series, name, self.now, value)
+        else:
+            self.series.setdefault(name, []).append(
+                SeriesPoint(time=self.now, value=value)
+            )
 
     # ------------------------------------------------------------------- fleet
 
@@ -199,7 +286,13 @@ class ClusterSimulator:
     def _activate_node(self, node: ClusterNode) -> None:
         if node.state is NodeState.RETIRED:
             return
+        was_booting = node.state is NodeState.BOOTING
         node.activate(self.now)
+        if self._tracer is not None and was_booting:
+            self._tracer.instant(
+                "node-active", node_pid(node.node_id), QUEUE_TID, self.now,
+                value=float(node.node_id),
+            )
         self._track_active(node)
         self._record_fleet_size()
         if self.waiting_tasks:
@@ -215,6 +308,11 @@ class ClusterSimulator:
         the fleet instead of trickling out behind its running work.
         """
         node.start_draining()
+        if self._tracer is not None:
+            self._tracer.instant(
+                "node-drain", node_pid(node.node_id), QUEUE_TID, self.now,
+                value=float(node.node_id),
+            )
         self._untrack_active(node)
         if self.migration_policy is not None and self._running:
             self._run_migration_pass()
@@ -226,6 +324,17 @@ class ClusterSimulator:
         node.retire(self.now)
         self._untrack_active(node)
         self.nodes_removed += 1
+        if self.telemetry is not None:
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "node-retire", node_pid(node.node_id), QUEUE_TID, self.now,
+                    value=float(node.node_id),
+                )
+            # A retired node's signals are frozen; stop sampling them.
+            nid = node.node_id
+            self.telemetry.gauges.unregister(f"cluster.node{nid}.queue_depth")
+            self.telemetry.gauges.unregister(f"cluster.node{nid}.busy_cores")
+            self.telemetry.gauges.unregister(f"cluster.node{nid}.ingress")
         self._record_fleet_size()
 
     def _record_fleet_size(self) -> None:
@@ -277,6 +386,11 @@ class ClusterSimulator:
             node, task = event.payload
             node.complete_ingress(task, self.now)
             return
+        if event.tag == SAMPLER_TAG:
+            # The sampler's payload is the sampler itself, not an engine-owned
+            # object, so handle it before the owner routing below.
+            event.payload.on_tick()
+            return
         owner = getattr(event.payload, "_engine", None)
         if owner is None:
             raise SimulationError(
@@ -287,6 +401,10 @@ class ClusterSimulator:
 
     def _handle_arrival(self, task: Task) -> None:
         self._pending_arrivals -= 1
+        if self._tracer is not None:
+            self._tracer.instant(
+                "arrival", CLUSTER_PID, DISPATCH_TID, self.now, task.task_id
+            )
         self._dispatch(task)
 
     def _dispatch(self, task: Task) -> None:
@@ -300,6 +418,12 @@ class ClusterSimulator:
             return
         node = self.dispatcher.select_node(task, active)
         delay = node.dispatch_delay
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(
+                "dispatch", CLUSTER_PID, DISPATCH_TID, self.now,
+                task.task_id, float(node.node_id),
+            )
         if delay <= 0.0:
             # Zero-RTT network: the exact instantaneous pre-network path.
             node.deliver(task, self.now)
@@ -307,6 +431,11 @@ class ClusterSimulator:
         # Non-zero RTT: the task goes on the wire into the node's ingress
         # queue (counted by load signals immediately) and lands on the node's
         # scheduler after the wire delay, as its own arrival-priority event.
+        if tracer is not None:
+            tracer.begin(
+                ("w", task.task_id), "wire", node_pid(node.node_id), QUEUE_TID,
+                self.now, task.task_id,
+            )
         node.begin_ingress(task)
         self.events.push(
             self.now + delay,
@@ -350,6 +479,14 @@ class ClusterSimulator:
         task, source, target = plan.task, plan.source, plan.target
         if not source.surrender(task):
             return False
+        if self._tracer is not None:
+            # The task leaves its source queue and travels on the migration
+            # lane until it lands (closing the open queue-wait span first).
+            tid = task.task_id
+            self._tracer.end(("q", tid), self.now)
+            self._tracer.begin(
+                ("m", tid), "migrate", CLUSTER_PID, MIGRATION_TID, self.now, tid
+            )
         self._migrations_inflight += 1
         self.events.push(
             self.now + self.migration_policy.delay,
@@ -378,6 +515,8 @@ class ClusterSimulator:
         draining survivor.
         """
         self._migrations_inflight -= 1
+        if self._tracer is not None:
+            self._tracer.end(("m", task.task_id), self.now)
         landing: Optional[ClusterNode] = None
         force = False
         if target.is_active:
@@ -415,6 +554,8 @@ class ClusterSimulator:
             source.deliver(task, self.now, force=force or not source.is_active)
             return
         self.tasks_migrated += 1
+        if self.telemetry is not None:
+            self.telemetry.counters.inc("migration.completed")
         task.metadata["node_migrations"] = task.metadata.get("node_migrations", 0) + 1
         landing.receive_stolen(task, self.now, force=force)
 
@@ -429,6 +570,11 @@ class ClusterSimulator:
         for node in self.active_nodes():
             node.activate(self.now)  # already ACTIVE; fires scheduler.on_start once
         self._record_fleet_size()
+        if self.telemetry is not None:
+            self.telemetry.bind_progress(
+                len(self.tasks), lambda: len(self.tasks) - self._unfinished
+            )
+            self.telemetry.start(self.events, self.clock, self._work_can_progress)
         if self.autoscaler is not None:
             self._schedule_autoscaler_tick()
         if self.migration_policy is not None:
@@ -485,6 +631,12 @@ class ClusterSimulator:
         for node in self.nodes:
             node.scheduler.on_end()
         self._running = False
+        telemetry_snapshot = None
+        if self.telemetry is not None:
+            # Finish before building the result: the final gauge sample and
+            # any open-span drain must land in the copied series/snapshot.
+            self.telemetry.finish(self.now)
+            telemetry_snapshot = self.telemetry.snapshot()
         wall = _wallclock.perf_counter() - started
         return ClusterResult(
             dispatcher_name=getattr(
@@ -550,6 +702,7 @@ class ClusterSimulator:
             nodes_added=self.nodes_added,
             nodes_removed=self.nodes_removed,
             tasks_migrated=self.tasks_migrated,
+            telemetry=telemetry_snapshot,
         )
 
     # ------------------------------------------------------------ utilization
@@ -617,16 +770,20 @@ def simulate_cluster(
     autoscaler: Optional[ReactiveAutoscaler] = None,
     migration_policy: Optional[MigrationPolicy] = None,
     until: Optional[float] = None,
+    telemetry=None,
 ) -> ClusterResult:
     """One-call helper: build a cluster, route ``tasks`` through it, run it.
 
     The cluster-level analogue of :func:`repro.simulation.engine.simulate`.
+    ``telemetry`` accepts a :class:`~repro.telemetry.spec.TelemetrySpec` (or
+    a live runtime) to record spans/gauges for the run.
     """
     cluster = ClusterSimulator(
         config=config,
         dispatcher=dispatcher,
         autoscaler=autoscaler,
         migration_policy=migration_policy,
+        telemetry=telemetry,
     )
     cluster.submit(tasks)
     return cluster.run(until=until)

@@ -57,16 +57,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run one declarative Scenario JSON file through the run pipeline",
     )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="with --scenario: write a Chrome trace-event JSON of the run "
+        "(open in Perfetto / chrome://tracing); enables telemetry",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=None,
+        help="with --scenario: sample registered gauges (queue depths, busy "
+        "cores, fleet load) every SIM-seconds; enables telemetry",
+    )
     return parser
 
 
 def _run_scenario_file(
-    path: Path, scale: Optional[float] = None, output: Optional[Path] = None
+    path: Path,
+    scale: Optional[float] = None,
+    output: Optional[Path] = None,
+    trace_out: Optional[Path] = None,
+    sample_interval: Optional[float] = None,
 ) -> int:
     """Run one scenario JSON file; print (and optionally save) the summary."""
     from dataclasses import replace
 
     from repro.scenario import Scenario, run
+    from repro.telemetry import TelemetrySpec
 
     try:
         scenario = Scenario.from_json(path.read_text())
@@ -83,9 +102,23 @@ def _run_scenario_file(
         scenario = replace(
             scenario, workload=replace(scenario.workload, scale=scale)
         )
+    if trace_out is not None or sample_interval is not None:
+        # CLI telemetry flags extend (or create) the scenario's spec; the
+        # file's own `telemetry` block keeps any knobs the flags don't set.
+        spec = scenario.telemetry or TelemetrySpec()
+        if sample_interval is not None:
+            spec = replace(spec, sample_interval=sample_interval)
+        if trace_out is not None and not spec.trace:
+            spec = replace(spec, trace=True)
+        scenario = replace(scenario, telemetry=spec)
     result = run(scenario)
     rendered = result.describe()
     print(rendered)
+    if trace_out is not None:
+        from repro.telemetry import write_chrome_trace
+
+        count = write_chrome_trace(result, trace_out)
+        print(f"[telemetry] wrote {count} trace events to {trace_out}")
     if output is not None:
         output.mkdir(parents=True, exist_ok=True)
         (output / f"{path.stem}.txt").write_text(rendered + "\n")
@@ -102,7 +135,19 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.scenario is not None:
-        return _run_scenario_file(args.scenario, scale=args.scale, output=args.output)
+        return _run_scenario_file(
+            args.scenario,
+            scale=args.scale,
+            output=args.output,
+            trace_out=args.trace_out,
+            sample_interval=args.sample_interval,
+        )
+    if args.trace_out is not None or args.sample_interval is not None:
+        print(
+            "error: --trace-out/--sample-interval require --scenario",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.all:
         selected: List[str] = list_experiments()

@@ -59,6 +59,16 @@ class RunResult:
     def finished_tasks(self) -> List[Task]:
         return self.result.finished_tasks
 
+    @property
+    def telemetry(self):
+        """The run's telemetry snapshot (``None`` when telemetry was off)."""
+        return self.result.telemetry
+
+    @property
+    def series(self):
+        """The run's recorded time series (gauge samples included)."""
+        return self.result.series
+
     def describe(self) -> str:
         header = f"scenario             : {self.scenario.name}\n" if self.scenario.name else ""
         return header + self.result.describe()
@@ -114,6 +124,7 @@ def run(
             config=scenario.build_cluster_config(),
             autoscaler=autoscaler,
             until=until,
+            telemetry=scenario.telemetry,
         )
         return RunResult(
             scenario=scenario,
@@ -125,7 +136,10 @@ def run(
     policy = scheduler or create_scheduler(
         scenario.scheduler, **scenario.scheduler_kwargs
     )
-    result = simulate(policy, workload_tasks, config=config, until=until)
+    result = simulate(
+        policy, workload_tasks, config=config, until=until,
+        telemetry=scenario.telemetry,
+    )
     if hasattr(model.pricing, "price_per_gb_second"):
         cost = model.workload_cost_columns(result.task_columns())
     else:

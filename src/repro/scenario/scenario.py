@@ -35,6 +35,7 @@ from repro.cluster.config import ClusterConfig, NetworkSpec, NodeSpec
 from repro.cost.cost_model import CostModel
 from repro.cost.pricing import DEFAULT_PRICE_PER_CORE_HOUR
 from repro.simulation.config import SimulationConfig
+from repro.telemetry.spec import TelemetrySpec
 
 #: Enclave size used by the single-machine experiments (50 of the paper's 72
 #: cores); the default machine shape of a scenario.
@@ -179,6 +180,9 @@ class Scenario:
     record_utilization: bool = True
     utilization_window: float = 1.0
     cost: CostSpec = field(default_factory=CostSpec)
+    #: Telemetry configuration (valid for single-machine and cluster runs);
+    #: ``None`` keeps the engines on the exact pre-telemetry code path.
+    telemetry: Optional[TelemetrySpec] = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -191,6 +195,10 @@ class Scenario:
         if self.network is not None and not isinstance(self.network, NetworkSpec):
             object.__setattr__(
                 self, "network", NetworkSpec.from_dict(self.network)
+            )
+        if self.telemetry is not None and not isinstance(self.telemetry, TelemetrySpec):
+            object.__setattr__(
+                self, "telemetry", TelemetrySpec.from_dict(self.telemetry)
             )
         if not self.is_cluster:
             cluster_only = {
@@ -286,6 +294,10 @@ class Scenario:
         """Copy of this (cluster) scenario under a different network model."""
         return replace(self, network=NetworkSpec(**kwargs))
 
+    def with_telemetry(self, **kwargs) -> "Scenario":
+        """Copy of this scenario with telemetry enabled (spec kwargs)."""
+        return replace(self, telemetry=TelemetrySpec(**kwargs))
+
     # ------------------------------------------------------------ serialising
 
     def to_dict(self) -> Dict[str, Any]:
@@ -333,6 +345,8 @@ class Scenario:
         cost = self.cost.to_dict()
         if cost:
             data["cost"] = cost
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry.to_dict()
         return data
 
     @classmethod
@@ -357,6 +371,13 @@ class Scenario:
         cost = payload.pop("cost", None)
         if cost is not None:
             payload["cost"] = CostSpec.from_dict(cost)
+        telemetry = payload.pop("telemetry", None)
+        if telemetry is not None:
+            payload["telemetry"] = (
+                telemetry
+                if isinstance(telemetry, TelemetrySpec)
+                else TelemetrySpec.from_dict(telemetry)
+            )
         return cls(**payload)
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -27,6 +27,9 @@ from repro.simulation.machine import Machine
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.results import SimulationResult, build_result
 from repro.simulation.task import Task, TaskState
+from repro.telemetry.gauges import SAMPLER_TAG
+from repro.telemetry.runtime import as_telemetry
+from repro.telemetry.tracer import MACHINE_PID, QUEUE_TID, core_tid
 
 
 class SimulationError(RuntimeError):
@@ -44,11 +47,19 @@ class Simulator:
         collector: Optional[MetricsCollector] = None,
         clock: Optional[VirtualClock] = None,
         events: Optional[EventQueue] = None,
+        telemetry=None,
     ) -> None:
         self.machine = machine
         self.scheduler = scheduler
         self.config = config or machine.config
         self.collector = collector or MetricsCollector()
+        # Accepts a TelemetrySpec, a live Telemetry (the cluster layer shares
+        # one across node engines), or None.  ``_tracer``/``_trace_pid`` are
+        # cached so hot-path guards are one attribute load; the cluster layer
+        # reassigns ``_trace_pid`` to the node's track.
+        self.telemetry = as_telemetry(telemetry)
+        self._tracer = self.telemetry.tracer if self.telemetry is not None else None
+        self._trace_pid = MACHINE_PID
         # The cluster layer injects a shared clock/event queue so that many
         # per-node engines advance in lockstep; standalone runs own both.
         self.clock = clock if clock is not None else VirtualClock()
@@ -109,13 +120,29 @@ class Simulator:
         return self.schedule_at(self.now + delay, callback, tag=tag)
 
     def record_series(self, name: str, value: float) -> None:
-        """Record one point of a named time series at the current time."""
-        self.collector.record_series(name, self.now, value)
+        """Record one point of a named time series at the current time.
+
+        With telemetry enabled the point flows through the gauge registry
+        (so it is counted in the snapshot); either way it lands in the same
+        ``collector.series`` store under the same name.
+        """
+        if self.telemetry is not None:
+            self.telemetry.gauges.record(self.collector.series, name, self.now, value)
+        else:
+            self.collector.record_series(name, self.now, value)
 
     # ----------------------------------------------------- task/core plumbing
 
     def start_task(self, task: Task, core: Core) -> None:
         """Begin (or resume) executing ``task`` on ``core``."""
+        tracer = self._tracer
+        if tracer is not None:
+            tid = task.task_id
+            tracer.end(("q", tid), self.now)
+            tracer.begin(
+                ("r", tid), "run", self._trace_pid,
+                core_tid(core.core_id), self.now, tid,
+            )
         core.add_task(task, self.now)
         self._reschedule_completion(core)
 
@@ -123,12 +150,28 @@ class Simulator:
         """Remove ``task`` from ``core`` (involuntarily unless stated otherwise)."""
         removed = core.remove_task(task, self.now, preempted=preempted)
         self._reschedule_completion(core)
+        tracer = self._tracer
+        if tracer is not None:
+            tid = task.task_id
+            tracer.end(("r", tid), self.now)
+            if preempted:
+                # The task is runnable again but off-core: back to waiting.
+                tracer.begin(
+                    ("q", tid), "queued", self._trace_pid, QUEUE_TID, self.now, tid
+                )
         return removed
 
     def drain_core(self, core: Core) -> List[Task]:
         """Preempt and return every task on ``core`` (core-migration protocol)."""
         drained = core.drain(self.now)
         self._reschedule_completion(core)
+        tracer = self._tracer
+        if tracer is not None:
+            pid = self._trace_pid
+            for task in drained:
+                tid = task.task_id
+                tracer.end(("r", tid), self.now)
+                tracer.begin(("q", tid), "queued", pid, QUEUE_TID, self.now, tid)
         return drained
 
     def sync_core(self, core: Core) -> None:
@@ -148,6 +191,8 @@ class Simulator:
         started = _wallclock.perf_counter()
         self._running = True
         self.scheduler.on_start()
+        if self.telemetry is not None:
+            self._start_telemetry()
         if self.config.record_utilization:
             self.collector.start_utilization_window(self.machine.cores, self.now)
             self._schedule_utilization_sample()
@@ -196,6 +241,12 @@ class Simulator:
             )
         self.scheduler.on_end()
         self._running = False
+        telemetry_snapshot = None
+        if self.telemetry is not None:
+            # Finish before building the result: the final gauge sample and
+            # any open-span drain must land in the copied series/snapshot.
+            self.telemetry.finish(self.now)
+            telemetry_snapshot = self.telemetry.snapshot()
         wall = _wallclock.perf_counter() - started
         return build_result(
             scheduler_name=getattr(self.scheduler, "name", type(self.scheduler).__name__),
@@ -206,6 +257,31 @@ class Simulator:
             simulated_time=self.now,
             wall_clock_seconds=wall,
             events_processed=self._events_processed,
+            telemetry=telemetry_snapshot,
+        )
+
+    def _start_telemetry(self) -> None:
+        """Wire this standalone machine's tracks and gauges, arm the sampler."""
+        telemetry = self.telemetry
+        tracer = self._tracer
+        if tracer is not None:
+            pid = self._trace_pid
+            tracer.name_process(pid, "machine")
+            tracer.name_track(pid, QUEUE_TID, "queue")
+            for core in self.machine.cores:
+                tracer.name_track(pid, core_tid(core.core_id), f"core {core.core_id}")
+        telemetry.gauges.register(
+            "machine.busy_cores",
+            lambda: sum(1 for core in self.machine.cores if core.is_busy),
+            self.collector.series,
+        )
+        telemetry.bind_progress(
+            len(self.tasks), lambda: len(self.tasks) - self._unfinished
+        )
+        telemetry.start(
+            self.events,
+            self.clock,
+            lambda: self._unfinished > 0 or self._pending_arrivals > 0,
         )
 
     # ----------------------------------------------------------- event logic
@@ -218,6 +294,8 @@ class Simulator:
             core._engine._handle_completion(core)
         elif tag == "arrival":
             self._handle_arrival(event.payload)
+        elif tag == SAMPLER_TAG:
+            event.payload.on_tick()
         else:
             raise SimulationError(
                 f"event at t={event.time} has no callback and unknown tag {tag!r}"
@@ -226,14 +304,23 @@ class Simulator:
     def _handle_arrival(self, task: Task) -> None:
         self._pending_arrivals -= 1
         task.mark_queued()
+        tracer = self._tracer
+        if tracer is not None:
+            pid = self._trace_pid
+            tid = task.task_id
+            tracer.instant("arrival", pid, QUEUE_TID, self.now, tid)
+            tracer.begin(("q", tid), "queued", pid, QUEUE_TID, self.now, tid)
         self.scheduler.on_task_arrival(task)
 
     def _handle_completion(self, core: Core) -> None:
         core._completion_handle = None
         finished = core.finish_ready_tasks(self.now)
         self._reschedule_completion(core)
+        tracer = self._tracer
         for task in finished:
             self._unfinished -= 1
+            if tracer is not None:
+                tracer.end(("r", task.task_id), self.now)
             self.collector.on_task_finished(task)
             self.scheduler.on_task_finished(task, core)
 
@@ -276,16 +363,19 @@ def simulate(
     config: Optional[SimulationConfig] = None,
     machine: Optional[Machine] = None,
     until: Optional[float] = None,
+    telemetry=None,
 ) -> SimulationResult:
     """One-call helper: build a machine, run ``scheduler`` over ``tasks``.
 
     This is the main entry point used by examples, tests and the experiment
-    harness when no special machine topology is needed.
+    harness when no special machine topology is needed.  ``telemetry``
+    accepts a :class:`~repro.telemetry.spec.TelemetrySpec` (or a live
+    runtime) to record spans/gauges for the run.
     """
     cfg = config or SimulationConfig()
     target_machine = machine or Machine(
         cfg, groups=scheduler.preferred_groups(cfg.num_cores)
     )
-    simulator = Simulator(target_machine, scheduler, config=cfg)
+    simulator = Simulator(target_machine, scheduler, config=cfg, telemetry=telemetry)
     simulator.submit(tasks)
     return simulator.run(until=until)

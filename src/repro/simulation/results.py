@@ -17,6 +17,7 @@ from repro.simulation.metrics import (
     UtilizationSample,
 )
 from repro.simulation.task import Task
+from repro.telemetry.runtime import TelemetrySnapshot
 
 
 @dataclass
@@ -42,6 +43,8 @@ class SimulationResult:
     #: Columnar store of the finished tasks, filled incrementally by the
     #: collector during the run; built lazily for hand-assembled results.
     columns: Optional[TaskColumns] = None
+    #: Frozen telemetry of the run (``None`` unless telemetry was enabled).
+    telemetry: Optional[TelemetrySnapshot] = None
 
     # ---------------------------------------------------------------- columns
 
@@ -120,6 +123,8 @@ class SimulationResult:
             f"p99 turnaround time  : {summary.p99_turnaround:.4f} s",
             f"total preemptions    : {self.total_preemptions():.0f}",
         ]
+        if self.telemetry is not None:
+            lines.append(f"telemetry            : {self.telemetry.summary_line()}")
         return "\n".join(lines)
 
 
@@ -132,6 +137,7 @@ def build_result(
     simulated_time: float,
     wall_clock_seconds: float,
     events_processed: int,
+    telemetry: Optional[TelemetrySnapshot] = None,
 ) -> SimulationResult:
     """Assemble a :class:`SimulationResult` from live simulator state."""
     return SimulationResult(
@@ -146,4 +152,5 @@ def build_result(
         wall_clock_seconds=wall_clock_seconds,
         events_processed=events_processed,
         columns=collector.columns,
+        telemetry=telemetry,
     )

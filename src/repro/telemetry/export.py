@@ -1,0 +1,191 @@
+"""Trace exporters: Chrome trace-event JSON and a columnar timeline table.
+
+``chrome_trace`` renders a run's :class:`~repro.telemetry.runtime.
+TelemetrySnapshot` (plus its gauge series) in the Chrome trace-event JSON
+format, which opens directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: one process per node (plus one for the cluster control
+plane), one thread per core, counter tracks for every gauge series.
+
+Spans on a track are emitted as synchronous ``B``/``E`` pairs when they nest
+properly (a FIFO core runs one task at a time, so its slices always do).
+Tracks whose spans genuinely overlap — a multitasking CFS core timesharing
+many tasks, or a node's shared queue lane — are emitted as *async* ``b``/
+``e`` pairs keyed by task id, which is the trace-event format's mechanism
+for overlapping intervals; viewers render them as per-task sub-tracks.
+Either way every begin has exactly one matching end.
+
+``timeline_table`` flattens the same events into one numpy structured array
+(the telemetry analogue of :class:`~repro.simulation.columns.TaskColumns`)
+for columnar post-processing, and ``write_timeline_csv`` dumps it for
+spreadsheet tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: One row per trace event.  ``end == start`` for instants; ``value`` is the
+#: instant's payload (dispatch target node, autoscaler load) and 0 for spans.
+TIMELINE_DTYPE = np.dtype(
+    [
+        ("kind", "U7"),
+        ("name", "U32"),
+        ("pid", np.int64),
+        ("tid", np.int64),
+        ("start", np.float64),
+        ("end", np.float64),
+        ("task_id", np.int64),
+        ("value", np.float64),
+    ]
+)
+
+#: Simulated seconds -> trace microseconds (the trace-event time unit).
+_US = 1e6
+
+
+def _snapshot_of(result):
+    """Accept a RunResult / SimulationResult / ClusterResult / snapshot."""
+    inner = getattr(result, "result", None)
+    if inner is not None and hasattr(inner, "telemetry"):
+        result = inner
+    snapshot = getattr(result, "telemetry", result)
+    if snapshot is None or not hasattr(snapshot, "spans"):
+        raise ValueError(
+            "no telemetry was recorded for this run; enable it with a "
+            "TelemetrySpec (e.g. Scenario(telemetry=TelemetrySpec()))"
+        )
+    series = getattr(result, "series", None) or {}
+    return snapshot, series
+
+
+def _spans_nest(spans: Sequence[Tuple[float, float]]) -> bool:
+    """True when intervals (sorted by start, longest first) nest properly."""
+    stack: List[float] = []
+    for start, end in spans:
+        while stack and stack[-1] <= start:
+            stack.pop()
+        if stack and end > stack[-1]:
+            return False
+        stack.append(end)
+    return True
+
+
+def chrome_trace(result) -> dict:
+    """Render one run's telemetry as a Chrome trace-event JSON object."""
+    snapshot, series = _snapshot_of(result)
+    events: List[dict] = []
+
+    for pid, label in sorted(snapshot.process_names.items()):
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": label}}
+        )
+    for (pid, tid), label in sorted(snapshot.track_names.items()):
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": label}}
+        )
+
+    # Group spans per track; pick sync B/E or async b/e per track.  Each
+    # track's events are emitted as one contiguous, internally ordered
+    # stream — the trace-event format does not require global ts ordering
+    # (viewers sort), and per-track streams keep begin/end pairing exact
+    # even for zero-length spans.
+    by_track: Dict[Tuple[int, int], List[tuple]] = {}
+    for span in snapshot.spans:
+        by_track.setdefault((span[1], span[2]), []).append(span)
+
+    for (pid, tid), spans in sorted(by_track.items()):
+        spans.sort(key=lambda s: (s[3], -s[4], s[5]))
+        if _spans_nest([(s[3], s[4]) for s in spans]):
+            # Sync B/E stream straight from the nesting sweep: close every
+            # span that ends at or before the next one starts, then open it.
+            stack: List[Tuple[str, float]] = []
+            for name, _, _, start, end, task_id in spans:
+                while stack and stack[-1][1] <= start:
+                    closed_name, closed_end = stack.pop()
+                    events.append(
+                        {"name": closed_name, "cat": "task", "ph": "E",
+                         "pid": pid, "tid": tid, "ts": closed_end * _US}
+                    )
+                begin = {"name": name, "cat": "task", "ph": "B", "pid": pid,
+                         "tid": tid, "ts": start * _US}
+                if task_id >= 0:
+                    begin["args"] = {"task": task_id}
+                events.append(begin)
+                stack.append((name, end))
+            while stack:
+                closed_name, closed_end = stack.pop()
+                events.append(
+                    {"name": closed_name, "cat": "task", "ph": "E",
+                     "pid": pid, "tid": tid, "ts": closed_end * _US}
+                )
+        else:
+            # Overlapping spans: async pairs keyed by task id, emitted
+            # begin-then-end per span so every id's stream stays balanced.
+            for name, _, _, start, end, task_id in spans:
+                ident = f"task-{task_id}" if task_id >= 0 else f"span-{pid}-{tid}"
+                events.append(
+                    {"name": name, "cat": "task", "ph": "b", "id": ident,
+                     "pid": pid, "tid": tid, "ts": start * _US,
+                     "args": {"task": task_id}}
+                )
+                events.append(
+                    {"name": name, "cat": "task", "ph": "e", "id": ident,
+                     "pid": pid, "tid": tid, "ts": end * _US}
+                )
+
+    for name, pid, tid, time, task_id, value in sorted(
+        snapshot.instants, key=lambda i: (i[3], i[1], i[2])
+    ):
+        events.append(
+            {"name": name, "cat": "lifecycle", "ph": "i", "pid": pid,
+             "tid": tid, "ts": time * _US, "s": "p",
+             "args": {"task": task_id, "value": value}}
+        )
+
+    for name, points in sorted(series.items()):
+        for point in points:
+            events.append(
+                {"name": name, "cat": "gauge", "ph": "C", "pid": 0,
+                 "ts": point.time * _US, "args": {"value": point.value}}
+            )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(result, path) -> int:
+    """Write the Chrome trace JSON for ``result``; returns the event count."""
+    trace = chrome_trace(result)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return len(trace["traceEvents"])
+
+
+def timeline_table(result) -> np.ndarray:
+    """Flatten a run's trace events into one structured array (time-sorted)."""
+    snapshot, _ = _snapshot_of(result)
+    rows = [
+        ("span", name, pid, tid, start, end, task_id, 0.0)
+        for name, pid, tid, start, end, task_id in snapshot.spans
+    ]
+    rows.extend(
+        ("instant", name, pid, tid, time, time, task_id, value)
+        for name, pid, tid, time, task_id, value in snapshot.instants
+    )
+    table = np.array(rows, dtype=TIMELINE_DTYPE)
+    return table[np.argsort(table["start"], kind="stable")]
+
+
+def write_timeline_csv(result, path) -> int:
+    """Write the timeline table as CSV; returns the row count."""
+    table = timeline_table(result)
+    names = table.dtype.names or ()
+    with open(path, "w") as handle:
+        handle.write(",".join(names) + "\n")
+        for row in table:
+            handle.write(",".join(str(row[name]) for name in names) + "\n")
+    return len(table)

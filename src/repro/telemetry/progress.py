@@ -1,0 +1,53 @@
+"""Terminal progress/summary reporter for long runs.
+
+Driven by the gauge sampler's ticks (simulated time) but throttled on *wall
+clock*, so a million-invocation replay prints a line every few real seconds
+regardless of how fast simulated time advances.  Output goes to stderr by
+default, keeping stdout clean for result tables.
+"""
+
+from __future__ import annotations
+
+import sys
+import time as _wallclock
+from typing import Optional, TextIO
+
+
+class ProgressReporter:
+    """Throttled one-line progress output plus an end-of-run summary."""
+
+    def __init__(
+        self, min_wall_interval: float = 5.0, stream: Optional[TextIO] = None
+    ) -> None:
+        if min_wall_interval < 0:
+            raise ValueError(
+                f"min_wall_interval must be >= 0, got {min_wall_interval!r}"
+            )
+        self.min_wall_interval = min_wall_interval
+        self.stream = stream if stream is not None else sys.stderr
+        self.lines_written = 0
+        self._started_wall = _wallclock.perf_counter()
+        self._last_wall = float("-inf")
+
+    def report(self, sim_now: float, done: int, total: int) -> bool:
+        """Maybe print one progress line; returns True when a line was written."""
+        wall = _wallclock.perf_counter()
+        if wall - self._last_wall < self.min_wall_interval:
+            return False
+        self._last_wall = wall
+        percent = 100.0 * done / total if total else 100.0
+        self.stream.write(
+            f"[telemetry] t={sim_now:.1f}s  {done}/{total} tasks "
+            f"({percent:.1f}%)  wall {wall - self._started_wall:.1f}s\n"
+        )
+        self.lines_written += 1
+        return True
+
+    def close(self, sim_now: float, done: int, total: int) -> None:
+        """Print the end-of-run summary line."""
+        wall = _wallclock.perf_counter() - self._started_wall
+        self.stream.write(
+            f"[telemetry] done: {done}/{total} tasks in {sim_now:.1f}s "
+            f"simulated ({wall:.1f}s wall)\n"
+        )
+        self.lines_written += 1

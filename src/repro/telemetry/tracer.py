@@ -1,0 +1,148 @@
+"""Span-style trace recorder.
+
+The tracer stores two kinds of events as compact tuples (hot-path friendly:
+no per-event objects beyond the tuple itself):
+
+* **spans** ``(name, pid, tid, start, end, task_id)`` — an interval on one
+  track: a task's queue wait, one run slice on a core, time on the wire;
+* **instants** ``(name, pid, tid, time, task_id, value)`` — a point event:
+  an arrival, a dispatch decision (``value`` = chosen node), an autoscaler
+  action (``value`` = load signal), a node lifecycle transition.
+
+Tracks follow the Chrome trace-event model: ``pid`` is a process-like lane
+(0 = the cluster control plane, ``node_id + 1`` = one node, 1 = the machine
+of a standalone run) and ``tid`` a thread-like lane inside it (0 = the
+queue/lifecycle lane, ``core_id + 1`` = one core).  Track labels are
+registered separately so exporters can emit ``process_name`` /
+``thread_name`` metadata.
+
+Open spans are keyed (e.g. ``("q", task_id)`` for a queue wait) in a dict;
+``begin`` on an already-open key implicitly closes the old span at the new
+start time — this is what turns "parked waiting for a booting node, then
+delivered" into two adjacent spans without the call sites coordinating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: ``pid`` of the cluster control plane (dispatch, autoscaler, migration).
+CLUSTER_PID = 0
+
+#: ``pid`` of a standalone single-machine run.
+MACHINE_PID = 1
+
+#: ``tid`` lanes inside the control-plane pid.
+DISPATCH_TID = 0
+AUTOSCALER_TID = 1
+MIGRATION_TID = 2
+
+#: ``tid`` of a node's queue/lifecycle lane; core ``c`` is ``c + 1``.
+QUEUE_TID = 0
+
+#: Sentinel task id for events not tied to one task.
+NO_TASK = -1
+
+
+def node_pid(node_id: int) -> int:
+    """Track pid of one cluster node."""
+    return node_id + 1
+
+
+def core_tid(core_id: int) -> int:
+    """Track tid of one core inside its node/machine pid."""
+    return core_id + 1
+
+
+class Tracer:
+    """Records lifecycle spans and instants during one run."""
+
+    __slots__ = (
+        "spans",
+        "instants",
+        "process_names",
+        "track_names",
+        "dropped",
+        "_open",
+        "_max_events",
+    )
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        self.spans: List[Tuple[str, int, int, float, float, int]] = []
+        self.instants: List[Tuple[str, int, int, float, int, float]] = []
+        self.process_names: Dict[int, str] = {}
+        self.track_names: Dict[Tuple[int, int], str] = {}
+        self.dropped = 0
+        self._open: Dict[tuple, Tuple[str, int, int, float, int]] = {}
+        self._max_events = max_events
+
+    # ------------------------------------------------------------------ names
+
+    def name_process(self, pid: int, label: str) -> None:
+        """Label one pid lane (rendered as a process in trace viewers)."""
+        self.process_names[pid] = label
+
+    def name_track(self, pid: int, tid: int, label: str) -> None:
+        """Label one (pid, tid) lane (rendered as a thread)."""
+        self.track_names[(pid, tid)] = label
+
+    # ----------------------------------------------------------------- events
+
+    @property
+    def event_count(self) -> int:
+        """Stored events (completed spans + instants; open spans excluded)."""
+        return len(self.spans) + len(self.instants)
+
+    def _at_capacity(self) -> bool:
+        return self._max_events is not None and self.event_count >= self._max_events
+
+    def begin(
+        self, key: tuple, name: str, pid: int, tid: int, time: float,
+        task_id: int = NO_TASK,
+    ) -> None:
+        """Open a span; an already-open ``key`` is closed at ``time`` first."""
+        existing = self._open.pop(key, None)
+        if existing is not None:
+            self._store_span(existing, time)
+        self._open[key] = (name, pid, tid, time, task_id)
+
+    def end(self, key: tuple, time: float) -> None:
+        """Close the span opened under ``key`` (no-op if none is open)."""
+        existing = self._open.pop(key, None)
+        if existing is not None:
+            self._store_span(existing, time)
+
+    def _store_span(
+        self, opened: Tuple[str, int, int, float, int], end: float
+    ) -> None:
+        if self._at_capacity():
+            self.dropped += 1
+            return
+        name, pid, tid, start, task_id = opened
+        self.spans.append((name, pid, tid, start, end, task_id))
+
+    def instant(
+        self, name: str, pid: int, tid: int, time: float,
+        task_id: int = NO_TASK, value: float = 0.0,
+    ) -> None:
+        """Record a point event."""
+        if self._at_capacity():
+            self.dropped += 1
+            return
+        self.instants.append((name, pid, tid, time, task_id, value))
+
+    # ------------------------------------------------------------------ close
+
+    def open_span_count(self) -> int:
+        return len(self._open)
+
+    def finish(self, now: float) -> None:
+        """Close every still-open span at ``now`` (end-of-run drain).
+
+        Tasks cut off by a time limit leave their queue/run spans open;
+        closing them at the final clock keeps every stored span well-formed
+        (``start <= end``) so exporters never special-case.
+        """
+        for opened in self._open.values():
+            self._store_span(opened, now)
+        self._open.clear()

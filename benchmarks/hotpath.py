@@ -28,6 +28,13 @@ sampler — to pin the tracing-on cost; the telemetry-*off* overhead is gated
 by re-checking the plain ``engine_mp512`` / ``dispatcher_rtt_512nodes``
 benches against the same file.
 
+**dispatcher_mw_512nodes** (the ``BENCH_7.json`` case) runs the 512-node
+RTT bench through a two-middleware chain (a never-rejecting admission cap
+plus an SLO tracker) to pin the middleware-*on* dispatch cost; the
+middleware-*off* path is gated by re-checking ``engine_mp512`` and
+``dispatcher_rtt_512nodes`` against their BENCH_5/6 baselines, asserting an
+empty chain adds nothing.
+
 Workloads are seeded and deterministic so timings measure the engine, not
 the workload draw.
 """
@@ -128,6 +135,36 @@ def run_dispatcher_rtt_bench(num_nodes: int):
     result = simulate_cluster(dispatcher_tasks(num_nodes), config=config)
     assert len(result.tasks) == num_nodes * 4
     assert result.tasks_ingressed() == num_nodes * 4
+    return result
+
+
+def run_dispatcher_mw_bench(num_nodes: int):
+    """The RTT dispatcher bench through a middleware chain (mw-on cost).
+
+    Admission with an unreachable cap plus an SLO tracker: every task pays
+    one ``on_dispatch`` sweep (a fleet backlog scan) and one ``on_complete``
+    hook — the heaviest observation-only chain shape — without any verdict
+    changing the run.
+    """
+    from repro.middleware import AdmissionControlMiddleware, SLOTrackerMiddleware
+
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        cores_per_node=1,
+        scheduler="fifo",
+        dispatcher="jsq",
+        network=NetworkSpec(rtt=DISPATCHER_RTT),
+    )
+    result = simulate_cluster(
+        dispatcher_tasks(num_nodes),
+        config=config,
+        middleware=[
+            AdmissionControlMiddleware(max_queue_depth=10**9),
+            SLOTrackerMiddleware(target=60.0),
+        ],
+    )
+    assert len(result.finished_tasks) == num_nodes * 4
+    assert result.tasks_rejected == 0
     return result
 
 
@@ -269,6 +306,7 @@ BENCHES: Dict[str, Callable[[], object]] = {
         for n in DISPATCHER_NODE_COUNTS
     },
     "engine_mp512_traced": run_engine_traced_bench,
+    "dispatcher_mw_512nodes": lambda: run_dispatcher_mw_bench(512),
     "object_churn": run_object_churn,
     **{
         f"metrics_list_{_metrics_label(n)}": (lambda n=n: run_metrics_list(n))

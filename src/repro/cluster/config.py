@@ -194,6 +194,11 @@ class ClusterConfig:
         network: Dispatcher→node network model (RTT + probe cost); the
             default zero-RTT spec keeps dispatch instantaneous and the run
             bit-identical to the network-free engine.
+        middleware: Declarative dispatch-path middleware chain: a tuple of
+            :class:`~repro.middleware.spec.MiddlewareSpec` entries (registry
+            names, dicts, or specs — coerced on construction) applied in
+            order to every arriving task.  Empty (the default) keeps the
+            dispatch path bit-identical to the middleware-free engine.
         seed: Seed for every randomized dispatcher; two runs with the same
             config and workload are bit-identical.
         node_config: Per-node simulation configuration; when omitted a
@@ -212,6 +217,7 @@ class ClusterConfig:
     migration_kwargs: Dict[str, object] = field(default_factory=dict)
     node_boot_time: float = DEFAULT_NODE_BOOT_TIME
     network: NetworkSpec = field(default_factory=NetworkSpec)
+    middleware: Tuple[object, ...] = ()
     seed: int = 7
     node_config: Optional[SimulationConfig] = None
 
@@ -243,6 +249,17 @@ class ClusterConfig:
         if not isinstance(self.network, NetworkSpec):
             raise TypeError(
                 f"network must be a NetworkSpec, got {self.network!r}"
+            )
+        if self.middleware:
+            # Imported lazily: repro.middleware pulls in the registry's
+            # built-ins, which must never import cluster modules at import
+            # time — keeping the dependency one-way (cluster -> middleware).
+            from repro.middleware.spec import MiddlewareSpec
+
+            object.__setattr__(
+                self,
+                "middleware",
+                tuple(MiddlewareSpec.coerce(m) for m in self.middleware),
             )
 
     # ------------------------------------------------------------------ fleet
@@ -343,3 +360,11 @@ class ClusterConfig:
     def with_network(self, **kwargs) -> "ClusterConfig":
         """Copy of this config with a different network model."""
         return replace(self, network=NetworkSpec(**kwargs))
+
+    def with_middleware(self, *entries) -> "ClusterConfig":
+        """Copy of this config with the given middleware chain.
+
+        Each entry may be a registry name, a ``{"name": ..., "params": ...}``
+        dict, or a :class:`~repro.middleware.spec.MiddlewareSpec`.
+        """
+        return replace(self, middleware=tuple(entries))

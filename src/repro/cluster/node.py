@@ -121,6 +121,9 @@ class ClusterNode:
         self.ingress_wait_total = 0.0
         self.tasks_stolen_away = 0
         self.tasks_stolen_in = 0
+        #: Queued tasks handed back to the cluster by retry middleware
+        #: (pulled out of the queue without counting as stolen).
+        self.tasks_released = 0
         #: When this node started being paid for (booting counts: the
         #: cold-start window is billed just like active and draining time).
         self.commissioned_at = commissioned_at
@@ -135,6 +138,9 @@ class ClusterNode:
         # (kept None otherwise so guards are one attribute load).
         self._tracer = None
         self._trace_pid = 0
+        # Middleware chain, assigned by the cluster only when some middleware
+        # observes landings (same one-attribute-load guard as the tracer).
+        self.middleware = None
 
     # ------------------------------------------------------------------ state
 
@@ -234,6 +240,8 @@ class ClusterNode:
                 now, task.task_id,
             )
         self.scheduler.on_task_arrival(task)
+        if self.middleware is not None:
+            self.middleware.on_land(task, self, now)
 
     def on_task_finished(self, task: Task) -> None:
         """Cluster-side accounting when one of this node's tasks completes."""
@@ -298,18 +306,42 @@ class ClusterNode:
             return 0
         return self.scheduler.stealable_count()
 
+    def _relinquish(self, task: Task) -> bool:
+        """Pull one queued, never-run task out of this node's queue.
+
+        Shared exit bookkeeping of :meth:`surrender` (migration) and
+        :meth:`release` (retry middleware).  Returns False when the task
+        already started or left the queue; the caller must then drop its
+        plan — this refusal is what makes a task impossible to land twice.
+        """
+        if not self.scheduler.remove_queued_task(task):
+            return False
+        self.inflight -= 1
+        self.engine._unfinished -= 1
+        self._notify_load()
+        return True
+
     def surrender(self, task: Task) -> bool:
         """Release one queued task to the migration layer.
 
         Returns False when the task already started (or left the queue)
         between planning and execution; the caller must then drop the move.
         """
-        if not self.scheduler.remove_queued_task(task):
+        if not self._relinquish(task):
             return False
-        self.inflight -= 1
-        self.engine._unfinished -= 1
         self.tasks_stolen_away += 1
-        self._notify_load()
+        return True
+
+    def release(self, task: Task) -> bool:
+        """Give one queued task back to the cluster layer (retry path).
+
+        Identical queue-exit bookkeeping to :meth:`surrender` but *not*
+        counted as stealing, so the migration invariant
+        ``sum(stolen_in) == tasks_migrated`` is untouched by retries.
+        """
+        if not self._relinquish(task):
+            return False
+        self.tasks_released += 1
         return True
 
     def receive_stolen(self, task: Task, now: float, *, force: bool = False) -> None:

@@ -41,6 +41,12 @@ class ClusterResult:
     nodes_added: int = 0
     nodes_removed: int = 0
     tasks_migrated: int = 0
+    #: Tasks dropped by middleware before ever reaching a node.
+    tasks_rejected: int = 0
+    #: Ordered registry names of the run's middleware chain (empty = none).
+    middleware_names: List[str] = field(default_factory=list)
+    #: Per-middleware counters keyed by chain name (see ``Middleware.stats``).
+    middleware_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Fleet-wide columnar store of finished tasks, filled incrementally by
     #: the cluster during the run; built lazily for hand-assembled results.
     columns: Optional[TaskColumns] = None
@@ -208,6 +214,12 @@ class ClusterResult:
             if task.metadata.get("node_migrations", 0) > 0
         ]
 
+    # ------------------------------------------------------------- middleware
+
+    def rejected_tasks(self) -> List[Task]:
+        """Tasks dropped by middleware (rejection reason in metadata)."""
+        return [t for t in self.tasks if "rejected" in t.metadata]
+
     # ------------------------------------------------------------- timeseries
 
     def series_values(self, name: str) -> List[SeriesPoint]:
@@ -227,6 +239,13 @@ class ClusterResult:
             f"dispatcher           : {self.dispatcher_name}",
             f"per-node scheduler   : {self.scheduler_name}",
             f"migration policy     : {self.migration_policy_name or 'none'}",
+        ]
+        if self.middleware_names:
+            lines.append(
+                f"middleware           : {' -> '.join(self.middleware_names)}"
+                f" ({self.tasks_rejected} rejected)"
+            )
+        lines += [
             f"nodes (final fleet)  : {self.num_nodes}"
             f" (+{self.nodes_added}/-{self.nodes_removed} scaled)",
             f"fleet capacity       : {self.total_capacity():.1f} baseline cores",

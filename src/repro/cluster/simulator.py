@@ -28,6 +28,7 @@ from repro.cluster.migration import Migration, MigrationPolicy
 from repro.cluster.node import ClusterNode, NodeState
 from repro.cluster.registry import create_dispatcher, create_migration_policy
 from repro.cluster.results import ClusterResult
+from repro.middleware.base import ADMIT_TAG, DEFER, TIMEOUT_TAG, MiddlewareChain
 from repro.schedulers.registry import create_scheduler
 from repro.simulation.clock import VirtualClock
 from repro.simulation.columns import TaskColumns
@@ -42,6 +43,7 @@ from repro.telemetry.tracer import (
     AUTOSCALER_TID,
     CLUSTER_PID,
     DISPATCH_TID,
+    MIDDLEWARE_TID,
     MIGRATION_TID,
     QUEUE_TID,
     core_tid,
@@ -60,6 +62,7 @@ class ClusterSimulator:
         autoscaler: Optional[ReactiveAutoscaler] = None,
         migration_policy: Optional[MigrationPolicy] = None,
         telemetry=None,
+        middleware=None,
     ) -> None:
         self.config = config or ClusterConfig()
         self.clock = VirtualClock()
@@ -73,6 +76,11 @@ class ClusterSimulator:
         # and every node engine; ``_tracer`` is cached for hot-path guards.
         self.telemetry = as_telemetry(telemetry)
         self._tracer = self.telemetry.tracer if self.telemetry is not None else None
+        # Ordered middleware chain riding the dispatch/land/complete seams;
+        # None when no middleware is configured, which keeps every hook
+        # behind the same one-attribute ``is None`` guard as telemetry (the
+        # off path is the exact pre-middleware code path).
+        self._middleware = self._coerce_middleware(middleware)
         # Incrementally maintained active set + load index: dispatch consults
         # these instead of rescanning the fleet per arrival.
         self._load_index = NodeLoadIndex()
@@ -89,6 +97,8 @@ class ClusterSimulator:
         self.nodes_added = 0
         self.nodes_removed = 0
         self.tasks_migrated = 0
+        self.tasks_rejected = 0
+        self.rejected_tasks: List[Task] = []
         self._migrations_inflight = 0
         self._unfinished = 0
         self._pending_arrivals = 0
@@ -97,6 +107,14 @@ class ClusterSimulator:
         self._next_node_id = 0
         if self.telemetry is not None:
             self._wire_cluster_telemetry()
+        if self._middleware is not None:
+            self._middleware.bind(self)
+            # Nodes only pay the landing hook when some middleware wants it.
+            self._land_chain = (
+                self._middleware if self._middleware.has_land_hooks else None
+            )
+        else:
+            self._land_chain = None
         for spec in self.config.expanded_specs():
             self._create_node(NodeState.ACTIVE, spec)
 
@@ -113,6 +131,8 @@ class ClusterSimulator:
             tracer.name_track(CLUSTER_PID, DISPATCH_TID, "dispatch")
             tracer.name_track(CLUSTER_PID, AUTOSCALER_TID, "autoscaler")
             tracer.name_track(CLUSTER_PID, MIGRATION_TID, "migration")
+            if self._middleware is not None:
+                tracer.name_track(CLUSTER_PID, MIDDLEWARE_TID, "middleware")
         telemetry.gauges.register(
             "cluster.fleet_load", lambda: fleet_load_signal(self), self.series
         )
@@ -171,6 +191,27 @@ class ClusterSimulator:
                 pass
         return create_dispatcher(self.config.dispatcher, **kwargs)
 
+    def _coerce_middleware(self, middleware) -> Optional[MiddlewareChain]:
+        """Normalise the constructor argument (or config specs) to a chain.
+
+        Accepts a prebuilt :class:`MiddlewareChain`, an iterable of
+        middleware instances, or ``None`` — in which case the chain is built
+        from the config's declarative specs.  Empty chains collapse to
+        ``None`` so a ``middleware: []`` scenario takes the exact
+        pre-middleware code path.
+        """
+        if middleware is None:
+            if not self.config.middleware:
+                return None
+            middleware = MiddlewareChain(
+                [spec.build() for spec in self.config.middleware]
+            )
+        elif not isinstance(middleware, MiddlewareChain):
+            middleware = MiddlewareChain(middleware)
+        if not middleware.middlewares:
+            return None
+        return middleware
+
     def _build_migration_policy(self) -> Optional[MigrationPolicy]:
         if self.config.migration is None:
             return None
@@ -213,6 +254,7 @@ class ClusterSimulator:
             getattr(self.dispatcher, "probes_load", False),
         )
         node.load_listener = self._load_index.touch
+        node.middleware = self._land_chain
         if self.telemetry is not None:
             self._instrument_node(node)
         self.nodes.append(node)
@@ -391,6 +433,15 @@ class ClusterSimulator:
             # object, so handle it before the owner routing below.
             event.payload.on_tick()
             return
+        if event.tag == ADMIT_TAG:
+            # A deferred or retried task re-enters through the full admission
+            # path so every middleware sees it again.
+            self._admit(event.payload)
+            return
+        if event.tag == TIMEOUT_TAG:
+            mw, task = event.payload
+            mw.on_timeout(task)
+            return
         owner = getattr(event.payload, "_engine", None)
         if owner is None:
             raise SimulationError(
@@ -405,7 +456,86 @@ class ClusterSimulator:
             self._tracer.instant(
                 "arrival", CLUSTER_PID, DISPATCH_TID, self.now, task.task_id
             )
+        if self._middleware is not None:
+            self._admit(task)
+            return
         self._dispatch(task)
+
+    def _admit(self, task: Task) -> None:
+        """Run the middleware chain's dispatch hooks, then dispatch.
+
+        The chain returns the first non-``None`` verdict: ``None`` admits,
+        ``("reject", reason)`` drops the task before it ever reaches a node,
+        ``("defer", resume_at)`` parks it on the event queue and replays the
+        full admission pass at ``resume_at``.
+        """
+        now = self.now
+        if self._tracer is not None:
+            # Closes a retry-backoff span if one is open (no-op otherwise).
+            self._tracer.end(("b", task.task_id), now)
+        verdict = self._middleware.on_dispatch(task, now)
+        if verdict is None:
+            self._dispatch(task)
+            return
+        action, arg = verdict
+        if action == DEFER:
+            resume = float(arg)
+            if resume <= now:
+                # Guard against same-instant re-delivery looping forever.
+                resume = now + 1e-9
+            if self.telemetry is not None:
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "mw-defer", CLUSTER_PID, MIDDLEWARE_TID, now,
+                        task.task_id, resume,
+                    )
+                self.telemetry.counters.inc("middleware.deferred")
+            self.events.push(
+                resume,
+                None,
+                priority=EventPriority.ARRIVAL,
+                tag=ADMIT_TAG,
+                payload=task,
+            )
+            return
+        self._reject_task(task, str(arg))
+
+    def _reject_task(self, task: Task, reason: str) -> None:
+        """Drop ``task`` before dispatch; it never reaches a node."""
+        task.metadata["rejected"] = reason
+        self.tasks_rejected += 1
+        self.rejected_tasks.append(task)
+        self._unfinished -= 1
+        if self.telemetry is not None:
+            if self._tracer is not None:
+                self._tracer.instant(
+                    f"reject:{reason}", CLUSTER_PID, MIDDLEWARE_TID,
+                    self.now, task.task_id,
+                )
+            self.telemetry.counters.inc(f"middleware.rejected.{reason}")
+        self._middleware.notify_reject(task, reason, self.now)
+
+    def release_queued(self, task: Task) -> bool:
+        """Pull a still-queued ``task`` back off its node (retry path).
+
+        Returns False when the task is not safely removable — it started
+        running, finished, or is mid-flight in a migration — in which case
+        the caller must leave it alone.  A released task re-enters through
+        :meth:`_admit` (the ordinary event path), so a retried task can never
+        be double-landed: either the release wins and the queue copy is gone,
+        or the release fails and no retry copy is created.
+        """
+        node_id = task.metadata.get("node_id")
+        if node_id is None or not (0 <= node_id < len(self.nodes)):
+            return False
+        node = self.nodes[node_id]
+        if not node.release(task):
+            return False
+        if self._tracer is not None:
+            self._tracer.end(("q", task.task_id), self.now)
+        if node.state is NodeState.DRAINING and bound_work(node) == 0:
+            self._retire_node(node)
+        return True
 
     def _dispatch(self, task: Task) -> None:
         active = self._active
@@ -449,6 +579,8 @@ class ClusterSimulator:
         node.on_task_finished(task)
         self.columns.append(task)
         self._unfinished -= 1
+        if self._middleware is not None:
+            self._middleware.on_complete(task, node, self.now)
         if node.state is NodeState.DRAINING and bound_work(node) == 0:
             self._retire_node(node)
 
@@ -666,6 +798,7 @@ class ClusterSimulator:
                     "completed": float(node.tasks_completed),
                     "stolen_in": float(node.tasks_stolen_in),
                     "stolen_away": float(node.tasks_stolen_away),
+                    "released": float(node.tasks_released),
                     # Network-model accounting: tasks that paid a wire delay
                     # landing here, and their summed ingress wait.
                     "ingressed": float(node.tasks_ingressed),
@@ -702,6 +835,13 @@ class ClusterSimulator:
             nodes_added=self.nodes_added,
             nodes_removed=self.nodes_removed,
             tasks_migrated=self.tasks_migrated,
+            tasks_rejected=self.tasks_rejected,
+            middleware_names=(
+                self._middleware.names() if self._middleware is not None else []
+            ),
+            middleware_stats=(
+                self._middleware.stats() if self._middleware is not None else {}
+            ),
             telemetry=telemetry_snapshot,
         )
 
@@ -771,12 +911,16 @@ def simulate_cluster(
     migration_policy: Optional[MigrationPolicy] = None,
     until: Optional[float] = None,
     telemetry=None,
+    middleware=None,
 ) -> ClusterResult:
     """One-call helper: build a cluster, route ``tasks`` through it, run it.
 
     The cluster-level analogue of :func:`repro.simulation.engine.simulate`.
     ``telemetry`` accepts a :class:`~repro.telemetry.spec.TelemetrySpec` (or
-    a live runtime) to record spans/gauges for the run.
+    a live runtime) to record spans/gauges for the run.  ``middleware``
+    accepts a :class:`~repro.middleware.base.MiddlewareChain` or an iterable
+    of middleware instances to wrap the dispatch path; when omitted, the
+    config's declarative ``middleware`` specs (if any) are built instead.
     """
     cluster = ClusterSimulator(
         config=config,
@@ -784,6 +928,7 @@ def simulate_cluster(
         autoscaler=autoscaler,
         migration_policy=migration_policy,
         telemetry=telemetry,
+        middleware=middleware,
     )
     cluster.submit(tasks)
     return cluster.run(until=until)

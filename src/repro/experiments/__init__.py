@@ -22,6 +22,7 @@ from repro.experiments.common import (
 # Importing the experiment modules registers them.
 from repro.experiments import (  # noqa: E402,F401  (import for registration side effect)
     cluster_scaling,
+    cluster_slo,
     fig01_cost_fifo_vs_cfs,
     fig02_trace_characteristics,
     fig04_fifo_vs_cfs,

@@ -71,7 +71,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --scenario: sample registered gauges (queue depths, busy "
         "cores, fleet load) every SIM-seconds; enables telemetry",
     )
+    parser.add_argument(
+        "--middleware",
+        action="append",
+        default=None,
+        metavar="NAME[:k=v,...]",
+        help="with --scenario: append one middleware to the scenario's "
+        "chain, in flag order (e.g. --middleware admission:max_queue_depth=32"
+        " --middleware slo_tracker:target=10); repeatable, overrides the "
+        "file's own middleware list",
+    )
     return parser
+
+
+def _parse_middleware_flag(value: str):
+    """``name`` or ``name:k=v,k=v`` -> a MiddlewareSpec (values coerced)."""
+    from repro.middleware.spec import MiddlewareSpec
+
+    name, _, tail = value.partition(":")
+    params = {}
+    if tail:
+        for pair in tail.split(","):
+            key, sep, raw = pair.partition("=")
+            if not sep or not key:
+                raise ValueError(
+                    f"bad middleware param {pair!r} (expected key=value)"
+                )
+            try:
+                parsed: object = int(raw)
+            except ValueError:
+                try:
+                    parsed = float(raw)
+                except ValueError:
+                    parsed = raw
+            params[key] = parsed
+    return MiddlewareSpec(name=name, params=params)
 
 
 def _run_scenario_file(
@@ -80,6 +114,7 @@ def _run_scenario_file(
     output: Optional[Path] = None,
     trace_out: Optional[Path] = None,
     sample_interval: Optional[float] = None,
+    middleware: Optional[List[str]] = None,
 ) -> int:
     """Run one scenario JSON file; print (and optionally save) the summary."""
     from dataclasses import replace
@@ -111,6 +146,13 @@ def _run_scenario_file(
         if trace_out is not None and not spec.trace:
             spec = replace(spec, trace=True)
         scenario = replace(scenario, telemetry=spec)
+    if middleware:
+        try:
+            specs = tuple(_parse_middleware_flag(value) for value in middleware)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        scenario = replace(scenario, middleware=specs)
     result = run(scenario)
     rendered = result.describe()
     print(rendered)
@@ -141,10 +183,15 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
             output=args.output,
             trace_out=args.trace_out,
             sample_interval=args.sample_interval,
+            middleware=args.middleware,
         )
-    if args.trace_out is not None or args.sample_interval is not None:
+    if (
+        args.trace_out is not None
+        or args.sample_interval is not None
+        or args.middleware is not None
+    ):
         print(
-            "error: --trace-out/--sample-interval require --scenario",
+            "error: --trace-out/--sample-interval/--middleware require --scenario",
             file=sys.stderr,
         )
         return 2

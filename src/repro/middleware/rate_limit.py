@@ -1,0 +1,120 @@
+"""Per-function rate limiting: token buckets refilled on simulated time."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.middleware.base import Middleware, Verdict, defer, reject
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.task import Task
+
+#: Slack when testing for a whole token, so a bucket refilled to *exactly*
+#: 1.0 at a sim-time boundary admits despite float rounding (and a deferred
+#: task resumed at its own computed refill instant cannot re-defer forever).
+TOKEN_EPSILON = 1e-9
+
+
+class TokenBucket:
+    """Classic token bucket on the simulation clock (lazy refill).
+
+    ``tokens`` grows at ``rate`` per simulated second up to ``burst``,
+    refilled lazily at observation time — exact, not tick-quantised.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst  # a fresh bucket starts full
+        self.updated = now
+
+    def refill(self, now: float) -> None:
+        if now > self.updated:
+            self.tokens = min(self.burst, self.tokens + (now - self.updated) * self.rate)
+            self.updated = now
+
+    def try_take(self, now: float) -> bool:
+        """Take one token at ``now`` if available (within float slack)."""
+        self.refill(now)
+        if self.tokens + TOKEN_EPSILON >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def time_until_token(self) -> float:
+        """Seconds (from the last refill instant) until one whole token."""
+        return max(0.0, (1.0 - self.tokens) / self.rate)
+
+
+class RateLimitMiddleware(Middleware):
+    """Token-bucket limiter keyed per function.
+
+    Each function (see :func:`repro.cluster.dispatchers.function_key`) gets
+    its own bucket of ``rate`` invocations per simulated second with a
+    ``burst`` allowance.  Over-rate arrivals are either dropped
+    (``mode="shed"``) or parked until their bucket refills
+    (``mode="delay"`` — the task re-enters the whole chain at the computed
+    refill instant, so upstream policies re-judge the delayed admission).
+
+    Args:
+        rate: Sustained invocations per simulated second per function.
+        burst: Bucket capacity; defaults to ``max(1, rate)`` (one second's
+            worth of headroom, never below a single invocation).
+        mode: ``"shed"`` rejects over-rate tasks; ``"delay"`` defers them.
+    """
+
+    name = "rate_limit"
+
+    def __init__(
+        self,
+        rate: float = 100.0,
+        burst: Optional[float] = None,
+        mode: str = "shed",
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if mode not in ("shed", "delay"):
+            raise ValueError(f"mode must be 'shed' or 'delay', got {mode!r}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {self.burst!r}")
+        self.mode = mode
+        self.buckets: Dict[str, TokenBucket] = {}
+        self.throttled = 0
+        self.passed = 0
+        self._function_key = None
+
+    def bind(self, chain) -> None:
+        super().bind(chain)
+        from repro.cluster.dispatchers import function_key
+
+        self._function_key = function_key
+
+    def bucket_for(self, task: "Task", now: float) -> TokenBucket:
+        key = self._function_key(task)
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            bucket = self.buckets[key] = TokenBucket(self.rate, self.burst, now)
+        return bucket
+
+    def on_dispatch(self, task: "Task", now: float) -> Verdict:
+        bucket = self.bucket_for(task, now)
+        if bucket.try_take(now):
+            self.passed += 1
+            return None
+        self.throttled += 1
+        if self.mode == "delay":
+            return defer(now + bucket.time_until_token())
+        return reject(self.name)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "passed": float(self.passed),
+            "throttled": float(self.throttled),
+            "functions": float(len(self.buckets)),
+            "rate": self.rate,
+            "burst": self.burst,
+        }

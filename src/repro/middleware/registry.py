@@ -1,0 +1,64 @@
+"""Middleware registry: declarative chains by name.
+
+Mirrors the scheduler/dispatcher/migration registries: scenarios and
+configs refer to middleware by registry name (via
+:class:`~repro.middleware.spec.MiddlewareSpec`), so user-defined middleware
+plugs into the cluster harness without touching engine code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.middleware.admission import AdmissionControlMiddleware
+from repro.middleware.base import Middleware
+from repro.middleware.rate_limit import RateLimitMiddleware
+from repro.middleware.retry import TimeoutRetryMiddleware
+from repro.middleware.shedding import DeadlineShedMiddleware
+from repro.middleware.slo import SLOTrackerMiddleware
+
+MiddlewareFactory = Callable[..., Middleware]
+
+_REGISTRY: Dict[str, MiddlewareFactory] = {}
+
+
+def register_middleware(
+    name: str, factory: MiddlewareFactory, *, overwrite: bool = False
+) -> None:
+    """Register a middleware factory under ``name``.
+
+    Args:
+        name: Registry key (e.g. ``"rate_limit"``).
+        factory: Callable returning a fresh middleware instance.
+        overwrite: Allow replacing an existing registration.
+    """
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"middleware {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def create_middleware(name: str, **kwargs) -> Middleware:
+    """Instantiate a registered middleware by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown middleware {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def available_middlewares() -> List[str]:
+    """Names of every registered middleware, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    register_middleware("admission", AdmissionControlMiddleware, overwrite=True)
+    register_middleware("rate_limit", RateLimitMiddleware, overwrite=True)
+    register_middleware("timeout_retry", TimeoutRetryMiddleware, overwrite=True)
+    register_middleware("deadline_shed", DeadlineShedMiddleware, overwrite=True)
+    register_middleware("slo_tracker", SLOTrackerMiddleware, overwrite=True)
+
+
+_register_builtins()

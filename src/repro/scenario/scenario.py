@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.cluster.config import ClusterConfig, NetworkSpec, NodeSpec
 from repro.cost.cost_model import CostModel
 from repro.cost.pricing import DEFAULT_PRICE_PER_CORE_HOUR
+from repro.middleware.spec import MiddlewareSpec
 from repro.simulation.config import SimulationConfig
 from repro.telemetry.spec import TelemetrySpec
 
@@ -145,6 +146,11 @@ class Scenario:
         network: Dispatcher→node network model (see
             :class:`~repro.cluster.config.NetworkSpec`); ``None`` keeps the
             zero-RTT default (instantaneous dispatch).  Cluster only.
+        middleware: Ordered dispatch-path middleware chain: registry names,
+            ``{"name": ..., "params": ...}`` dicts, or
+            :class:`~repro.middleware.spec.MiddlewareSpec` entries.  Empty
+            (the default) keeps the exact middleware-free dispatch path.
+            Cluster only.
         node_boot_time: Cold-start seconds for scale-ups; ``None`` keeps the
             engine default (one Firecracker microVM boot).
         seed: Run seed; ``None`` keeps the engine default (0 for the single
@@ -173,6 +179,7 @@ class Scenario:
     migration_kwargs: Dict[str, Any] = field(default_factory=dict)
     autoscaler: Optional[Dict[str, Any]] = None
     network: Optional[NetworkSpec] = None
+    middleware: Tuple[MiddlewareSpec, ...] = ()
     node_boot_time: Optional[float] = None
     # --- run knobs ---------------------------------------------------------
     seed: Optional[int] = None
@@ -200,6 +207,12 @@ class Scenario:
             object.__setattr__(
                 self, "telemetry", TelemetrySpec.from_dict(self.telemetry)
             )
+        if self.middleware:
+            object.__setattr__(
+                self,
+                "middleware",
+                tuple(MiddlewareSpec.coerce(m) for m in self.middleware),
+            )
         if not self.is_cluster:
             cluster_only = {
                 "migration": self.migration is not None,
@@ -209,6 +222,7 @@ class Scenario:
                 "node_boot_time": self.node_boot_time is not None,
                 "dispatcher": self.dispatcher != "round_robin",
                 "dispatcher_kwargs": bool(self.dispatcher_kwargs),
+                "middleware": bool(self.middleware),
             }
             set_fields = [name for name, is_set in cluster_only.items() if is_set]
             if set_fields:
@@ -260,6 +274,8 @@ class Scenario:
             kwargs["num_nodes"] = self.num_nodes
         if self.network is not None:
             kwargs["network"] = self.network
+        if self.middleware:
+            kwargs["middleware"] = self.middleware
         if self.node_boot_time is not None:
             kwargs["node_boot_time"] = self.node_boot_time
         if self.seed is not None:
@@ -298,6 +314,17 @@ class Scenario:
         """Copy of this scenario with telemetry enabled (spec kwargs)."""
         return replace(self, telemetry=TelemetrySpec(**kwargs))
 
+    def with_middleware(self, *middleware) -> "Scenario":
+        """Copy of this (cluster) scenario with the given middleware chain.
+
+        Each entry may be a registry name, a ``{"name": ..., "params": ...}``
+        dict, or a :class:`~repro.middleware.spec.MiddlewareSpec`.
+        """
+        return replace(
+            self,
+            middleware=tuple(MiddlewareSpec.coerce(m) for m in middleware),
+        )
+
     # ------------------------------------------------------------ serialising
 
     def to_dict(self) -> Dict[str, Any]:
@@ -328,6 +355,8 @@ class Scenario:
                 data["autoscaler"] = dict(self.autoscaler)
             if self.network is not None:
                 data["network"] = self.network.to_dict()
+            if self.middleware:
+                data["middleware"] = [spec.to_dict() for spec in self.middleware]
             if self.node_boot_time is not None:
                 data["node_boot_time"] = self.node_boot_time
         else:

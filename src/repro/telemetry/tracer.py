@@ -36,6 +36,7 @@ MACHINE_PID = 1
 DISPATCH_TID = 0
 AUTOSCALER_TID = 1
 MIGRATION_TID = 2
+MIDDLEWARE_TID = 3
 
 #: ``tid`` of a node's queue/lifecycle lane; core ``c`` is ``c + 1``.
 QUEUE_TID = 0

@@ -7,15 +7,18 @@ time a fixed pure-Python loop takes on the same host (see
 :func:`hotpath.calibration_units`).  The gate recomputes units here and
 fails when any gated bench exceeds its baseline by more than 25%.
 
-Five baseline files are gated: ``BENCH_3.json`` (virtual-time engine +
+Six baseline files are gated: ``BENCH_3.json`` (virtual-time engine +
 indexed dispatch hot paths), ``BENCH_4.json`` (columnar metrics
 aggregation), ``BENCH_5.json`` (dispatch through per-node ingress queues
 under a non-zero-RTT network model), ``BENCH_6.json`` (the telemetry
 subsystem: the telemetry-off engine/dispatcher hot paths must stay at their
 pre-telemetry cost, and the tracing-on run is pinned so instrumentation
-cannot silently balloon) and ``BENCH_7.json`` (the middleware chain: the
+cannot silently balloon), ``BENCH_7.json`` (the middleware chain: the
 chain-off hot paths must stay at their committed pre-middleware cost, and
-the chain-on dispatcher run is pinned).
+the chain-on dispatcher run is pinned) and ``BENCH_8.json`` (the chaos
+subsystem: the chaos-off hot paths must stay at their committed pre-chaos
+cost, and the chaos-on 512-node dispatcher run — seeded revocations with
+work-stealing rescue — is pinned).
 
 Usage::
 
@@ -51,7 +54,10 @@ _REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir)
 #: BENCH_7: the middleware PR re-gates the same chain-off hot paths (an
 #: empty/absent chain must stay on the exact pre-middleware code path) and
 #: pins the chain-on 512-node dispatcher run (admission + SLO tracker) so
-#: the per-dispatch hook overhead cannot silently balloon.
+#: the per-dispatch hook overhead cannot silently balloon.  BENCH_8: the
+#: chaos PR re-gates the same chaos-off hot paths (an absent injector must
+#: stay on the exact pre-chaos code path) and pins the chaos-on 512-node
+#: dispatcher run (seeded spot revocations with work-stealing rescue).
 GATED_BY_FILE = {
     os.path.join(_REPO_ROOT, "BENCH_3.json"): (
         "engine_mp512",
@@ -73,6 +79,11 @@ GATED_BY_FILE = {
         "engine_mp512",
         "dispatcher_rtt_512nodes",
         "dispatcher_mw_512nodes",
+    ),
+    os.path.join(_REPO_ROOT, "BENCH_8.json"): (
+        "engine_mp512",
+        "dispatcher_rtt_512nodes",
+        "dispatcher_chaos_512nodes",
     ),
 }
 

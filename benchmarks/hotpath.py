@@ -35,6 +35,13 @@ middleware-*off* path is gated by re-checking ``engine_mp512`` and
 ``dispatcher_rtt_512nodes`` against their BENCH_5/6 baselines, asserting an
 empty chain adds nothing.
 
+**dispatcher_chaos_512nodes** (the ``BENCH_8.json`` case) runs the 512-node
+RTT bench with seeded spot revocations and work stealing enabled — nodes
+drain, queued work is rescued, kills land mid-run — to pin the chaos-*on*
+dispatch cost; the chaos-*off* path is gated by re-checking ``engine_mp512``
+and ``dispatcher_rtt_512nodes`` against the same baselines, asserting an
+absent injector adds nothing.
+
 Workloads are seeded and deterministic so timings measure the engine, not
 the workload draw.
 """
@@ -165,6 +172,35 @@ def run_dispatcher_mw_bench(num_nodes: int):
     )
     assert len(result.finished_tasks) == num_nodes * 4
     assert result.tasks_rejected == 0
+    return result
+
+
+def run_dispatcher_chaos_bench(num_nodes: int):
+    """The RTT dispatcher bench with seeded revocations (chaos-on cost).
+
+    Spot-style revocations with a short warning window over the same fleet
+    and workload as the plain RTT bench, with work stealing rescuing the
+    drained nodes' backlogs.  The budget keeps the fleet large enough that
+    the run stays load-shaped like the chaos-off bench while every chaos
+    code path (warnings, drains, rescue passes, kills, lost-task
+    re-admission) is exercised at the 512-node scale.
+    """
+    from repro.chaos import ChaosSpec
+
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        cores_per_node=1,
+        scheduler="fifo",
+        dispatcher="jsq",
+        network=NetworkSpec(rtt=DISPATCHER_RTT),
+        migration="work_stealing",
+        migration_kwargs={"interval": 0.05},
+        chaos=ChaosSpec(revocation_rate=0.2, warning=0.05, max_failures=16),
+    )
+    result = simulate_cluster(dispatcher_tasks(num_nodes), config=config)
+    assert len(result.tasks) == num_nodes * 4
+    assert result.completion_ratio == 1.0
+    assert result.nodes_failed > 0
     return result
 
 
@@ -307,6 +343,7 @@ BENCHES: Dict[str, Callable[[], object]] = {
     },
     "engine_mp512_traced": run_engine_traced_bench,
     "dispatcher_mw_512nodes": lambda: run_dispatcher_mw_bench(512),
+    "dispatcher_chaos_512nodes": lambda: run_dispatcher_chaos_bench(512),
     "object_churn": run_object_churn,
     **{
         f"metrics_list_{_metrics_label(n)}": (lambda n=n: run_metrics_list(n))

@@ -1,0 +1,16 @@
+"""Seeded fault injection: node crashes, spot revocations, task loss.
+
+Public surface:
+
+* :class:`~repro.chaos.spec.ChaosSpec` — frozen, JSON-round-tripping
+  configuration carried by a :class:`~repro.scenario.scenario.Scenario`;
+* :class:`~repro.chaos.injector.ChaosInjector` — the live injector a
+  :class:`~repro.cluster.simulator.ClusterSimulator` builds from the spec.
+
+``None`` (no spec) keeps the cluster on the exact pre-chaos code path.
+"""
+
+from repro.chaos.injector import ChaosInjector, build_injector
+from repro.chaos.spec import ChaosSpec
+
+__all__ = ["ChaosInjector", "ChaosSpec", "build_injector"]

@@ -39,12 +39,15 @@ def fleet_load_signal(cluster) -> float:
     Module-level so the telemetry layer can sample the same signal as a
     ``cluster.fleet_load`` gauge on clusters that run without an autoscaler.
     """
-    nodes = [n for n in cluster.nodes if n.state.value != "retired"]
+    nodes = [n for n in cluster.nodes if not n.state.terminal]
+    waiting = len(cluster.waiting_tasks)
     if not nodes:
-        return 0.0
+        # Whole fleet terminal (e.g. wiped by revocations): a parked backlog
+        # must read as infinite load — the signal a scale-up reacts to —
+        # not as an idle fleet.
+        return float("inf") if waiting else 0.0
     total_cores = sum(len(n.machine) for n in nodes)
     bound = sum(bound_work(n) for n in nodes)
-    waiting = len(cluster.waiting_tasks)
     demand = bound + waiting
     if total_cores == 0:
         return float("inf") if demand else 0.0
@@ -103,6 +106,7 @@ class ReactiveAutoscaler:
         self.cluster = None
         self.scale_ups = 0
         self.scale_downs = 0
+        self.replacements = 0
         self._last_action_time: float = float("-inf")
 
     def attach(self, cluster) -> None:
@@ -123,7 +127,7 @@ class ReactiveAutoscaler:
         self.cluster.record_series("autoscaler.load", load)
         if now - self._last_action_time < self.config.cooldown:
             return
-        growable = [n for n in self.cluster.nodes if n.state.value != "retired"]
+        growable = [n for n in self.cluster.nodes if not n.state.terminal]
         active = self.cluster.active_nodes()
         if load > self.config.scale_up_load and len(growable) < self.config.max_nodes:
             self.cluster.add_node(booting=True)
@@ -138,6 +142,27 @@ class ReactiveAutoscaler:
             self.scale_downs += 1
             self._last_action_time = now
             self._record_decision("scale-down", now, load)
+
+    # ---------------------------------------------------------------- failure
+
+    def on_node_failure(self, node, now: float) -> None:
+        """Replace revoked capacity like-for-like; called by the cluster.
+
+        Replacement is event-driven, not cooldown-gated: losing a node is
+        the provider's doing, not flapping, and waiting a control interval
+        to react would double the damage.  The replacement boots with the
+        failed node's own spec (shape and rates), capped by ``max_nodes``
+        over the surviving (non-terminal) fleet.  It does not stamp
+        ``_last_action_time`` — a revocation must not delay an ordinary
+        scale decision either.
+        """
+        alive = [n for n in self.cluster.nodes if not n.state.terminal]
+        if len(alive) >= self.config.max_nodes:
+            return
+        spec = node.spec.singleton() if node.spec is not None else None
+        self.cluster.add_node(booting=True, spec=spec)
+        self.replacements += 1
+        self._record_decision("replace", now, self.fleet_load())
 
     def _record_decision(self, action: str, now: float, load: float) -> None:
         """Mirror one scaling decision into the cluster's telemetry."""

@@ -111,6 +111,14 @@ class NodeSpec:
             type; ``None`` uses the fleet-wide
             :attr:`ClusterConfig.network` RTT.  Set it to model mixed
             placements (same-rack nodes next to remote ones).
+        crash_rate: Crash-style failures per node per second for this node
+            type; ``None`` uses the fleet-wide
+            :attr:`~repro.chaos.spec.ChaosSpec.crash_rate`.  Only read when
+            the run has a chaos spec.
+        revocation_rate: Spot-style revocations per node per second for
+            this node type; ``None`` uses the fleet-wide
+            :attr:`~repro.chaos.spec.ChaosSpec.revocation_rate`.  Set it to
+            model spot nodes next to reliable on-demand ones.
     """
 
     cores: int = 12
@@ -119,6 +127,8 @@ class NodeSpec:
     label: str = ""
     price_per_hour: Optional[float] = None
     rtt: Optional[float] = None
+    crash_rate: Optional[float] = None
+    revocation_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.cores <= 0:
@@ -135,6 +145,15 @@ class NodeSpec:
             )
         if self.rtt is not None and self.rtt < 0:
             raise ValueError(f"rtt must be >= 0 when set, got {self.rtt!r}")
+        if self.crash_rate is not None and self.crash_rate < 0:
+            raise ValueError(
+                f"crash_rate must be >= 0 when set, got {self.crash_rate!r}"
+            )
+        if self.revocation_rate is not None and self.revocation_rate < 0:
+            raise ValueError(
+                f"revocation_rate must be >= 0 when set, got "
+                f"{self.revocation_rate!r}"
+            )
 
     @property
     def capacity(self) -> float:
@@ -162,6 +181,10 @@ class NodeSpec:
             data["price_per_hour"] = self.price_per_hour
         if self.rtt is not None:
             data["rtt"] = self.rtt
+        if self.crash_rate is not None:
+            data["crash_rate"] = self.crash_rate
+        if self.revocation_rate is not None:
+            data["revocation_rate"] = self.revocation_rate
         return data
 
     @classmethod
@@ -199,7 +222,12 @@ class ClusterConfig:
             names, dicts, or specs — coerced on construction) applied in
             order to every arriving task.  Empty (the default) keeps the
             dispatch path bit-identical to the middleware-free engine.
-        seed: Seed for every randomized dispatcher; two runs with the same
+        chaos: Fault-injection configuration
+            (:class:`~repro.chaos.spec.ChaosSpec`, or a dict coerced to
+            one); ``None`` (the default) keeps the cluster on the exact
+            pre-chaos code path.
+        seed: Seed for every randomized dispatcher (and, via an isolated
+            derived stream, the chaos injector); two runs with the same
             config and workload are bit-identical.
         node_config: Per-node simulation configuration; when omitted a
             default config sized to each node's spec is used (with
@@ -218,6 +246,7 @@ class ClusterConfig:
     node_boot_time: float = DEFAULT_NODE_BOOT_TIME
     network: NetworkSpec = field(default_factory=NetworkSpec)
     middleware: Tuple[object, ...] = ()
+    chaos: Optional[object] = None
     seed: int = 7
     node_config: Optional[SimulationConfig] = None
 
@@ -261,6 +290,17 @@ class ClusterConfig:
                 "middleware",
                 tuple(MiddlewareSpec.coerce(m) for m in self.middleware),
             )
+        if self.chaos is not None:
+            # Same lazy-import rule as middleware: repro.chaos depends on
+            # cluster modules, so the dependency stays one-way at import time.
+            from repro.chaos.spec import ChaosSpec
+
+            if isinstance(self.chaos, dict):
+                object.__setattr__(self, "chaos", ChaosSpec.from_dict(self.chaos))
+            elif not isinstance(self.chaos, ChaosSpec):
+                raise TypeError(
+                    f"chaos must be a ChaosSpec or dict, got {self.chaos!r}"
+                )
 
     # ------------------------------------------------------------------ fleet
 
@@ -368,3 +408,9 @@ class ClusterConfig:
         dict, or a :class:`~repro.middleware.spec.MiddlewareSpec`.
         """
         return replace(self, middleware=tuple(entries))
+
+    def with_chaos(self, **kwargs) -> "ClusterConfig":
+        """Copy of this config with fault injection enabled (spec kwargs)."""
+        from repro.chaos.spec import ChaosSpec
+
+        return replace(self, chaos=ChaosSpec(**kwargs))

@@ -39,14 +39,31 @@ DEFAULT_MIGRATION_INTERVAL = 0.25
 #: order of magnitude below the Firecracker node boot (~125 ms).
 DEFAULT_MIGRATION_DELAY = 2e-3
 
+#: Default extra wire seconds a checkpointed (running-task) move pays to
+#: ship its state snapshot — an order of magnitude above the plain payload
+#: transfer, still well below a node boot.
+DEFAULT_CHECKPOINT_DELAY = 2e-2
+
+#: Default extra service seconds a checkpointed task pays at its
+#: destination to restore the snapshot.
+DEFAULT_RESTORE_OVERHEAD = 5e-3
+
 
 @dataclass(frozen=True)
 class Migration:
-    """One planned move: ``task`` leaves ``source`` and joins ``target``."""
+    """One planned move: ``task`` leaves ``source`` and joins ``target``.
+
+    ``running`` marks a checkpointed move of a *started* task: the task
+    keeps its partial progress, pays the policy's checkpoint transfer and
+    restore costs, and exits the source through
+    :meth:`~repro.cluster.node.ClusterNode.surrender_running` instead of the
+    late-binding queue path.
+    """
 
     task: "Task"
     source: "ClusterNode"
     target: "ClusterNode"
+    running: bool = False
 
 
 class MigrationPolicy(ABC):
@@ -65,6 +82,10 @@ class MigrationPolicy(ABC):
     #: policies use it to count planned moves (None keeps planning untouched).
     telemetry = None
 
+    #: Extra seconds of service a checkpointed task pays to restore its
+    #: state on the destination; policies without checkpointing keep 0.0.
+    restore_overhead: float = 0.0
+
     def __init__(
         self,
         interval: float = DEFAULT_MIGRATION_INTERVAL,
@@ -80,6 +101,15 @@ class MigrationPolicy(ABC):
     @abstractmethod
     def plan(self, nodes: Sequence["ClusterNode"], now: float) -> List[Migration]:
         """Decide which queued tasks move where on this tick."""
+
+    def transfer_delay(self, running: bool) -> float:
+        """Wire seconds one planned move pays before landing.
+
+        Checkpointed (``running``) moves ship a state snapshot on top of the
+        invocation payload; the base policy has no checkpoint model, so both
+        cost the plain migration ``delay``.
+        """
+        return self.delay
 
     def describe(self) -> str:
         """One-line human description used in reports."""
@@ -100,11 +130,17 @@ class WorkStealingPolicy(MigrationPolicy):
     factor), so a big node legitimately holds a deeper queue than a little
     one.
 
-    Two phases per tick, both deterministic:
+    Two phases per tick (three with checkpointing), all deterministic:
 
     1. **Drain rescue** — every queued task on a DRAINING node moves to the
        currently coolest active node, so scale-downs never strand work
        behind a retiring machine.
+    1b. **Checkpoint rescue** (``checkpoint=True`` only) — *started* tasks on
+       DRAINING nodes follow: each is checkpointed and shipped with its
+       partial progress, paying ``checkpoint_delay`` extra wire seconds and
+       ``restore_overhead`` extra service at the destination.  Without
+       checkpointing a draining node's running work either finishes in time
+       or (under a revocation deadline) forfeits all progress.
     2. **Idle stealing** — nodes with idle cores pull one task per idle core
        from the hottest backlogs (victims whose normalised backlog exceeds
        ``min_backlog``), up to ``max_steals_per_tick`` moves.  Because a
@@ -123,6 +159,9 @@ class WorkStealingPolicy(MigrationPolicy):
         delay: float = DEFAULT_MIGRATION_DELAY,
         min_backlog: float = 0.0,
         max_steals_per_tick: int = 64,
+        checkpoint: bool = False,
+        checkpoint_delay: float = DEFAULT_CHECKPOINT_DELAY,
+        restore_overhead: float = DEFAULT_RESTORE_OVERHEAD,
     ) -> None:
         super().__init__(interval=interval, delay=delay)
         if min_backlog < 0:
@@ -131,8 +170,25 @@ class WorkStealingPolicy(MigrationPolicy):
             raise ValueError(
                 f"max_steals_per_tick must be >= 1, got {max_steals_per_tick!r}"
             )
+        if checkpoint_delay < 0:
+            raise ValueError(
+                f"checkpoint_delay must be >= 0, got {checkpoint_delay!r}"
+            )
+        if restore_overhead < 0:
+            raise ValueError(
+                f"restore_overhead must be >= 0, got {restore_overhead!r}"
+            )
         self.min_backlog = min_backlog
         self.max_steals_per_tick = max_steals_per_tick
+        self.checkpoint = checkpoint
+        self.checkpoint_delay = checkpoint_delay
+        self.restore_overhead = restore_overhead
+
+    def transfer_delay(self, running: bool) -> float:
+        """Checkpointed moves ship a state snapshot on top of the payload."""
+        if running:
+            return self.delay + self.checkpoint_delay
+        return self.delay
 
     def plan(self, nodes: Sequence["ClusterNode"], now: float) -> List[Migration]:
         active = [node for node in nodes if node.is_active]
@@ -176,6 +232,26 @@ class WorkStealingPolicy(MigrationPolicy):
                     appetite[thief.node_id] -= 1
             backlog[victim.node_id] = []
 
+        # Phase 1b: with checkpointing, started tasks on draining nodes are
+        # rescued too — each ships its partial progress instead of betting
+        # on finishing before the node goes away.
+        checkpoints = 0
+        if self.checkpoint:
+            for victim in nodes:
+                if victim.state is not NodeState.DRAINING:
+                    continue
+                for task in victim.checkpointable_tasks():
+                    thief = min(active, key=lambda n: (rescue_load(n), n.node_id))
+                    plans.append(
+                        Migration(
+                            task=task, source=victim, target=thief, running=True
+                        )
+                    )
+                    planned_in[thief.node_id] += 1
+                    checkpoints += 1
+                    if appetite[thief.node_id] > 0:
+                        appetite[thief.node_id] -= 1
+
         # Phase 2: idle cores pull from the deepest normalised backlogs.
         steals = 0
         while steals < self.max_steals_per_tick:
@@ -207,9 +283,13 @@ class WorkStealingPolicy(MigrationPolicy):
             steals += 1
 
         if self.telemetry is not None and plans:
-            rescues = len(plans) - steals
+            rescues = len(plans) - steals - checkpoints
             if rescues:
                 self.telemetry.counters.inc("migration.rescues_planned", rescues)
+            if checkpoints:
+                self.telemetry.counters.inc(
+                    "migration.checkpoints_planned", checkpoints
+                )
             if steals:
                 self.telemetry.counters.inc("migration.steals_planned", steals)
         return plans

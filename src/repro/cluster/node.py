@@ -31,6 +31,15 @@ class NodeState(Enum):
     ACTIVE = "active"
     DRAINING = "draining"
     RETIRED = "retired"
+    #: Torn down by the fault injector (crash or revocation deadline) while
+    #: possibly still holding work; terminal like RETIRED but billed and
+    #: reported separately.
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        """True once the node can never serve work again."""
+        return self is NodeState.RETIRED or self is NodeState.FAILED
 
 
 class _NodeEngine(Simulator):
@@ -124,6 +133,9 @@ class ClusterNode:
         #: Queued tasks handed back to the cluster by retry middleware
         #: (pulled out of the queue without counting as stolen).
         self.tasks_released = 0
+        #: Tasks this node lost to a failure (queued, running, or landing
+        #: on it while it failed); counted by the cluster as it re-admits.
+        self.tasks_lost = 0
         #: When this node started being paid for (booting counts: the
         #: cold-start window is billed just like active and draining time).
         self.commissioned_at = commissioned_at
@@ -183,6 +195,47 @@ class ClusterNode:
             )
         self.state = NodeState.RETIRED
         self.retired_at = now
+
+    def fail(self, now: float) -> List[Task]:
+        """Tear this node down *now* (crash, or a revocation deadline).
+
+        Unlike :meth:`retire` this is legal — expected, even — while work is
+        on board: every queued and running task is pulled out of the local
+        engine and returned to the caller (the cluster re-admits them
+        through the ordinary ARRIVAL path).  Tasks still on the wire toward
+        this node are not touched here; the cluster re-routes them when
+        their ingress event fires and finds the node FAILED.
+
+        Billing stops at the failure instant: a revoked node is no longer
+        paid for, so ``retired_at`` is set like a retirement.
+        """
+        engine = self.engine
+        lost: List[Task] = []
+        # Running work first: stop each task on its core (progress is
+        # forfeited by the caller; stop_task just detaches it cleanly).
+        for core in self.machine.cores:
+            core.sync(now)
+            for task in core.tasks:
+                engine.stop_task(task, core, preempted=True)
+                lost.append(task)
+        # Then the queue — everything the scheduler still holds, started or
+        # not (a failed node loses preempted-and-requeued tasks too).
+        for task in list(self.scheduler.stealable_tasks()):
+            if self.scheduler.remove_queued_task(task):
+                lost.append(task)
+        for task in lost:
+            self.inflight -= 1
+            engine._unfinished -= 1
+        if self.inflight != 0:
+            raise RuntimeError(
+                f"node {self.node_id} failed with {self.inflight} tasks "
+                "unaccounted for (scheduler holds work outside its queue "
+                "and cores)"
+            )
+        self.state = NodeState.FAILED
+        self.retired_at = now
+        self._notify_load()
+        return lost
 
     # ------------------------------------------------------------------- load
 
@@ -292,7 +345,7 @@ class ClusterNode:
         Only not-yet-started work may migrate: preempted tasks carry core
         state (partial progress, cache warmth) that a move would forfeit.
         """
-        if self.state is NodeState.RETIRED:
+        if self.state.terminal:
             return []
         return [
             task
@@ -302,9 +355,29 @@ class ClusterNode:
 
     def stealable_count(self) -> int:
         """Number of stealable tasks, without materialising the list."""
-        if self.state is NodeState.RETIRED:
+        if self.state.terminal:
             return 0
         return self.scheduler.stealable_count()
+
+    def checkpointable_tasks(self) -> List[Task]:
+        """Started-but-unfinished tasks a checkpointing policy may move.
+
+        The complement of :meth:`stealable_tasks`' late-binding surface:
+        tasks currently on a core, plus started tasks sitting in the queue
+        after a preemption.  Moving one means shipping a checkpoint of its
+        partial progress instead of forfeiting it.
+        """
+        if self.state.terminal:
+            return []
+        requeued = [
+            task
+            for task in self.scheduler.stealable_tasks()
+            if task.first_run_time is not None
+        ]
+        on_core = [
+            task for core in self.machine.cores for task in core.tasks
+        ]
+        return requeued + on_core
 
     def _relinquish(self, task: Task) -> bool:
         """Pull one queued, never-run task out of this node's queue.
@@ -329,6 +402,31 @@ class ClusterNode:
         """
         if not self._relinquish(task):
             return False
+        self.tasks_stolen_away += 1
+        return True
+
+    def surrender_running(self, task: Task) -> bool:
+        """Checkpoint one *started* task off this node for migration.
+
+        The checkpointing counterpart of :meth:`surrender`: the task keeps
+        its partial progress (``remaining`` travels with it) whether it was
+        on a core or requeued after a preemption.  Returns False when the
+        task finished or already left the node between planning and
+        execution — the caller must then drop the move.
+        """
+        core = task._core
+        if core is None:
+            # Requeued-after-preemption: exits through the ordinary queue
+            # path, progress intact.
+            if not self._relinquish(task):
+                return False
+        else:
+            if task.is_finished:
+                return False
+            self.engine.stop_task(task, core, preempted=True)
+            self.inflight -= 1
+            self.engine._unfinished -= 1
+            self._notify_load()
         self.tasks_stolen_away += 1
         return True
 

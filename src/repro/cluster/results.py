@@ -40,9 +40,18 @@ class ClusterResult:
     events_processed: int = 0
     nodes_added: int = 0
     nodes_removed: int = 0
+    #: Nodes torn down by the fault injector (crash or revocation deadline).
+    nodes_failed: int = 0
     tasks_migrated: int = 0
+    #: Running tasks migrated with their progress via a checkpoint.
+    tasks_checkpointed: int = 0
     #: Tasks dropped by middleware before ever reaching a node.
     tasks_rejected: int = 0
+    #: Tasks a failing node was holding (each re-entered via re-admission;
+    #: one task lost twice counts twice).
+    tasks_lost: int = 0
+    #: Service seconds of partial progress forfeited to failures.
+    wasted_service: float = 0.0
     #: Ordered registry names of the run's middleware chain (empty = none).
     middleware_names: List[str] = field(default_factory=list)
     #: Per-middleware counters keyed by chain name (see ``Middleware.stats``).
@@ -220,6 +229,25 @@ class ClusterResult:
         """Tasks dropped by middleware (rejection reason in metadata)."""
         return [t for t in self.tasks if "rejected" in t.metadata]
 
+    # ------------------------------------------------------------------ chaos
+
+    def lost_tasks(self) -> List[Task]:
+        """Tasks that survived at least one node failure (and re-entered)."""
+        return [
+            task
+            for task in self.tasks
+            if task.metadata.get("node_failures", 0) > 0
+        ]
+
+    def unserved_tasks(self) -> int:
+        """Tasks neither finished nor rejected when the run ended.
+
+        On a run cut off by ``max_simulated_time`` under fault injection
+        this is the headline task-loss figure: work the fleet accepted but
+        never completed.
+        """
+        return len(self.tasks) - len(self.finished_tasks) - len(self.rejected_tasks())
+
     # ------------------------------------------------------------- timeseries
 
     def series_values(self, name: str) -> List[SeriesPoint]:
@@ -244,6 +272,13 @@ class ClusterResult:
             lines.append(
                 f"middleware           : {' -> '.join(self.middleware_names)}"
                 f" ({self.tasks_rejected} rejected)"
+            )
+        if self.nodes_failed or self.tasks_lost:
+            lines.append(
+                f"chaos                : {self.nodes_failed} nodes failed, "
+                f"{self.tasks_lost} tasks lost, "
+                f"{self.tasks_checkpointed} checkpointed, "
+                f"{self.wasted_service:.2f}s wasted"
             )
         lines += [
             f"nodes (final fleet)  : {self.num_nodes}"

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time as _wallclock
 from typing import Iterable, List, Optional, Sequence
 
+from repro.chaos.injector import build_injector
 from repro.cluster.autoscaler import ReactiveAutoscaler
 from repro.cluster.config import ClusterConfig, NodeSpec
 from repro.cluster.dispatchers import Dispatcher, bound_work, normalized_load
@@ -41,6 +42,7 @@ from repro.telemetry.gauges import SAMPLER_TAG
 from repro.telemetry.runtime import as_telemetry
 from repro.telemetry.tracer import (
     AUTOSCALER_TID,
+    CHAOS_TID,
     CLUSTER_PID,
     DISPATCH_TID,
     MIDDLEWARE_TID,
@@ -63,6 +65,7 @@ class ClusterSimulator:
         migration_policy: Optional[MigrationPolicy] = None,
         telemetry=None,
         middleware=None,
+        chaos=None,
     ) -> None:
         self.config = config or ClusterConfig()
         self.clock = VirtualClock()
@@ -81,6 +84,12 @@ class ClusterSimulator:
         # behind the same one-attribute ``is None`` guard as telemetry (the
         # off path is the exact pre-middleware code path).
         self._middleware = self._coerce_middleware(middleware)
+        # Fault injector built from an explicit spec or the config's; None
+        # (no spec) keeps every failure hook behind the same one-attribute
+        # ``is None`` guard — the chaos-off path is the exact pre-chaos code.
+        self._chaos = build_injector(
+            chaos if chaos is not None else self.config.chaos, self
+        )
         # Incrementally maintained active set + load index: dispatch consults
         # these instead of rescanning the fleet per arrival.
         self._load_index = NodeLoadIndex()
@@ -96,8 +105,14 @@ class ClusterSimulator:
         self.waiting_tasks: List[Task] = []
         self.nodes_added = 0
         self.nodes_removed = 0
+        self.nodes_failed = 0
         self.tasks_migrated = 0
+        self.tasks_checkpointed = 0
         self.tasks_rejected = 0
+        #: Tasks lost to node failures (each re-enters via re-admission).
+        self.tasks_lost = 0
+        #: Service seconds of partial progress forfeited by failures.
+        self.wasted_service = 0.0
         self.rejected_tasks: List[Task] = []
         self._migrations_inflight = 0
         self._unfinished = 0
@@ -133,6 +148,8 @@ class ClusterSimulator:
             tracer.name_track(CLUSTER_PID, MIGRATION_TID, "migration")
             if self._middleware is not None:
                 tracer.name_track(CLUSTER_PID, MIDDLEWARE_TID, "middleware")
+            if self._chaos is not None:
+                tracer.name_track(CLUSTER_PID, CHAOS_TID, "chaos")
         telemetry.gauges.register(
             "cluster.fleet_load", lambda: fleet_load_signal(self), self.series
         )
@@ -260,6 +277,10 @@ class ClusterSimulator:
         self.nodes.append(node)
         if state is NodeState.ACTIVE:
             self._track_active(node)
+        if self._chaos is not None:
+            # Every node — initial fleet, scale-ups, replacements — gets its
+            # failure times drawn the moment it is commissioned.
+            self._chaos.arm(node)
         return node
 
     # ------------------------------------------------------------------- clock
@@ -326,7 +347,10 @@ class ClusterSimulator:
         return node
 
     def _activate_node(self, node: ClusterNode) -> None:
-        if node.state is NodeState.RETIRED:
+        # Only a booting (or freshly created warm) node may come into
+        # service: a boot event firing after the node failed, was revoked
+        # into DRAINING, or retired must not resurrect it.
+        if node.state not in (NodeState.BOOTING, NodeState.ACTIVE):
             return
         was_booting = node.state is NodeState.BOOTING
         node.activate(self.now)
@@ -372,12 +396,89 @@ class ClusterSimulator:
                     "node-retire", node_pid(node.node_id), QUEUE_TID, self.now,
                     value=float(node.node_id),
                 )
-            # A retired node's signals are frozen; stop sampling them.
-            nid = node.node_id
-            self.telemetry.gauges.unregister(f"cluster.node{nid}.queue_depth")
-            self.telemetry.gauges.unregister(f"cluster.node{nid}.busy_cores")
-            self.telemetry.gauges.unregister(f"cluster.node{nid}.ingress")
+                if self._chaos is not None:
+                    # A revoked node retiring here drained dry before its
+                    # deadline: close the open warning span (no-op if the
+                    # retirement was an ordinary scale-down).
+                    self._tracer.end(("v", node.node_id), self.now)
+            self._unregister_node_gauges(node)
         self._record_fleet_size()
+
+    def _unregister_node_gauges(self, node: ClusterNode) -> None:
+        """A terminal node's signals are frozen; stop sampling them."""
+        nid = node.node_id
+        self.telemetry.gauges.unregister(f"cluster.node{nid}.queue_depth")
+        self.telemetry.gauges.unregister(f"cluster.node{nid}.busy_cores")
+        self.telemetry.gauges.unregister(f"cluster.node{nid}.ingress")
+
+    # ----------------------------------------------------------------- chaos
+
+    def _fail_node(self, node: ClusterNode, reason: str) -> None:
+        """Tear ``node`` down right now (fault injector callback).
+
+        Every queued and running task it held forfeits its progress and
+        re-enters through the ordinary ARRIVAL re-admission path (so retry
+        and shedding middleware see it again); an attached autoscaler gets
+        the chance to replace the lost capacity immediately.
+        """
+        if node.state.terminal:
+            return
+        if node.is_active:
+            self._untrack_active(node)
+        lost = node.fail(self.now)
+        self.nodes_failed += 1
+        if self.telemetry is not None:
+            if self._tracer is not None:
+                self._tracer.end(("v", node.node_id), self.now)
+                self._tracer.instant(
+                    f"node-{reason}", node_pid(node.node_id), QUEUE_TID,
+                    self.now, value=float(node.node_id),
+                )
+                self._tracer.instant(
+                    f"node-{reason}", CLUSTER_PID, CHAOS_TID, self.now,
+                    value=float(node.node_id),
+                )
+            self.telemetry.counters.inc(f"chaos.node_failures.{reason}")
+            self._unregister_node_gauges(node)
+        for task in lost:
+            self._lose_task(task, node)
+        if self.autoscaler is not None:
+            self.autoscaler.on_node_failure(node, self.now)
+        self._record_fleet_size()
+
+    def _lose_task(self, task: Task, node: ClusterNode) -> None:
+        """Re-admit one task its failed node was holding.
+
+        Crash semantics: partial progress is forfeited (the cost of running
+        without checkpoints) and the task re-enters through the ordinary
+        ARRIVAL path after the configured detection delay, composing with
+        whatever middleware chain guards dispatch.
+        """
+        forfeited = task.service_time - task.remaining
+        if forfeited > 0.0:
+            self.wasted_service += forfeited
+            task.remaining = task.service_time
+        task.metadata["node_failures"] = (
+            task.metadata.get("node_failures", 0) + 1
+        )
+        self.tasks_lost += 1
+        node.tasks_lost += 1
+        if self.telemetry is not None:
+            if self._tracer is not None:
+                self._tracer.end(("q", task.task_id), self.now)
+                self._tracer.instant(
+                    "task-lost", CLUSTER_PID, CHAOS_TID, self.now,
+                    task.task_id, float(node.node_id),
+                )
+            self.telemetry.counters.inc("chaos.tasks_lost")
+        self._pending_arrivals += 1
+        self.events.push(
+            self.now + self._chaos.spec.redispatch_delay,
+            None,
+            priority=EventPriority.ARRIVAL,
+            tag="cluster-arrival",
+            payload=task,
+        )
 
     def _record_fleet_size(self) -> None:
         self.record_series("cluster.active_nodes", float(len(self._active)))
@@ -392,7 +493,11 @@ class ClusterSimulator:
         """
         if self._unfinished <= 0 and self._pending_arrivals <= 0:
             return False
-        return any(node.state is not NodeState.RETIRED for node in self.nodes)
+        if any(not node.state.terminal for node in self.nodes):
+            return True
+        # A chaos-wiped fleet is not the end: an attached autoscaler's next
+        # tick sees the parked backlog as infinite load and regrows it.
+        return self._chaos is not None and self.autoscaler is not None
 
     # --------------------------------------------------------------- workload
 
@@ -426,6 +531,14 @@ class ClusterSimulator:
             return
         if event.tag == "cluster-ingress":
             node, task = event.payload
+            if node.state is NodeState.FAILED:
+                # The node died while this task was on the wire toward it:
+                # the landing is lost and the task re-enters dispatch.
+                node.ingress -= 1
+                if self._tracer is not None:
+                    self._tracer.end(("w", task.task_id), self.now)
+                self._lose_task(task, node)
+                return
             node.complete_ingress(task, self.now)
             return
         if event.tag == SAMPLER_TAG:
@@ -540,7 +653,18 @@ class ClusterSimulator:
     def _dispatch(self, task: Task) -> None:
         active = self._active
         if not active:
-            if not any(node.state is NodeState.BOOTING for node in self.nodes):
+            # Whole fleet out of service.  Park the task in the
+            # backlog-replay path whenever service can plausibly resume —
+            # a node is booting, draining or failed fleets can be regrown
+            # by an autoscaler, and a chaos run may be mid-revocation.
+            # Only a fleet retired for good with no way back is a hard
+            # error (silently dropping the task would corrupt accounting).
+            recoverable = (
+                self.autoscaler is not None
+                or self._chaos is not None
+                or any(not node.state.terminal for node in self.nodes)
+            )
+            if not recoverable:
                 raise SimulationError(
                     f"task {task.task_id} arrived with no active or booting node"
                 )
@@ -603,25 +727,40 @@ class ClusterSimulator:
                 )
 
     def _execute_migration(self, plan: Migration) -> bool:
-        """Move one queued task between nodes, paying the migration delay.
+        """Move one queued (or checkpointed running) task between nodes.
 
-        Returns False when the task already started on its source node
-        between planning and execution (the move is silently dropped).
+        Returns False when the task became unmovable between planning and
+        execution — a late-binding move whose task started, or a
+        checkpointed move whose task finished (the move is silently
+        dropped).
         """
         task, source, target = plan.task, plan.source, plan.target
-        if not source.surrender(task):
+        if plan.running:
+            if not source.surrender_running(task):
+                return False
+            # The restore cost is charged the moment the snapshot is cut:
+            # wherever the task eventually lands, it must replay the
+            # restore before making fresh progress.
+            task.remaining = task.remaining + self.migration_policy.restore_overhead
+            task.metadata["checkpoints"] = task.metadata.get("checkpoints", 0) + 1
+            self.tasks_checkpointed += 1
+            if self.telemetry is not None:
+                self.telemetry.counters.inc("migration.checkpoints")
+        elif not source.surrender(task):
             return False
         if self._tracer is not None:
-            # The task leaves its source queue and travels on the migration
-            # lane until it lands (closing the open queue-wait span first).
+            # The task leaves its source and travels on the migration lane
+            # until it lands (closing the open queue-wait span first).
             tid = task.task_id
             self._tracer.end(("q", tid), self.now)
             self._tracer.begin(
-                ("m", tid), "migrate", CLUSTER_PID, MIGRATION_TID, self.now, tid
+                ("m", tid),
+                "checkpoint-migrate" if plan.running else "migrate",
+                CLUSTER_PID, MIGRATION_TID, self.now, tid,
             )
         self._migrations_inflight += 1
         self.events.push(
-            self.now + self.migration_policy.delay,
+            self.now + self.migration_policy.transfer_delay(plan.running),
             lambda: self._complete_migration(task, source, target),
             priority=EventPriority.ARRIVAL,
             tag="migration-arrival",
@@ -671,6 +810,13 @@ class ClusterSimulator:
                     n for n in self.nodes if n.state is NodeState.DRAINING
                 ]
                 if not survivors:
+                    if self.autoscaler is not None or self._chaos is not None:
+                        # The fleet was wiped mid-flight (failures faster
+                        # than the transfer): park the task for the
+                        # replacement/scale-up instead of dying on it.
+                        source.tasks_stolen_away -= 1
+                        self.waiting_tasks.append(task)
+                        return
                     raise SimulationError(
                         f"migrated task {task.task_id} has no surviving node "
                         "to land on"
@@ -799,6 +945,10 @@ class ClusterSimulator:
                     "stolen_in": float(node.tasks_stolen_in),
                     "stolen_away": float(node.tasks_stolen_away),
                     "released": float(node.tasks_released),
+                    # Chaos accounting: tasks this node lost to a failure,
+                    # and whether the node itself was torn down.
+                    "lost": float(node.tasks_lost),
+                    "failed": 1.0 if node.state is NodeState.FAILED else 0.0,
                     # Network-model accounting: tasks that paid a wire delay
                     # landing here, and their summed ingress wait.
                     "ingressed": float(node.tasks_ingressed),
@@ -834,8 +984,12 @@ class ClusterSimulator:
             events_processed=self._events_processed,
             nodes_added=self.nodes_added,
             nodes_removed=self.nodes_removed,
+            nodes_failed=self.nodes_failed,
             tasks_migrated=self.tasks_migrated,
+            tasks_checkpointed=self.tasks_checkpointed,
             tasks_rejected=self.tasks_rejected,
+            tasks_lost=self.tasks_lost,
+            wasted_service=self.wasted_service,
             middleware_names=(
                 self._middleware.names() if self._middleware is not None else []
             ),
@@ -912,6 +1066,7 @@ def simulate_cluster(
     until: Optional[float] = None,
     telemetry=None,
     middleware=None,
+    chaos=None,
 ) -> ClusterResult:
     """One-call helper: build a cluster, route ``tasks`` through it, run it.
 
@@ -921,6 +1076,9 @@ def simulate_cluster(
     accepts a :class:`~repro.middleware.base.MiddlewareChain` or an iterable
     of middleware instances to wrap the dispatch path; when omitted, the
     config's declarative ``middleware`` specs (if any) are built instead.
+    ``chaos`` accepts a :class:`~repro.chaos.spec.ChaosSpec` (or dict) to
+    enable seeded fault injection; when omitted, the config's ``chaos``
+    spec (if any) is used instead.
     """
     cluster = ClusterSimulator(
         config=config,
@@ -929,6 +1087,7 @@ def simulate_cluster(
         migration_policy=migration_policy,
         telemetry=telemetry,
         middleware=middleware,
+        chaos=chaos,
     )
     cluster.submit(tasks)
     return cluster.run(until=until)

@@ -21,6 +21,7 @@ from repro.experiments.common import (
 
 # Importing the experiment modules registers them.
 from repro.experiments import (  # noqa: E402,F401  (import for registration side effect)
+    cluster_chaos,
     cluster_scaling,
     cluster_slo,
     fig01_cost_fifo_vs_cfs,

@@ -1,0 +1,207 @@
+"""Fault injection: what the middleware stack buys when nodes actually die.
+
+Two questions, each answered by a seeded-chaos A/B pair on the same
+workload and failure schedule:
+
+* **Crash failures vs the dispatch-path stack** — an undersized FIFO fleet
+  loses a node to a crash-style failure (no warning: queued and running
+  work is forfeited and re-enters through ordinary re-admission).  The
+  *bare* fleet queues everything and the horizon cuts it off mid-backlog;
+  the *guarded* fleet runs timeout/retry plus deadline-based load shedding,
+  so hopeless tasks are dropped at admission and the accepted ones finish
+  inside a bounded tail.  Expected shape: guarded beats bare on p99
+  turnaround *and* on tasks left unserved at the horizon.
+* **Checkpointed migration vs forfeit-progress stealing** — a right-sized
+  fleet under spot-style revocations (warning lead time, then the kill).
+  Plain work stealing rescues only queued tasks: anything *running* at the
+  deadline forfeits its progress and restarts elsewhere.  With
+  ``checkpoint=True`` the stealing policy also ships started tasks with
+  their partial progress during the warning window, paying the checkpoint
+  transfer and restore costs.  Expected shape: checkpointing wastes
+  strictly less service time, often letting the drained node retire before
+  the kill even lands (the revocation *escapes*).
+
+Both claims are recorded as booleans in the experiment's data dict, the
+same contract :mod:`repro.experiments.cluster_slo` uses.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.spec import ChaosSpec
+from repro.experiments.common import (
+    ExperimentOutput,
+    register_experiment,
+    run_scenario,
+)
+from repro.scenario import Scenario, Workload
+
+EXPERIMENT_ID = "cluster_chaos"
+TITLE = "Seeded node failures: middleware and checkpointed migration payoffs"
+
+#: Crash-pair fleet: deliberately undersized (the cluster_slo shape) so the
+#: backlog grows through the run and losing a node hurts.
+CRASH_NODES = 2
+
+#: Per-node crash rate (events per simulated second); with the budget below
+#: exactly one node dies mid-run, halving the undersized fleet.  The rate is
+#: high enough that the seeded failure lands inside the workload's arrival
+#: window even at small scales, so every leg experiences it.
+CRASH_RATE = 0.1
+CRASH_BUDGET = 1
+
+#: Hard horizon of the crash pair: the bare fleet is still digging out of
+#: its backlog here, so tasks-left-unserved is a meaningful loss figure.
+CRASH_HORIZON = 180.0
+
+#: Turnaround SLO (seconds) driving both retry and shed thresholds.
+SLO_SECONDS = 10.0
+
+#: Revocation-pair fleet: right-sized, with work stealing and a reactive
+#: autoscaler replacing revoked capacity like-for-like.
+SPOT_NODES = 4
+
+#: Per-node spot revocation rate and the provider's warning lead time.
+SPOT_RATE = 0.03
+SPOT_WARNING = 1.0
+SPOT_BUDGET = 3
+
+#: Migration tick of the revocation pair: several rescue passes fit inside
+#: one warning window.
+STEAL_INTERVAL = 0.1
+
+
+def _cores(scale: float) -> int:
+    return max(1, round(16 * scale))
+
+
+def _guard_chain() -> tuple:
+    """timeout/retry + deadline shedding, the PR 7 overload duo."""
+    return (
+        {
+            "name": "timeout_retry",
+            "params": {"timeout": SLO_SECONDS / 2, "max_retries": 2, "backoff": 1.0},
+        },
+        {
+            "name": "deadline_shed",
+            "params": {"relative_deadline": SLO_SECONDS, "load_aware": True},
+        },
+    )
+
+
+def crash_scenario(scale: float, middleware: tuple = ()) -> Scenario:
+    """One undersized-fleet leg of the crash pair (shared with the tests)."""
+    return Scenario(
+        workload=Workload("two_minute", scale=scale),
+        num_nodes=CRASH_NODES,
+        cores_per_node=_cores(scale),
+        scheduler="fifo",
+        dispatcher="round_robin",
+        middleware=middleware,
+        chaos=ChaosSpec(crash_rate=CRASH_RATE, max_failures=CRASH_BUDGET),
+        max_simulated_time=CRASH_HORIZON,
+    )
+
+
+def spot_scenario(scale: float, checkpoint: bool) -> Scenario:
+    """One revocation leg: work stealing with or without checkpointing."""
+    return Scenario(
+        workload=Workload("two_minute", scale=scale),
+        num_nodes=SPOT_NODES,
+        cores_per_node=_cores(scale),
+        scheduler="fifo",
+        dispatcher="least_loaded",
+        migration="work_stealing",
+        migration_kwargs={"interval": STEAL_INTERVAL, "checkpoint": checkpoint},
+        autoscaler={"min_nodes": 2, "max_nodes": SPOT_NODES + 2},
+        chaos=ChaosSpec(
+            revocation_rate=SPOT_RATE,
+            warning=SPOT_WARNING,
+            max_failures=SPOT_BUDGET,
+        ),
+    )
+
+
+def _leg_stats(result) -> dict:
+    summary = result.summary()
+    return {
+        "p99_turnaround": summary.p99_turnaround,
+        "p50_turnaround": summary.p50_turnaround,
+        "finished": len(result.finished_tasks),
+        "rejected": result.tasks_rejected,
+        "unserved": result.unserved_tasks(),
+        "nodes_failed": result.nodes_failed,
+        "tasks_lost": result.tasks_lost,
+        "tasks_checkpointed": result.tasks_checkpointed,
+        "wasted_service": result.wasted_service,
+    }
+
+
+def run(scale: float = 1.0) -> ExperimentOutput:
+    legs = {
+        "bare": crash_scenario(scale),
+        "guarded": crash_scenario(scale, _guard_chain()),
+        "forfeit": spot_scenario(scale, checkpoint=False),
+        "checkpoint": spot_scenario(scale, checkpoint=True),
+    }
+    results = {label: run_scenario(s).result for label, s in legs.items()}
+    data: dict = {label: _leg_stats(result) for label, result in results.items()}
+
+    # The experiment's claims, asserted as recorded booleans.
+    data["crash_fired"] = data["bare"]["nodes_failed"] > 0
+    data["middleware_beats_bare_p99"] = (
+        data["guarded"]["p99_turnaround"] < data["bare"]["p99_turnaround"]
+    )
+    data["middleware_fewer_lost"] = (
+        data["guarded"]["unserved"] < data["bare"]["unserved"]
+    )
+    data["revocations_fired"] = data["forfeit"]["nodes_failed"] > 0
+    data["checkpoint_less_waste"] = (
+        data["checkpoint"]["wasted_service"] < data["forfeit"]["wasted_service"]
+    )
+
+    lines = [
+        f"crash pair: {CRASH_NODES} nodes x {_cores(scale)} cores, "
+        f"crash_rate={CRASH_RATE}/s (budget {CRASH_BUDGET}), "
+        f"{CRASH_HORIZON:.0f}s horizon",
+    ]
+    for label in ("bare", "guarded"):
+        leg = data[label]
+        lines.append(
+            f"  {label:10s}: p99={leg['p99_turnaround']:.2f}s "
+            f"finished={leg['finished']} rejected={leg['rejected']} "
+            f"unserved={leg['unserved']} "
+            f"(nodes_failed={leg['nodes_failed']}, lost={leg['tasks_lost']})"
+        )
+    lines.append(
+        f"spot pair: {SPOT_NODES} nodes x {_cores(scale)} cores, "
+        f"revocation_rate={SPOT_RATE}/s, warning={SPOT_WARNING}s "
+        f"(budget {SPOT_BUDGET}), work stealing every {STEAL_INTERVAL}s"
+    )
+    for label in ("forfeit", "checkpoint"):
+        leg = data[label]
+        lines.append(
+            f"  {label:10s}: wasted={leg['wasted_service']:.3f}s "
+            f"checkpointed={leg['tasks_checkpointed']} "
+            f"lost={leg['tasks_lost']} nodes_failed={leg['nodes_failed']} "
+            f"p99={leg['p99_turnaround']:.2f}s"
+        )
+    lines += [
+        "",
+        "retry+shed beats the bare fleet on p99 turnaround: "
+        f"{data['middleware_beats_bare_p99']}",
+        "retry+shed leaves fewer tasks unserved at the horizon: "
+        f"{data['middleware_fewer_lost']}",
+        "checkpointed stealing wastes less service than forfeiting: "
+        f"{data['checkpoint_less_waste']}",
+    ]
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        description=__doc__ or "",
+        text="\n".join(lines),
+        tables={},
+        data=data,
+    )
+
+
+register_experiment(EXPERIMENT_ID, run)

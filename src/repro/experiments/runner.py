@@ -81,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
         " --middleware slo_tracker:target=10); repeatable, overrides the "
         "file's own middleware list",
     )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="k=v[,k=v...]",
+        help="with --scenario: enable seeded fault injection with these "
+        "ChaosSpec fields (e.g. --chaos crash_rate=0.05 or "
+        "--chaos revocation_rate=0.02,warning=2.0,max_failures=3); "
+        "overrides the file's own chaos block",
+    )
     return parser
 
 
@@ -108,6 +117,29 @@ def _parse_middleware_flag(value: str):
     return MiddlewareSpec(name=name, params=params)
 
 
+def _parse_chaos_flag(value: str):
+    """``k=v,k=v`` -> a ChaosSpec (values coerced int -> float -> str)."""
+    from repro.chaos.spec import ChaosSpec
+
+    params = {}
+    for pair in value.split(","):
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"bad chaos param {pair!r} (expected key=value)")
+        try:
+            parsed: object = int(raw)
+        except ValueError:
+            try:
+                parsed = float(raw)
+            except ValueError:
+                parsed = raw
+        params[key] = parsed
+    try:
+        return ChaosSpec(**params)
+    except TypeError as exc:
+        raise ValueError(f"bad chaos spec {value!r}: {exc}") from None
+
+
 def _run_scenario_file(
     path: Path,
     scale: Optional[float] = None,
@@ -115,6 +147,7 @@ def _run_scenario_file(
     trace_out: Optional[Path] = None,
     sample_interval: Optional[float] = None,
     middleware: Optional[List[str]] = None,
+    chaos: Optional[str] = None,
 ) -> int:
     """Run one scenario JSON file; print (and optionally save) the summary."""
     from dataclasses import replace
@@ -153,6 +186,13 @@ def _run_scenario_file(
             print(f"error: {exc}", file=sys.stderr)
             return 2
         scenario = replace(scenario, middleware=specs)
+    if chaos is not None:
+        try:
+            spec = _parse_chaos_flag(chaos)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        scenario = replace(scenario, chaos=spec)
     result = run(scenario)
     rendered = result.describe()
     print(rendered)
@@ -184,14 +224,17 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
             trace_out=args.trace_out,
             sample_interval=args.sample_interval,
             middleware=args.middleware,
+            chaos=args.chaos,
         )
     if (
         args.trace_out is not None
         or args.sample_interval is not None
         or args.middleware is not None
+        or args.chaos is not None
     ):
         print(
-            "error: --trace-out/--sample-interval/--middleware require --scenario",
+            "error: --trace-out/--sample-interval/--middleware/--chaos "
+            "require --scenario",
             file=sys.stderr,
         )
         return 2

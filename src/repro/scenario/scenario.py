@@ -31,6 +31,7 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.chaos.spec import ChaosSpec
 from repro.cluster.config import ClusterConfig, NetworkSpec, NodeSpec
 from repro.cost.cost_model import CostModel
 from repro.cost.pricing import DEFAULT_PRICE_PER_CORE_HOUR
@@ -151,6 +152,9 @@ class Scenario:
             :class:`~repro.middleware.spec.MiddlewareSpec` entries.  Empty
             (the default) keeps the exact middleware-free dispatch path.
             Cluster only.
+        chaos: Fault-injection configuration (see
+            :class:`~repro.chaos.spec.ChaosSpec`); ``None`` keeps the exact
+            pre-chaos cluster code path.  Cluster only.
         node_boot_time: Cold-start seconds for scale-ups; ``None`` keeps the
             engine default (one Firecracker microVM boot).
         seed: Run seed; ``None`` keeps the engine default (0 for the single
@@ -180,6 +184,7 @@ class Scenario:
     autoscaler: Optional[Dict[str, Any]] = None
     network: Optional[NetworkSpec] = None
     middleware: Tuple[MiddlewareSpec, ...] = ()
+    chaos: Optional[ChaosSpec] = None
     node_boot_time: Optional[float] = None
     # --- run knobs ---------------------------------------------------------
     seed: Optional[int] = None
@@ -213,6 +218,8 @@ class Scenario:
                 "middleware",
                 tuple(MiddlewareSpec.coerce(m) for m in self.middleware),
             )
+        if self.chaos is not None and not isinstance(self.chaos, ChaosSpec):
+            object.__setattr__(self, "chaos", ChaosSpec.from_dict(self.chaos))
         if not self.is_cluster:
             cluster_only = {
                 "migration": self.migration is not None,
@@ -223,6 +230,7 @@ class Scenario:
                 "dispatcher": self.dispatcher != "round_robin",
                 "dispatcher_kwargs": bool(self.dispatcher_kwargs),
                 "middleware": bool(self.middleware),
+                "chaos": self.chaos is not None,
             }
             set_fields = [name for name, is_set in cluster_only.items() if is_set]
             if set_fields:
@@ -276,6 +284,8 @@ class Scenario:
             kwargs["network"] = self.network
         if self.middleware:
             kwargs["middleware"] = self.middleware
+        if self.chaos is not None:
+            kwargs["chaos"] = self.chaos
         if self.node_boot_time is not None:
             kwargs["node_boot_time"] = self.node_boot_time
         if self.seed is not None:
@@ -325,6 +335,10 @@ class Scenario:
             middleware=tuple(MiddlewareSpec.coerce(m) for m in middleware),
         )
 
+    def with_chaos(self, **kwargs) -> "Scenario":
+        """Copy of this (cluster) scenario with fault injection enabled."""
+        return replace(self, chaos=ChaosSpec(**kwargs))
+
     # ------------------------------------------------------------ serialising
 
     def to_dict(self) -> Dict[str, Any]:
@@ -357,6 +371,8 @@ class Scenario:
                 data["network"] = self.network.to_dict()
             if self.middleware:
                 data["middleware"] = [spec.to_dict() for spec in self.middleware]
+            if self.chaos is not None:
+                data["chaos"] = self.chaos.to_dict()
             if self.node_boot_time is not None:
                 data["node_boot_time"] = self.node_boot_time
         else:
@@ -396,6 +412,11 @@ class Scenario:
                 network
                 if isinstance(network, NetworkSpec)
                 else NetworkSpec.from_dict(network)
+            )
+        chaos = payload.pop("chaos", None)
+        if chaos is not None:
+            payload["chaos"] = (
+                chaos if isinstance(chaos, ChaosSpec) else ChaosSpec.from_dict(chaos)
             )
         cost = payload.pop("cost", None)
         if cost is not None:

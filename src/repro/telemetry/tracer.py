@@ -37,6 +37,7 @@ DISPATCH_TID = 0
 AUTOSCALER_TID = 1
 MIGRATION_TID = 2
 MIDDLEWARE_TID = 3
+CHAOS_TID = 4
 
 #: ``tid`` of a node's queue/lifecycle lane; core ``c`` is ``c + 1``.
 QUEUE_TID = 0

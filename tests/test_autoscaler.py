@@ -9,6 +9,7 @@ from repro.cluster import (
     ReactiveAutoscaler,
     simulate_cluster,
 )
+from repro.cluster.node import NodeState
 
 
 def burst(count, service=1.0, spacing=0.0):
@@ -116,7 +117,7 @@ class TestScaling:
         autoscaler = ReactiveAutoscaler()
 
         class FakeNode:
-            state = type("S", (), {"value": "active"})()
+            state = NodeState.ACTIVE
             inflight = 0
 
             def __init__(self):
@@ -137,7 +138,7 @@ class TestScaling:
         autoscaler = ReactiveAutoscaler()
 
         class FakeNode:
-            state = type("S", (), {"value": "active"})()
+            state = NodeState.ACTIVE
             inflight = 2
             ingress = 6
 
@@ -161,7 +162,7 @@ class TestScaling:
         autoscaler = ReactiveAutoscaler()
 
         class CorelessNode:
-            state = type("S", (), {"value": "booting"})()
+            state = NodeState.BOOTING
             inflight = 0
 
             def __init__(self):

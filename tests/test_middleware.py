@@ -582,6 +582,35 @@ def test_exactly_once_completion_under_retry_and_stealing(specs):
 
 @SIM_SETTINGS
 @given(specs=task_specs)
+def test_exactly_once_under_chaos_retry_and_stealing(specs):
+    """Seeded node failures composed with retries and stealing still deliver
+    every task exactly once, and the loss bookkeeping balances."""
+    from repro.chaos import ChaosSpec
+
+    config = tiny_cluster_config(
+        num_nodes=3,
+        migration="work_stealing",
+        migration_kwargs={"delay": 0.05},
+        chaos=ChaosSpec(crash_rate=0.4, max_failures=2),
+    )
+    result = simulate_cluster(
+        build_tasks(specs),
+        config=config,
+        middleware=[TimeoutRetryMiddleware(timeout=0.25, max_retries=3, backoff=0.1)],
+    )
+    assert len(result.finished_tasks) == len(specs)
+    completed = sum(s["completed"] for s in result.node_stats.values())
+    assert completed == len(specs)
+    stolen_in = sum(s["stolen_in"] for s in result.node_stats.values())
+    assert stolen_in == result.tasks_migrated
+    # Every loss is attributed to a task's metadata, and vice versa.
+    assert result.tasks_lost == sum(
+        t.metadata.get("node_failures", 0) for t in result.tasks
+    )
+
+
+@SIM_SETTINGS
+@given(specs=task_specs)
 def test_rejected_tasks_never_land(specs):
     result = _run_chain(specs, [AdmissionControlMiddleware(max_queue_depth=1)])
     for task in result.rejected_tasks():

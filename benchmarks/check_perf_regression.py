@@ -7,7 +7,7 @@ time a fixed pure-Python loop takes on the same host (see
 :func:`hotpath.calibration_units`).  The gate recomputes units here and
 fails when any gated bench exceeds its baseline by more than 25%.
 
-Six baseline files are gated: ``BENCH_3.json`` (virtual-time engine +
+Seven baseline files are gated: ``BENCH_3.json`` (virtual-time engine +
 indexed dispatch hot paths), ``BENCH_4.json`` (columnar metrics
 aggregation), ``BENCH_5.json`` (dispatch through per-node ingress queues
 under a non-zero-RTT network model), ``BENCH_6.json`` (the telemetry
@@ -15,10 +15,14 @@ subsystem: the telemetry-off engine/dispatcher hot paths must stay at their
 pre-telemetry cost, and the tracing-on run is pinned so instrumentation
 cannot silently balloon), ``BENCH_7.json`` (the middleware chain: the
 chain-off hot paths must stay at their committed pre-middleware cost, and
-the chain-on dispatcher run is pinned) and ``BENCH_8.json`` (the chaos
+the chain-on dispatcher run is pinned), ``BENCH_8.json`` (the chaos
 subsystem: the chaos-off hot paths must stay at their committed pre-chaos
 cost, and the chaos-on 512-node dispatcher run — seeded revocations with
-work-stealing rescue — is pinned).
+work-stealing rescue — is pinned) and ``BENCH_9.json`` (streaming trace
+replay: the streaming-off hot paths must stay at their committed cost, a
+CI-sized streaming cluster replay is pinned in time, and the 1M-invocation
+acceptance run is additionally gated on *peak RSS* — the first memory gate;
+see ``memory_bench.py``).
 
 Usage::
 
@@ -85,10 +89,28 @@ GATED_BY_FILE = {
         "dispatcher_rtt_512nodes",
         "dispatcher_chaos_512nodes",
     ),
+    os.path.join(_REPO_ROOT, "BENCH_9.json"): (
+        "engine_mp512",
+        "dispatcher_rtt_512nodes",
+        "stream_cluster_5k",
+    ),
+}
+
+#: Memory-gated benches per baseline file: each runs in a fresh subprocess
+#: (``ru_maxrss`` is a lifetime high-water mark) via ``memory_bench.py`` and
+#: is gated on both wall time (calibration units, ``baseline_units``) and
+#: peak RSS (MiB, ``baseline_rss_mb``).  RSS is host-comparable in a way raw
+#: wall time is not, but allocator/numpy versions still shift it a little,
+#: hence the looser threshold.
+MEMORY_GATED_BY_FILE = {
+    os.path.join(_REPO_ROOT, "BENCH_9.json"): ("stream_cluster_1m",),
 }
 
 #: Maximum allowed ratio of measured units over baseline units.
 THRESHOLD = 1.25
+
+#: Maximum allowed ratio of measured peak RSS over the baseline figure.
+RSS_THRESHOLD = 1.35
 
 
 def check_file(path: str, gated, cal: float, update: bool, repeats: int):
@@ -122,6 +144,66 @@ def check_file(path: str, gated, cal: float, update: bool, repeats: int):
     return failures, data
 
 
+def run_memory_bench(name: str) -> dict:
+    """Run one ``memory_bench.py`` bench in a fresh subprocess."""
+    import subprocess
+
+    script = os.path.join(os.path.dirname(os.path.abspath(__file__)), "memory_bench.py")
+    env = dict(os.environ)
+    src = os.path.join(_REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, script, name],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def check_memory_file(path: str, gated, cal: float, update: bool):
+    """Gate (or re-baseline) one file's memory benches; returns (failures, data)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    baseline_units = data.setdefault("baseline_units", {})
+    baseline_rss = data.setdefault("baseline_rss_mb", {})
+    failures = []
+    for name in gated:
+        measured = run_memory_bench(name)
+        seconds = measured["seconds"]
+        rss = measured["peak_rss_mb"]
+        units = seconds / cal
+        if update:
+            baseline_units[name] = units
+            baseline_rss[name] = rss
+            print(
+                f"{name:24s} {seconds:9.2f} s   {units:8.3f} units  "
+                f"{rss:8.1f} MB peak  (baselined)"
+            )
+            continue
+        recorded_units = baseline_units.get(name)
+        recorded_rss = baseline_rss.get(name)
+        if recorded_units is None or recorded_rss is None:
+            print(
+                f"{name:24s} {seconds:9.2f} s   {units:8.3f} units  "
+                f"{rss:8.1f} MB peak  NO BASELINE"
+            )
+            failures.append((name, float("inf")))
+            continue
+        time_ratio = units / recorded_units
+        rss_ratio = rss / recorded_rss
+        ok = time_ratio <= THRESHOLD and rss_ratio <= RSS_THRESHOLD
+        status = "ok" if ok else "REGRESSION"
+        print(
+            f"{name:24s} {seconds:9.2f} s   units ratio {time_ratio:5.2f}x  "
+            f"rss {rss:8.1f}/{recorded_rss:.1f} MB ratio {rss_ratio:5.2f}x  {status}"
+        )
+        if not ok:
+            failures.append((name, max(time_ratio, rss_ratio)))
+    return failures, data
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -129,6 +211,11 @@ def main() -> int:
     )
     parser.add_argument(
         "--repeats", type=int, default=5, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--skip-memory",
+        action="store_true",
+        help="skip the subprocess memory benches (the 1M replay takes ~a minute)",
     )
     args = parser.parse_args()
 
@@ -145,6 +232,17 @@ def main() -> int:
                 json.dump(data, handle, indent=2, sort_keys=True)
                 handle.write("\n")
             print(f"updated {os.path.normpath(path)}")
+    if not args.skip_memory:
+        for path, gated in MEMORY_GATED_BY_FILE.items():
+            file_failures, data = check_memory_file(
+                path, gated, cal, update=args.update
+            )
+            failures.extend(file_failures)
+            if args.update:
+                with open(path, "w") as handle:
+                    json.dump(data, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+                print(f"updated {os.path.normpath(path)}")
 
     if args.update:
         return 0

@@ -331,6 +331,55 @@ def _metrics_label(count: int) -> str:
     return f"{count // 1000}k"
 
 
+# --------------------------------------------------------------------------
+# Streaming trace-replay bench (the BENCH_9.json case)
+# --------------------------------------------------------------------------
+
+#: Tasks fed by the gated streaming bench (~250 ms of work).
+STREAM_BENCH_TASKS = 5_000
+
+#: Extracted trace buckets, built once: the extraction pipeline is the same
+#: for streaming and materialised runs, so the timed region measures arrival
+#: generation + chunked feeding + the capped columnar store — the three
+#: layers the streaming refactor added.
+_STREAM_BUCKETS: list = []
+
+
+def _stream_buckets() -> list:
+    if not _STREAM_BUCKETS:
+        from repro.workload.azure import AzureTraceConfig, generate_trace
+        from repro.workload.calibration import default_calibration_table
+        from repro.workload.extraction import ExtractionPipeline
+
+        trace = generate_trace(
+            AzureTraceConfig(num_functions=400, minutes=12, seed=42)
+        )
+        pipeline = ExtractionPipeline(calibration=default_calibration_table())
+        _STREAM_BUCKETS.extend(pipeline.run(trace))
+    return _STREAM_BUCKETS
+
+
+def run_stream_cluster_bench(limit: int = STREAM_BENCH_TASKS):
+    """One streaming cluster replay: lazy arrivals, chunked feeding, capped
+    reservoir metrics — the full bounded-memory path at a CI-sized scale."""
+    from repro.cluster.simulator import simulate_cluster_stream
+    from repro.workload.streaming import BucketStreamSource
+
+    source = BucketStreamSource(_stream_buckets(), minutes=12, seed=7, limit=limit)
+    config = ClusterConfig(
+        num_nodes=8,
+        cores_per_node=4,
+        scheduler="fifo",
+        dispatcher="jsq",
+    )
+    result = simulate_cluster_stream(
+        source, config=config, chunk=1024, metrics_cap=2048
+    )
+    assert result.finished_count == limit
+    assert not result.tasks  # streaming runs retain no task objects
+    return result
+
+
 BENCHES: Dict[str, Callable[[], object]] = {
     **{f"engine_mp{mp}": (lambda mp=mp: run_engine_bench(mp)) for mp in ENGINE_MP_LEVELS},
     **{
@@ -354,6 +403,7 @@ BENCHES: Dict[str, Callable[[], object]] = {
         for n in METRICS_TASK_COUNTS
     },
     "metrics_columnar_100k_x10": run_metrics_columnar_gate,
+    "stream_cluster_5k": run_stream_cluster_bench,
 }
 
 

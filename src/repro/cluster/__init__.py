@@ -68,7 +68,11 @@ from repro.cluster.registry import (
     register_migration_policy,
 )
 from repro.cluster.results import ClusterResult
-from repro.cluster.simulator import ClusterSimulator, simulate_cluster
+from repro.cluster.simulator import (
+    ClusterSimulator,
+    simulate_cluster,
+    simulate_cluster_stream,
+)
 
 __all__ = [
     "AutoscalerConfig",
@@ -101,4 +105,5 @@ __all__ = [
     "ClusterResult",
     "ClusterSimulator",
     "simulate_cluster",
+    "simulate_cluster_stream",
 ]

@@ -88,10 +88,12 @@ class _NodeEngine(Simulator):
         self._finished_callback = finished_callback
 
     def _handle_completion(self, core: Core) -> None:
-        before = len(self.collector.finished_tasks)
         super()._handle_completion(core)
+        # ``_last_finished`` (set by the base handler) rather than slicing
+        # ``collector.finished_tasks``: streaming collectors don't retain
+        # task objects, but fleet accounting must still see every finish.
         if self._finished_callback is not None:
-            for task in self.collector.finished_tasks[before:]:
+            for task in self._last_finished:
                 self._finished_callback(task)
 
 

@@ -61,6 +61,10 @@ class ClusterResult:
     columns: Optional[TaskColumns] = None
     #: Frozen telemetry of the run (``None`` unless telemetry was enabled).
     telemetry: Optional[TelemetrySnapshot] = None
+    #: Tasks fed to the run.  Streaming runs leave ``tasks`` empty (task
+    #: objects are not retained), so count-based accessors fall back to this
+    #: and to the columnar store; 0 means "not recorded — use len(tasks)".
+    tasks_submitted: int = 0
 
     # ---------------------------------------------------------------- columns
 
@@ -77,10 +81,23 @@ class ClusterResult:
         return [t for t in self.tasks if t.is_finished]
 
     @property
+    def total_tasks(self) -> int:
+        """Tasks fed to the run (works for streaming runs with no task list)."""
+        return len(self.tasks) if self.tasks else self.tasks_submitted
+
+    @property
+    def finished_count(self) -> int:
+        """Finished-task count (columnar on streaming runs)."""
+        if self.tasks:
+            return len(self.finished_tasks)
+        return len(self.task_columns())
+
+    @property
     def completion_ratio(self) -> float:
-        if not self.tasks:
+        total = self.total_tasks
+        if not total:
             return 0.0
-        return len(self.finished_tasks) / len(self.tasks)
+        return self.finished_count / total
 
     def summary(self) -> TaskMetricsSummary:
         """Fleet-wide task metrics (all nodes pooled)."""
@@ -101,6 +118,13 @@ class ClusterResult:
     def tasks_per_node(self) -> Dict[int, int]:
         """Completed invocations per node (dispatch balance)."""
         counts = {node_id: 0 for node_id in self.node_results}
+        if not self.tasks and self.node_stats:
+            # Streaming runs retain no task objects; the per-node lifecycle
+            # stats carry the same completion counters.
+            for node_id in counts:
+                stats = self.node_stats.get(node_id, {})
+                counts[node_id] = int(stats.get("completed", 0.0))
+            return counts
         for task in self.finished_tasks:
             node_id = task.metadata.get("node_id")
             if node_id in counts:
@@ -246,6 +270,11 @@ class ClusterResult:
         this is the headline task-loss figure: work the fleet accepted but
         never completed.
         """
+        if not self.tasks:
+            # Streaming runs: counters instead of task-object walks.
+            return max(
+                0, self.tasks_submitted - self.finished_count - self.tasks_rejected
+            )
         return len(self.tasks) - len(self.finished_tasks) - len(self.rejected_tasks())
 
     # ------------------------------------------------------------- timeseries
@@ -284,7 +313,7 @@ class ClusterResult:
             f"nodes (final fleet)  : {self.num_nodes}"
             f" (+{self.nodes_added}/-{self.nodes_removed} scaled)",
             f"fleet capacity       : {self.total_capacity():.1f} baseline cores",
-            f"tasks (finished/all) : {len(self.finished_tasks)}/{len(self.tasks)}",
+            f"tasks (finished/all) : {self.finished_count}/{self.total_tasks}",
             f"tasks per node       : {spread}",
             f"tasks migrated       : {self.tasks_migrated}",
             f"ingress wait (mean)  : {self.mean_ingress_wait():.4f} s"

@@ -17,6 +17,7 @@ workload ⇒ bit-identical results.
 
 from __future__ import annotations
 
+import itertools
 import time as _wallclock
 from typing import Iterable, List, Optional, Sequence
 
@@ -32,9 +33,9 @@ from repro.cluster.results import ClusterResult
 from repro.middleware.base import ADMIT_TAG, DEFER, TIMEOUT_TAG, MiddlewareChain
 from repro.schedulers.registry import create_scheduler
 from repro.simulation.clock import VirtualClock
-from repro.simulation.columns import TaskColumns
+from repro.simulation.columns import TaskColumns, build_columns_store
 from repro.simulation.engine import SimulationError
-from repro.simulation.events import EventPriority, EventQueue
+from repro.simulation.events import STREAM_SEQ_BASE, EventPriority, EventQueue
 from repro.simulation.machine import Machine
 from repro.simulation.metrics import SeriesPoint
 from repro.simulation.task import Task
@@ -66,6 +67,9 @@ class ClusterSimulator:
         telemetry=None,
         middleware=None,
         chaos=None,
+        metrics_cap: Optional[int] = None,
+        metrics_policy: str = "reservoir",
+        spill_dir: Optional[str] = None,
     ) -> None:
         self.config = config or ClusterConfig()
         self.clock = VirtualClock()
@@ -99,8 +103,20 @@ class ClusterSimulator:
             self._load_index.register(*index_key)
         self.nodes: List[ClusterNode] = []
         self.tasks: List[Task] = []
+        # Memory-bounding policy for columnar metrics: applied to the fleet
+        # store here and to every node store (including autoscaler scale-ups)
+        # in _create_node.  Node reservoirs get derived seeds so fleets stay
+        # deterministic per node id.
+        self._metrics_cap = metrics_cap
+        self._metrics_policy = metrics_policy
+        self._metrics_spill_dir = spill_dir
         #: Fleet-wide columnar metrics store, appended per completion.
-        self.columns = TaskColumns()
+        self.columns = build_columns_store(
+            metrics_cap,
+            policy=metrics_policy,
+            spill_dir=spill_dir,
+            seed=self.config.seed,
+        )
         self.series: dict = {}
         self.waiting_tasks: List[Task] = []
         self.nodes_added = 0
@@ -120,6 +136,15 @@ class ClusterSimulator:
         self._events_processed = 0
         self._running = False
         self._next_node_id = 0
+        self._tasks_submitted = 0
+        # Streaming arrival feed (see submit_stream); None on classic runs.
+        self._stream = None
+        self._stream_low_water = 0
+        self._stream_seq = None
+        self._stream_total: Optional[int] = None
+        # Flipped by submit_stream: node collectors then drop task-object
+        # retention (fleet accounting runs off engine._last_finished).
+        self._keep_node_tasks = True
         if self.telemetry is not None:
             self._wire_cluster_telemetry()
         if self._middleware is not None:
@@ -262,6 +287,7 @@ class ClusterSimulator:
             pending_arrivals=lambda: self._pending_arrivals,
             finished_callback=lambda task, n=node: self._on_task_finished(n, task),
         )
+        self._apply_metrics_policy(node)
         # Wire delay a dispatched task pays to reach this node, resolved once
         # from the network model (per-spec RTT override, probe cost of the
         # installed dispatcher).  Zero keeps dispatch on the instantaneous
@@ -282,6 +308,33 @@ class ClusterSimulator:
             # failure times drawn the moment it is commissioned.
             self._chaos.arm(node)
         return node
+
+    def _apply_metrics_policy(self, node: ClusterNode) -> None:
+        """Bound one node's collector per the cluster's metrics policy.
+
+        Runs for every commissioned node — initial fleet, autoscaler
+        scale-ups, chaos replacements — so long streaming runs cannot leak
+        memory through late-created nodes.  Reservoir seeds are derived from
+        the cluster seed and the node id, keeping fleets deterministic.
+
+        The fleet-wide store keeps the full ``metrics_cap`` rows (it backs
+        the headline CDFs); per-node stores share that same budget across
+        the initial fleet size, so total retained rows stay O(cap) rather
+        than O(cap * nodes).  Per-node counts/means/billing remain exact
+        either way — only the per-node percentile sample shrinks.
+        """
+        collector = node.engine.collector
+        if not self._keep_node_tasks:
+            collector.keep_tasks = False
+        if self._metrics_cap is not None:
+            fleet_size = max(1, len(self.config.expanded_specs()))
+            node_cap = max(256, self._metrics_cap // fleet_size)
+            collector.columns = build_columns_store(
+                node_cap,
+                policy=self._metrics_policy,
+                spill_dir=self._metrics_spill_dir,
+                seed=self.config.seed * 1_000_003 + node.node_id + 1,
+            )
 
     # ------------------------------------------------------------------- clock
 
@@ -507,6 +560,7 @@ class ClusterSimulator:
             raise SimulationError("cannot submit tasks while the simulation is running")
         for task in tasks:
             self.tasks.append(task)
+            self._tasks_submitted += 1
             self._unfinished += 1
             self._pending_arrivals += 1
             # Payload-carrying event dispatched by tag: no per-task closure.
@@ -517,6 +571,56 @@ class ClusterSimulator:
                 tag="cluster-arrival",
                 payload=task,
             )
+
+    def submit_stream(self, source, *, chunk: int = 8192, low_water: Optional[int] = None) -> None:
+        """Attach a streaming arrival source; arrivals are fed in chunks.
+
+        The cluster analogue of :meth:`repro.simulation.engine.Simulator
+        .submit_stream`: the event heap and live task set stay O(horizon),
+        node collectors stop retaining finished Task objects, and fed
+        arrivals carry reserved-range sequence numbers so the run is
+        bit-identical to ``submit(source.materialise())`` — including under
+        non-zero RTT, where ingress hops land on arrival timestamps.
+        """
+        from repro.workload.streaming import StreamFeed
+
+        if self._running:
+            raise SimulationError("cannot attach a stream while the simulation is running")
+        if self._stream is not None:
+            raise SimulationError("a streaming source is already attached")
+        if low_water is None:
+            low_water = max(1, chunk // 4)
+        if low_water < 0:
+            raise ValueError(f"low_water must be >= 0, got {low_water!r}")
+        self._stream = StreamFeed(source, chunk)
+        self._stream_low_water = low_water
+        self._stream_seq = itertools.count(STREAM_SEQ_BASE)
+        self._stream_total = source.total_hint()
+        self._keep_node_tasks = False
+        for node in self.nodes:
+            node.engine.collector.keep_tasks = False
+        self._refill_stream()
+
+    def _refill_stream(self) -> None:
+        """Feed arrival chunks until pending arrivals clear the low-water mark."""
+        feed = self._stream
+        events = self.events
+        seq = self._stream_seq
+        while not feed.exhausted and self._pending_arrivals <= self._stream_low_water:
+            tasks = feed.next_chunk()
+            if not tasks:
+                break
+            self._tasks_submitted += len(tasks)
+            self._unfinished += len(tasks)
+            self._pending_arrivals += len(tasks)
+            for task in tasks:
+                events.push_sequenced(
+                    task.arrival_time,
+                    next(seq),
+                    priority=EventPriority.ARRIVAL,
+                    tag="cluster-arrival",
+                    payload=task,
+                )
 
     def _dispatch_tagged(self, event) -> None:
         """Route a payload-carrying (callback-free) event by its tag.
@@ -565,6 +669,8 @@ class ClusterSimulator:
 
     def _handle_arrival(self, task: Task) -> None:
         self._pending_arrivals -= 1
+        if self._stream is not None and self._pending_arrivals <= self._stream_low_water:
+            self._refill_stream()
         if self._tracer is not None:
             self._tracer.instant(
                 "arrival", CLUSTER_PID, DISPATCH_TID, self.now, task.task_id
@@ -849,9 +955,15 @@ class ClusterSimulator:
             node.activate(self.now)  # already ACTIVE; fires scheduler.on_start once
         self._record_fleet_size()
         if self.telemetry is not None:
-            self.telemetry.bind_progress(
-                len(self.tasks), lambda: len(self.tasks) - self._unfinished
-            )
+            if self._stream is not None:
+                self.telemetry.bind_progress(
+                    self._stream_total,
+                    lambda: self._tasks_submitted - self._unfinished,
+                )
+            else:
+                self.telemetry.bind_progress(
+                    len(self.tasks), lambda: len(self.tasks) - self._unfinished
+                )
             self.telemetry.start(self.events, self.clock, self._work_can_progress)
         if self.autoscaler is not None:
             self._schedule_autoscaler_tick()
@@ -997,6 +1109,7 @@ class ClusterSimulator:
                 self._middleware.stats() if self._middleware is not None else {}
             ),
             telemetry=telemetry_snapshot,
+            tasks_submitted=self._tasks_submitted,
         )
 
     # ------------------------------------------------------------ utilization
@@ -1090,4 +1203,47 @@ def simulate_cluster(
         chaos=chaos,
     )
     cluster.submit(tasks)
+    return cluster.run(until=until)
+
+
+def simulate_cluster_stream(
+    source,
+    config: Optional[ClusterConfig] = None,
+    dispatcher: Optional[Dispatcher] = None,
+    autoscaler: Optional[ReactiveAutoscaler] = None,
+    migration_policy: Optional[MigrationPolicy] = None,
+    until: Optional[float] = None,
+    telemetry=None,
+    middleware=None,
+    chaos=None,
+    *,
+    chunk: int = 8192,
+    low_water: Optional[int] = None,
+    metrics_cap: Optional[int] = None,
+    metrics_policy: str = "reservoir",
+    spill_dir: Optional[str] = None,
+) -> ClusterResult:
+    """Streaming analogue of :func:`simulate_cluster`.
+
+    ``source`` is a :class:`~repro.workload.streaming.StreamingWorkload`;
+    arrivals are generated lazily per sim-time window and fed into the
+    event heap ``chunk`` tasks at a time, refilled whenever fewer than
+    ``low_water`` arrivals remain pending.  ``metrics_cap`` bounds the
+    per-node and fleet columnar stores (``metrics_policy`` selects
+    reservoir sampling with exact aggregates, or disk spilling), so peak
+    memory stays O(horizon + cap) instead of O(total tasks).
+    """
+    cluster = ClusterSimulator(
+        config=config,
+        dispatcher=dispatcher,
+        autoscaler=autoscaler,
+        migration_policy=migration_policy,
+        telemetry=telemetry,
+        middleware=middleware,
+        chaos=chaos,
+        metrics_cap=metrics_cap,
+        metrics_policy=metrics_policy,
+        spill_dir=spill_dir,
+    )
+    cluster.submit_stream(source, chunk=chunk, low_water=low_water)
     return cluster.run(until=until)

@@ -159,7 +159,36 @@ class CostModel:
         :class:`~repro.cost.pricing.LambdaPriceTable` always is; custom
         pricing objects without ``price_per_gb_second`` fall back to the
         per-task path via the caller.
+
+        Capped reservoir stores report the true task count but retain only a
+        sample of rows — summing the sample would under-bill by ~cap/count —
+        so stores that maintain exact billing aggregates expose
+        ``_exact_billing`` and are billed from those instead.
         """
+        exact = getattr(columns, "_exact_billing", None)
+        if exact is not None:
+            count, exec_seconds, turn_seconds, exec_gb_s, turn_gb_s = exact()
+            if count == 0:
+                return CostBreakdown(
+                    execution_cost=0.0,
+                    request_cost=0.0,
+                    invocations=0,
+                    billed_seconds=0.0,
+                )
+            if self.bill_response_time:
+                billed_seconds, gb_seconds = turn_seconds, turn_gb_s
+            else:
+                billed_seconds, gb_seconds = exec_seconds, exec_gb_s
+            return CostBreakdown(
+                execution_cost=gb_seconds * self.pricing.price_per_gb_second,
+                request_cost=(
+                    self.pricing.price_per_request * count
+                    if self.include_request_fee
+                    else 0.0
+                ),
+                invocations=count,
+                billed_seconds=billed_seconds,
+            )
         count = len(columns)
         if count == 0:
             return CostBreakdown(

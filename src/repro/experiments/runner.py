@@ -90,6 +90,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos revocation_rate=0.02,warning=2.0,max_failures=3); "
         "overrides the file's own chaos block",
     )
+    parser.add_argument(
+        "--trace-csv",
+        type=Path,
+        default=None,
+        help="with --scenario: replay a real Azure per-minute "
+        "invocation-count CSV instead of the scenario's registered "
+        "workload; enables the streaming path",
+    )
+    parser.add_argument(
+        "--stream-chunk",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --scenario: feed arrivals through the streaming path in "
+        "chunks of N tasks (bounded-memory replay); enables streaming",
+    )
+    parser.add_argument(
+        "--metrics-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --scenario: bound the columnar metrics store to N rows "
+        "(exact aggregates plus a sample for CDFs); enables streaming",
+    )
+    parser.add_argument(
+        "--metrics-policy",
+        choices=("reservoir", "spill"),
+        default=None,
+        help="with --scenario: how a capped metrics store bounds memory — "
+        "reservoir sampling (default) or spill-to-disk npy chunks",
+    )
     return parser
 
 
@@ -148,6 +179,10 @@ def _run_scenario_file(
     sample_interval: Optional[float] = None,
     middleware: Optional[List[str]] = None,
     chaos: Optional[str] = None,
+    trace_csv: Optional[Path] = None,
+    stream_chunk: Optional[int] = None,
+    metrics_cap: Optional[int] = None,
+    metrics_policy: Optional[str] = None,
 ) -> int:
     """Run one scenario JSON file; print (and optionally save) the summary."""
     from dataclasses import replace
@@ -193,6 +228,30 @@ def _run_scenario_file(
             print(f"error: {exc}", file=sys.stderr)
             return 2
         scenario = replace(scenario, chaos=spec)
+    if (
+        trace_csv is not None
+        or stream_chunk is not None
+        or metrics_cap is not None
+        or metrics_policy is not None
+    ):
+        # Streaming flags extend (or create) the scenario's stream spec; the
+        # file's own `stream` block keeps any knobs the flags don't set.
+        from repro.workload.streaming import StreamSpec
+
+        try:
+            stream = scenario.stream or StreamSpec()
+            if trace_csv is not None:
+                stream = replace(stream, trace_csv=str(trace_csv))
+            if stream_chunk is not None:
+                stream = replace(stream, chunk=stream_chunk)
+            if metrics_cap is not None:
+                stream = replace(stream, metrics_cap=metrics_cap)
+            if metrics_policy is not None:
+                stream = replace(stream, metrics_policy=metrics_policy)
+        except ValueError as exc:
+            print(f"error: bad stream flags: {exc}", file=sys.stderr)
+            return 2
+        scenario = replace(scenario, stream=stream)
     result = run(scenario)
     rendered = result.describe()
     print(rendered)
@@ -225,15 +284,24 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
             sample_interval=args.sample_interval,
             middleware=args.middleware,
             chaos=args.chaos,
+            trace_csv=args.trace_csv,
+            stream_chunk=args.stream_chunk,
+            metrics_cap=args.metrics_cap,
+            metrics_policy=args.metrics_policy,
         )
     if (
         args.trace_out is not None
         or args.sample_interval is not None
         or args.middleware is not None
         or args.chaos is not None
+        or args.trace_csv is not None
+        or args.stream_chunk is not None
+        or args.metrics_cap is not None
+        or args.metrics_policy is not None
     ):
         print(
-            "error: --trace-out/--sample-interval/--middleware/--chaos "
+            "error: --trace-out/--sample-interval/--middleware/--chaos/"
+            "--trace-csv/--stream-chunk/--metrics-cap/--metrics-policy "
             "require --scenario",
             file=sys.stderr,
         )

@@ -34,19 +34,29 @@ from repro.scenario.scenario import (
     Workload,
 )
 from repro.scenario.workloads import (
+    available_stream_sources,
     available_workloads,
+    build_stream_source,
+    create_stream_source,
     create_workload,
+    register_stream_source,
     register_workload,
 )
+from repro.workload.streaming import StreamSpec
 
 __all__ = [
     "DEFAULT_NUM_CORES",
     "CostSpec",
     "RunResult",
     "Scenario",
+    "StreamSpec",
     "Workload",
+    "available_stream_sources",
     "available_workloads",
+    "build_stream_source",
+    "create_stream_source",
     "create_workload",
+    "register_stream_source",
     "register_workload",
     "run",
 ]

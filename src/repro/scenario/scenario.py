@@ -38,6 +38,7 @@ from repro.cost.pricing import DEFAULT_PRICE_PER_CORE_HOUR
 from repro.middleware.spec import MiddlewareSpec
 from repro.simulation.config import SimulationConfig
 from repro.telemetry.spec import TelemetrySpec
+from repro.workload.streaming import StreamSpec
 
 #: Enclave size used by the single-machine experiments (50 of the paper's 72
 #: cores); the default machine shape of a scenario.
@@ -195,6 +196,11 @@ class Scenario:
     #: Telemetry configuration (valid for single-machine and cluster runs);
     #: ``None`` keeps the engines on the exact pre-telemetry code path.
     telemetry: Optional[TelemetrySpec] = None
+    #: Streaming trace replay (valid for single-machine and cluster runs);
+    #: ``None`` keeps the classic materialise-everything path.  When set, the
+    #: workload is fed lazily through ``submit_stream`` with the spec's chunk
+    #: size and metrics cap (see :class:`~repro.workload.streaming.StreamSpec`).
+    stream: Optional[StreamSpec] = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -220,6 +226,8 @@ class Scenario:
             )
         if self.chaos is not None and not isinstance(self.chaos, ChaosSpec):
             object.__setattr__(self, "chaos", ChaosSpec.from_dict(self.chaos))
+        if self.stream is not None and not isinstance(self.stream, StreamSpec):
+            object.__setattr__(self, "stream", StreamSpec.from_dict(self.stream))
         if not self.is_cluster:
             cluster_only = {
                 "migration": self.migration is not None,
@@ -339,6 +347,10 @@ class Scenario:
         """Copy of this (cluster) scenario with fault injection enabled."""
         return replace(self, chaos=ChaosSpec(**kwargs))
 
+    def with_stream(self, **kwargs) -> "Scenario":
+        """Copy of this scenario replayed through the streaming path."""
+        return replace(self, stream=StreamSpec(**kwargs))
+
     # ------------------------------------------------------------ serialising
 
     def to_dict(self) -> Dict[str, Any]:
@@ -392,6 +404,8 @@ class Scenario:
             data["cost"] = cost
         if self.telemetry is not None:
             data["telemetry"] = self.telemetry.to_dict()
+        if self.stream is not None:
+            data["stream"] = self.stream.to_dict()
         return data
 
     @classmethod
@@ -427,6 +441,13 @@ class Scenario:
                 telemetry
                 if isinstance(telemetry, TelemetrySpec)
                 else TelemetrySpec.from_dict(telemetry)
+            )
+        stream = payload.pop("stream", None)
+        if stream is not None:
+            payload["stream"] = (
+                stream
+                if isinstance(stream, StreamSpec)
+                else StreamSpec.from_dict(stream)
             )
         return cls(**payload)
 

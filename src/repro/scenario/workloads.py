@@ -29,6 +29,12 @@ from repro.workload.generator import (
     WorkloadSpec,
     items_to_tasks,
 )
+from repro.workload.streaming import (
+    BucketStreamSource,
+    StreamingWorkload,
+    csv_stream_source,
+    trace_stream_source,
+)
 
 WorkloadBuilder = Callable[..., List[Task]]
 
@@ -120,3 +126,113 @@ def firecracker_invocations(scale: float = 1.0) -> List[Task]:
 register_workload("two_minute", two_minute_workload)
 register_workload("ten_minute", ten_minute_workload)
 register_workload("firecracker", firecracker_invocations)
+
+
+# ---------------------------------------------------------------------------
+# Streaming sources
+# ---------------------------------------------------------------------------
+#
+# Streaming builders return a StreamingWorkload (lazy per-minute batches,
+# bounded memory) instead of a task list.  They use window-local RNG streams
+# (see repro.workload.streaming), so a streaming source's materialise() is
+# its own equivalence reference — not byte-identical to the sequential
+# ``two_minute``/``ten_minute`` task lists above, which stay untouched.
+
+StreamSourceBuilder = Callable[..., StreamingWorkload]
+
+_STREAM_SOURCES: Dict[str, StreamSourceBuilder] = {}
+
+#: Canonical invocation count of the large-scale replay source (``azure_day``
+#: at scale 1.0): a full million invocations.
+AZURE_DAY_INVOCATIONS = 1_000_000
+
+
+def register_stream_source(
+    name: str, builder: StreamSourceBuilder, *, overwrite: bool = False
+) -> None:
+    """Register a streaming-workload builder under ``name``.
+
+    Builders must accept a ``scale`` keyword and return a fresh
+    :class:`~repro.workload.streaming.StreamingWorkload`.
+    """
+    key = name.lower()
+    if key in _STREAM_SOURCES and not overwrite:
+        raise ValueError(f"stream source {name!r} is already registered")
+    _STREAM_SOURCES[key] = builder
+
+
+def available_stream_sources() -> List[str]:
+    """Names of every registered streaming source, sorted."""
+    return sorted(_STREAM_SOURCES)
+
+
+def create_stream_source(name: str, **params) -> StreamingWorkload:
+    """Build a fresh streaming source from the registry."""
+    key = name.lower()
+    if key not in _STREAM_SOURCES:
+        raise KeyError(
+            f"unknown stream source {name!r}; available: "
+            + ", ".join(available_stream_sources())
+        )
+    return _STREAM_SOURCES[key](**params)
+
+
+@lru_cache(maxsize=8)
+def _trace_buckets(minutes: int, num_functions: int, seed: int) -> tuple:
+    """Cache extracted buckets (immutable); sources are rebuilt per run."""
+    trace = generate_trace(
+        AzureTraceConfig(
+            num_functions=num_functions, minutes=max(minutes, 2), seed=seed
+        )
+    )
+    pipeline = ExtractionPipeline(calibration=default_calibration_table())
+    return tuple(pipeline.run(trace))
+
+
+def two_minute_stream(scale: float = 1.0, seed: int = 7) -> StreamingWorkload:
+    """Streaming analogue of the 2-minute workload."""
+    limit = scaled_limit(PAPER_TWO_MINUTE_INVOCATIONS, scale)
+    buckets = list(_trace_buckets(2, 2000, 42))
+    return BucketStreamSource(buckets, minutes=2, seed=seed, limit=limit)
+
+
+def ten_minute_stream(scale: float = 1.0, seed: int = 7) -> StreamingWorkload:
+    """Streaming analogue of the 10-minute workload."""
+    buckets = list(_trace_buckets(10, 2000, 42))
+    source = BucketStreamSource(buckets, minutes=10, seed=seed)
+    if scale < 1.0:
+        limit = scaled_limit(source.total_hint(), scale)
+        source = BucketStreamSource(buckets, minutes=10, seed=seed, limit=limit)
+    return source
+
+
+def azure_day_stream(scale: float = 1.0, seed: int = 7) -> StreamingWorkload:
+    """Large-scale replay source: ~1M invocations over a 3-hour trace."""
+    limit = scaled_limit(AZURE_DAY_INVOCATIONS, scale)
+    buckets = list(_trace_buckets(180, 400, 42))
+    return BucketStreamSource(buckets, minutes=180, seed=seed, limit=limit)
+
+
+register_stream_source("two_minute", two_minute_stream)
+register_stream_source("ten_minute", ten_minute_stream)
+register_stream_source("azure_day", azure_day_stream)
+
+
+def build_stream_source(workload, stream, seed: Optional[int] = None):
+    """Resolve a scenario's (workload, stream) pair to a streaming source.
+
+    A :class:`~repro.workload.streaming.StreamSpec` carrying ``trace_csv``
+    replays that CSV file; otherwise the workload's ``source`` name is looked
+    up in the stream-source registry.
+    """
+    if stream.trace_csv is not None:
+        kwargs = {} if seed is None else {"seed": seed}
+        return csv_stream_source(stream.trace_csv, **kwargs)
+    if workload is None:
+        raise ValueError(
+            "streaming scenarios need a workload source name or a trace_csv"
+        )
+    params = dict(workload.params)
+    if seed is not None:
+        params.setdefault("seed", seed)
+    return create_stream_source(workload.source, scale=workload.scale, **params)

@@ -179,13 +179,263 @@ class TaskColumns:
         return f"TaskColumns(size={self._size}, capacity={len(self._data)})"
 
 
+class ReservoirTaskColumns(TaskColumns):
+    """Row-capped store: exact streaming aggregates + a uniform sample.
+
+    Counts, means, totals, makespan and billing aggregates are maintained
+    exactly in O(1) state as tasks finish; the row array holds a seeded
+    uniform reservoir sample (Vitter's algorithm R) of at most ``cap`` rows,
+    which percentile/CDF consumers read transparently.  ``len()`` reports
+    the *true* task count, not the sample size.  With ``cap >= N`` nothing
+    is ever evicted, so the store degrades to a plain :class:`TaskColumns`.
+    """
+
+    __slots__ = (
+        "cap",
+        "_rng",
+        "_seen",
+        "_sum_execution",
+        "_sum_response",
+        "_sum_turnaround",
+        "_sum_service",
+        "_sum_exec_gb",
+        "_sum_turn_gb",
+        "_makespan",
+    )
+
+    def __init__(self, cap: int, seed: int = 0) -> None:
+        if cap <= 0:
+            raise ValueError(f"cap must be positive, got {cap!r}")
+        super().__init__()
+        self.cap = int(cap)
+        self._rng = np.random.default_rng(seed)
+        self._seen = 0
+        self._sum_execution = 0.0
+        self._sum_response = 0.0
+        self._sum_turnaround = 0.0
+        self._sum_service = 0.0
+        self._sum_exec_gb = 0.0
+        self._sum_turn_gb = 0.0
+        self._makespan = 0.0
+
+    def append(self, task) -> None:
+        if not task.is_finished:
+            raise ValueError(f"task {task.task_id} is not finished")
+        arrival = task.arrival_time
+        first_run = task.first_run_time
+        completion = task.completion_time
+        execution = completion - first_run
+        turnaround = completion - arrival
+        memory_gb = task.memory_mb / 1024.0
+        index = self._seen
+        self._seen = index + 1
+        self._sum_execution += execution
+        self._sum_response += first_run - arrival
+        self._sum_turnaround += turnaround
+        self._sum_service += task.service_time
+        self._sum_exec_gb += execution * memory_gb
+        self._sum_turn_gb += turnaround * memory_gb
+        if completion > self._makespan:
+            self._makespan = completion
+        if index < self.cap:
+            super().append(task)
+            return
+        slot = int(self._rng.integers(0, index + 1))
+        if slot < self.cap:
+            last_core = task.last_core
+            self._flush()
+            self._data[slot] = (
+                task.task_id,
+                arrival,
+                task.service_time,
+                first_run,
+                completion,
+                task.memory_mb,
+                task.weight,
+                task.preemptions,
+                task.migrations,
+                NO_CORE if last_core is None else last_core,
+            )
+
+    def __len__(self) -> int:
+        return self._seen
+
+    def __bool__(self) -> bool:
+        return self._seen > 0
+
+    def sample_size(self) -> int:
+        """Rows actually retained (= ``min(len(self), cap)``)."""
+        return self._size + len(self._pending)
+
+    def _exact_summary(self):
+        """Summary from the exact accumulators + sample percentiles."""
+        from repro.simulation.metrics import TaskMetricsSummary
+
+        count = self._seen
+        if count == 0:
+            return TaskMetricsSummary.from_columns(TaskColumns())
+        p50e, p90e, p99e = np.percentile(self.execution(), (50, 90, 99))
+        p50r, p90r, p99r = np.percentile(self.response(), (50, 90, 99))
+        p50t, p90t, p99t = np.percentile(self.turnaround(), (50, 90, 99))
+        return TaskMetricsSummary(
+            count=count,
+            mean_execution=self._sum_execution / count,
+            mean_response=self._sum_response / count,
+            mean_turnaround=self._sum_turnaround / count,
+            p50_execution=float(p50e),
+            p50_response=float(p50r),
+            p50_turnaround=float(p50t),
+            p90_execution=float(p90e),
+            p90_response=float(p90r),
+            p90_turnaround=float(p90t),
+            p99_execution=float(p99e),
+            p99_response=float(p99r),
+            p99_turnaround=float(p99t),
+            total_execution=self._sum_execution,
+            total_service=self._sum_service,
+            makespan=self._makespan,
+        )
+
+    def _exact_billing(self) -> tuple:
+        """``(count, exec_s, turnaround_s, exec_gb_s, turnaround_gb_s)``.
+
+        Exact billing aggregates for :meth:`repro.cost.cost_model.CostModel
+        .workload_cost_columns` — summing the sample rows would under-bill
+        by roughly ``cap / count``.
+        """
+        return (
+            self._seen,
+            self._sum_execution,
+            self._sum_turnaround,
+            self._sum_exec_gb,
+            self._sum_turn_gb,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReservoirTaskColumns(seen={self._seen}, cap={self.cap}, "
+            f"sample={self.sample_size()})"
+        )
+
+
+class SpillTaskColumns(TaskColumns):
+    """Cap-bounded in-memory tail with full history spilled to ``.npy`` chunks.
+
+    Every ``cap`` rows the in-memory block is written to a chunk file in the
+    store's private spill directory; accessors transparently rehydrate the
+    full concatenated history, so summaries/CDFs/export stay *exact* past
+    the cap at the price of re-reading the chunks (a one-shot cost at
+    result-reporting time — appends never touch the spilled files).
+    """
+
+    __slots__ = ("cap", "_dir", "_owns_dir", "_chunks", "_spilled", "_cache")
+
+    def __init__(self, cap: int, spill_dir: Optional[str] = None) -> None:
+        import os
+        import tempfile
+
+        if cap <= 0:
+            raise ValueError(f"cap must be positive, got {cap!r}")
+        super().__init__()
+        self.cap = int(cap)
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
+        # A private subdirectory even inside a caller-supplied dir: several
+        # stores (fleet + per node) may share one spill_dir.
+        self._dir = tempfile.mkdtemp(prefix="task-columns-", dir=spill_dir)
+        self._owns_dir = True
+        self._chunks: List[str] = []
+        self._spilled = 0
+        self._cache: Optional[np.ndarray] = None
+
+    def append(self, task) -> None:
+        self._cache = None
+        super().append(task)
+        if self._size + len(self._pending) >= self.cap:
+            self._spill()
+
+    def _spill(self) -> None:
+        import os
+
+        self._flush()
+        if self._size == 0:
+            return
+        path = os.path.join(self._dir, f"chunk-{len(self._chunks):06d}.npy")
+        np.save(path, self._data[: self._size])
+        self._chunks.append(path)
+        self._spilled += self._size
+        self._size = 0
+
+    @property
+    def data(self) -> np.ndarray:
+        self._flush()
+        if not self._chunks:
+            return self._data[: self._size]
+        if self._cache is None:
+            parts = [np.load(path) for path in self._chunks]
+            parts.append(self._data[: self._size].copy())
+            self._cache = np.concatenate(parts)
+        return self._cache
+
+    def __len__(self) -> int:
+        return self._spilled + self._size + len(self._pending)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def close(self) -> None:
+        """Delete the spill files and directory (idempotent)."""
+        import shutil
+
+        if self._owns_dir:
+            self._owns_dir = False
+            shutil.rmtree(self._dir, ignore_errors=True)
+        self._chunks = []
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpillTaskColumns(rows={len(self)}, cap={self.cap}, "
+            f"chunks={len(self._chunks)})"
+        )
+
+
+def build_columns_store(
+    cap: Optional[int] = None,
+    policy: str = "reservoir",
+    spill_dir: Optional[str] = None,
+    seed: int = 0,
+):
+    """Plain, reservoir-capped or spilling store depending on ``cap``/``policy``."""
+    if cap is None:
+        return TaskColumns()
+    if policy == "reservoir":
+        return ReservoirTaskColumns(cap, seed=seed)
+    if policy == "spill":
+        return SpillTaskColumns(cap, spill_dir=spill_dir)
+    raise ValueError(
+        f"unknown metrics policy {policy!r}; expected 'reservoir' or 'spill'"
+    )
+
+
 def merge_columns(parts: Sequence[TaskColumns]) -> TaskColumns:
-    """Concatenate several stores (per-node results into a fleet view)."""
-    merged = TaskColumns(capacity=sum(len(p) for p in parts))
-    for part in parts:
-        size = len(part)
+    """Concatenate several stores (per-node results into a fleet view).
+
+    Capped stores contribute the rows they actually retain (a reservoir's
+    sample, a spill store's full rehydrated history), so ``part.data`` is
+    read rather than trusting ``len(part)`` — the two differ past a cap.
+    """
+    datas = [part.data for part in parts]
+    merged = TaskColumns(capacity=sum(len(rows) for rows in datas))
+    for rows in datas:
+        size = len(rows)
         if size:
             merged._grow_to(merged._size + size)
-            merged._data[merged._size : merged._size + size] = part.data
+            merged._data[merged._size : merged._size + size] = rows
             merged._size += size
     return merged

@@ -16,13 +16,19 @@ Scheduler interface (duck-typed; see :class:`repro.schedulers.base.Scheduler`):
 
 from __future__ import annotations
 
+import itertools
 import time as _wallclock
 from typing import Iterable, List, Optional, Sequence
 
 from repro.simulation.clock import VirtualClock
 from repro.simulation.config import SimulationConfig
 from repro.simulation.cpu import Core
-from repro.simulation.events import EventHandle, EventPriority, EventQueue
+from repro.simulation.events import (
+    STREAM_SEQ_BASE,
+    EventHandle,
+    EventPriority,
+    EventQueue,
+)
 from repro.simulation.machine import Machine
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.results import SimulationResult, build_result
@@ -69,6 +75,17 @@ class Simulator:
         self._pending_arrivals = 0
         self._events_processed = 0
         self._running = False
+        self._tasks_submitted = 0
+        # Streaming arrival feed (see submit_stream); None on classic runs,
+        # whose hot paths pay only one is-None check per arrival.
+        self._stream = None
+        self._stream_low_water = 0
+        self._stream_seq = None
+        self._stream_total: Optional[int] = None
+        # Tasks finished by the most recent completion event; the cluster
+        # node engine reads this for fleet accounting (the collector may be
+        # configured not to retain task objects on streaming runs).
+        self._last_finished: Sequence[Task] = ()
         # Tag-dispatched completion events carry only the core; record the
         # owning engine on each core so shared-queue (cluster) loops can
         # route the event to the right per-node engine.
@@ -90,6 +107,7 @@ class Simulator:
             raise SimulationError("cannot submit tasks while the simulation is running")
         for task in tasks:
             self.tasks.append(task)
+            self._tasks_submitted += 1
             self._unfinished += 1
             self._pending_arrivals += 1
             # Payload-carrying event dispatched by tag: no per-task closure.
@@ -100,6 +118,55 @@ class Simulator:
                 tag="arrival",
                 payload=task,
             )
+
+    def submit_stream(self, source, *, chunk: int = 8192, low_water: Optional[int] = None) -> None:
+        """Attach a streaming arrival source; arrivals are fed in chunks.
+
+        Instead of pre-pushing every arrival (an O(total tasks) heap and task
+        list), the next ``chunk`` tasks are pushed whenever fewer than
+        ``low_water`` fed arrivals remain pending, keeping live memory
+        O(horizon).  Fed arrivals carry pre-assigned sequence numbers from
+        the reserved negative range (:data:`STREAM_SEQ_BASE`), so event
+        ordering — and therefore the whole run — is bit-identical to
+        ``submit(source.materialise())``.  Streaming runs do not retain the
+        task list; results report counts and columnar metrics instead.
+        """
+        from repro.workload.streaming import StreamFeed
+
+        if self._running:
+            raise SimulationError("cannot attach a stream while the simulation is running")
+        if self._stream is not None:
+            raise SimulationError("a streaming source is already attached")
+        if low_water is None:
+            low_water = max(1, chunk // 4)
+        if low_water < 0:
+            raise ValueError(f"low_water must be >= 0, got {low_water!r}")
+        self._stream = StreamFeed(source, chunk)
+        self._stream_low_water = low_water
+        self._stream_seq = itertools.count(STREAM_SEQ_BASE)
+        self._stream_total = source.total_hint()
+        self._refill_stream()
+
+    def _refill_stream(self) -> None:
+        """Feed arrival chunks until pending arrivals clear the low-water mark."""
+        feed = self._stream
+        events = self.events
+        seq = self._stream_seq
+        while not feed.exhausted and self._pending_arrivals <= self._stream_low_water:
+            tasks = feed.next_chunk()
+            if not tasks:
+                break
+            self._tasks_submitted += len(tasks)
+            self._unfinished += len(tasks)
+            self._pending_arrivals += len(tasks)
+            for task in tasks:
+                events.push_sequenced(
+                    task.arrival_time,
+                    next(seq),
+                    priority=EventPriority.ARRIVAL,
+                    tag="arrival",
+                    payload=task,
+                )
 
     # ----------------------------------------------------------------- timers
 
@@ -258,6 +325,7 @@ class Simulator:
             wall_clock_seconds=wall,
             events_processed=self._events_processed,
             telemetry=telemetry_snapshot,
+            tasks_submitted=self._tasks_submitted,
         )
 
     def _start_telemetry(self) -> None:
@@ -275,9 +343,17 @@ class Simulator:
             lambda: sum(1 for core in self.machine.cores if core.is_busy),
             self.collector.series,
         )
-        telemetry.bind_progress(
-            len(self.tasks), lambda: len(self.tasks) - self._unfinished
-        )
+        if self._stream is not None:
+            # The total may be unknown (an open-ended source); the reporter
+            # then prints completion rate instead of a percentage.
+            telemetry.bind_progress(
+                self._stream_total,
+                lambda: self._tasks_submitted - self._unfinished,
+            )
+        else:
+            telemetry.bind_progress(
+                len(self.tasks), lambda: len(self.tasks) - self._unfinished
+            )
         telemetry.start(
             self.events,
             self.clock,
@@ -303,6 +379,8 @@ class Simulator:
 
     def _handle_arrival(self, task: Task) -> None:
         self._pending_arrivals -= 1
+        if self._stream is not None and self._pending_arrivals <= self._stream_low_water:
+            self._refill_stream()
         task.mark_queued()
         tracer = self._tracer
         if tracer is not None:
@@ -315,6 +393,7 @@ class Simulator:
     def _handle_completion(self, core: Core) -> None:
         core._completion_handle = None
         finished = core.finish_ready_tasks(self.now)
+        self._last_finished = finished
         self._reschedule_completion(core)
         tracer = self._tracer
         for task in finished:
@@ -378,4 +457,48 @@ def simulate(
     )
     simulator = Simulator(target_machine, scheduler, config=cfg, telemetry=telemetry)
     simulator.submit(tasks)
+    return simulator.run(until=until)
+
+
+def simulate_stream(
+    scheduler,
+    source,
+    config: Optional[SimulationConfig] = None,
+    machine: Optional[Machine] = None,
+    until: Optional[float] = None,
+    telemetry=None,
+    *,
+    chunk: int = 8192,
+    low_water: Optional[int] = None,
+    metrics_cap: Optional[int] = None,
+    metrics_policy: str = "reservoir",
+    spill_dir: Optional[str] = None,
+) -> SimulationResult:
+    """Streaming analogue of :func:`simulate` for bounded-memory replay.
+
+    ``source`` is a :class:`~repro.workload.streaming.StreamingWorkload`;
+    tasks are fed to the event queue ``chunk`` at a time and not retained
+    after completion, so the run's live memory is O(horizon) rather than
+    O(total tasks).  ``metrics_cap`` bounds the columnar metrics store using
+    ``metrics_policy`` (``"reservoir"`` — exact streaming summaries plus a
+    uniform sample for CDFs — or ``"spill"`` — full rows in on-disk npy
+    chunks under ``spill_dir``).  The result's ``tasks`` list is empty;
+    summaries, columns and cost all work from the collector.
+    """
+    from repro.simulation.columns import build_columns_store
+
+    cfg = config or SimulationConfig()
+    target_machine = machine or Machine(
+        cfg, groups=scheduler.preferred_groups(cfg.num_cores)
+    )
+    collector = MetricsCollector(
+        columns=build_columns_store(
+            metrics_cap, policy=metrics_policy, spill_dir=spill_dir, seed=cfg.seed
+        ),
+        keep_tasks=False,
+    )
+    simulator = Simulator(
+        target_machine, scheduler, config=cfg, collector=collector, telemetry=telemetry
+    )
+    simulator.submit_stream(source, chunk=chunk, low_water=low_water)
     return simulator.run(until=until)

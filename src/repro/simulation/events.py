@@ -25,6 +25,18 @@ from typing import Any, Callable, Optional
 
 from repro.simulation.task import DATACLASS_KWARGS
 
+#: Base of the sequence-number range reserved for streamed arrivals.  The
+#: internal counter starts at 0, so arrivals fed mid-run with sequence
+#: numbers counting up from here sort among themselves in feed order and
+#: ahead of every runtime-pushed event at the same ``(time, priority)`` —
+#: exactly where they would have sorted had the whole workload been
+#: pre-pushed before the run started (see :meth:`EventQueue.push_sequenced`).
+STREAM_SEQ_BASE = -(1 << 62)
+
+#: Compaction threshold: heaps smaller than this are never compacted, so
+#: short runs keep the pure lazy-cancellation fast path.
+_COMPACT_MIN_HEAP = 64
+
 
 class EventPriority(IntEnum):
     """Tie-breaking priority for events scheduled at the same instant.
@@ -90,7 +102,11 @@ class EventHandle:
         event = self._event
         if not event.cancelled and not event.popped:
             event.cancelled = True
-            self._queue._live -= 1
+            queue = self._queue
+            queue._live -= 1
+            heap_len = len(queue._heap)
+            if heap_len >= _COMPACT_MIN_HEAP and heap_len - queue._live > queue._live:
+                queue._compact()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -104,6 +120,12 @@ class EventQueue:
         self._heap: list[tuple[tuple, Event]] = []
         self._counter = itertools.count()
         self._live = 0
+        #: How many times the heap was rebuilt to drop cancelled tombstones.
+        #: Cancellation stays lazy/O(1), but once tombstones outnumber live
+        #: events (timer-heavy schedulers, chaos arms, timeout retries over
+        #: long streaming runs) the heap is compacted so it tracks the live
+        #: horizon instead of the cancellation history.
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -131,6 +153,42 @@ class EventQueue:
             priority=priority,
             seq=next(self._counter),
             callback=callback,
+            tag=tag,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        self._live += 1
+        return EventHandle(event, self)
+
+    def push_sequenced(
+        self,
+        time: float,
+        seq: int,
+        priority: EventPriority = EventPriority.ARRIVAL,
+        tag: str = "",
+        payload: Any = None,
+    ) -> EventHandle:
+        """Schedule a payload event with a caller-chosen sequence number.
+
+        Streaming arrival feeds draw ``seq`` from a counter starting at
+        :data:`STREAM_SEQ_BASE`, which keeps chunk-fed arrivals bit-identical
+        in ordering to a fully pre-pushed workload even when a runtime event
+        (an ingress hop, a retry re-admission) lands on the exact same
+        ``(time, priority)``.  Callers must keep their sequence numbers
+        unique and outside the internal counter's non-negative range; kept
+        separate from :meth:`push` so the hot path stays branch-free.
+        """
+        if time < 0:
+            raise ValueError(f"cannot schedule an event at negative time {time!r}")
+        if seq >= 0:
+            raise ValueError(
+                f"caller-chosen sequence numbers must be negative, got {seq!r}"
+            )
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=seq,
+            callback=None,
             tag=tag,
             payload=payload,
         )
@@ -167,7 +225,20 @@ class EventQueue:
                 event.cancelled = True
                 cancelled += 1
         self._live -= cancelled
+        heap_len = len(self._heap)
+        if heap_len >= _COMPACT_MIN_HEAP and heap_len - self._live > self._live:
+            self._compact()
         return cancelled
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled tombstones.
+
+        ``heapify`` over the surviving ``(sort_key, event)`` pairs preserves
+        the exact pop order, so compaction is invisible to the simulation.
+        """
+        self._heap = [entry for entry in self._heap if not entry[1].cancelled]
+        heapq.heapify(self._heap)
+        self.compactions += 1
 
     def clear(self) -> None:
         """Drop all pending events.

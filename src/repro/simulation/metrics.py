@@ -72,7 +72,15 @@ class TaskMetricsSummary:
 
     @classmethod
     def from_columns(cls, columns: TaskColumns) -> "TaskMetricsSummary":
-        """Summarise a columnar store — the allocation-free fast path."""
+        """Summarise a columnar store — the allocation-free fast path.
+
+        Capped stores that keep exact streaming aggregates (reservoir
+        sampling) provide ``_exact_summary``; delegating keeps every
+        existing call site correct past the row cap without changes.
+        """
+        exact = getattr(columns, "_exact_summary", None)
+        if exact is not None:
+            return exact()
         if not len(columns):
             return cls(
                 count=0,
@@ -141,11 +149,20 @@ class TaskMetricsSummary:
 class MetricsCollector:
     """Accumulates measurements during a simulation run."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        columns: Optional[TaskColumns] = None,
+        keep_tasks: bool = True,
+    ) -> None:
+        #: Finished Task objects in completion order.  Streaming runs pass
+        #: ``keep_tasks=False`` so memory stays bounded; summaries then come
+        #: from the columnar store alone.
         self.finished_tasks: List[Task] = []
+        self.keep_tasks = keep_tasks
         #: Columnar metrics store, filled incrementally per completion so
-        #: result aggregation never rebuilds per-metric Python lists.
-        self.columns = TaskColumns()
+        #: result aggregation never rebuilds per-metric Python lists.  May
+        #: be a capped store (reservoir/spill) on memory-bounded runs.
+        self.columns = columns if columns is not None else TaskColumns()
         self.utilization_samples: List[UtilizationSample] = []
         self.series: Dict[str, List[SeriesPoint]] = {}
         self._busy_snapshots: Dict[int, float] = {}
@@ -156,7 +173,8 @@ class MetricsCollector:
     def on_task_finished(self, task: Task) -> None:
         if not task.is_finished:
             raise ValueError(f"task {task.task_id} is not finished")
-        self.finished_tasks.append(task)
+        if self.keep_tasks:
+            self.finished_tasks.append(task)
         self.columns.append(task)
 
     # ------------------------------------------------------------ time series

@@ -45,6 +45,10 @@ class SimulationResult:
     columns: Optional[TaskColumns] = None
     #: Frozen telemetry of the run (``None`` unless telemetry was enabled).
     telemetry: Optional[TelemetrySnapshot] = None
+    #: Tasks fed to the run.  Streaming runs leave ``tasks`` empty (task
+    #: objects are not retained), so count-based accessors fall back to this
+    #: and to the columnar store; 0 means "not recorded — use len(tasks)".
+    tasks_submitted: int = 0
 
     # ---------------------------------------------------------------- columns
 
@@ -65,10 +69,23 @@ class SimulationResult:
         return [t for t in self.tasks if not t.is_finished]
 
     @property
+    def total_tasks(self) -> int:
+        """Tasks fed to the run (works for streaming runs with no task list)."""
+        return len(self.tasks) if self.tasks else self.tasks_submitted
+
+    @property
+    def finished_count(self) -> int:
+        """Finished-task count (columnar on streaming runs)."""
+        if self.tasks:
+            return len(self.finished_tasks)
+        return len(self.task_columns())
+
+    @property
     def completion_ratio(self) -> float:
-        if not self.tasks:
+        total = self.total_tasks
+        if not total:
             return 0.0
-        return len(self.finished_tasks) / len(self.tasks)
+        return self.finished_count / total
 
     def execution_times(self) -> np.ndarray:
         return self.task_columns().execution()
@@ -114,7 +131,7 @@ class SimulationResult:
         lines = [
             f"scheduler            : {self.scheduler_name}",
             f"cores                : {self.config.num_cores}",
-            f"tasks (finished/all) : {len(self.finished_tasks)}/{len(self.tasks)}",
+            f"tasks (finished/all) : {self.finished_count}/{self.total_tasks}",
             f"simulated time       : {self.simulated_time:.2f} s",
             f"mean execution time  : {summary.mean_execution:.4f} s",
             f"p99 execution time   : {summary.p99_execution:.4f} s",
@@ -138,6 +155,7 @@ def build_result(
     wall_clock_seconds: float,
     events_processed: int,
     telemetry: Optional[TelemetrySnapshot] = None,
+    tasks_submitted: Optional[int] = None,
 ) -> SimulationResult:
     """Assemble a :class:`SimulationResult` from live simulator state."""
     return SimulationResult(
@@ -153,4 +171,5 @@ def build_result(
         events_processed=events_processed,
         columns=collector.columns,
         telemetry=telemetry,
+        tasks_submitted=len(tasks) if tasks_submitted is None else tasks_submitted,
     )

@@ -29,25 +29,39 @@ class ProgressReporter:
         self._started_wall = _wallclock.perf_counter()
         self._last_wall = float("-inf")
 
-    def report(self, sim_now: float, done: int, total: int) -> bool:
-        """Maybe print one progress line; returns True when a line was written."""
+    def report(self, sim_now: float, done: int, total: Optional[int]) -> bool:
+        """Maybe print one progress line; returns True when a line was written.
+
+        ``total=None`` means the run streams arrivals with no known task
+        count (e.g. an unbounded trace replay): the line reports completions
+        and throughput instead of a percentage.
+        """
         wall = _wallclock.perf_counter()
         if wall - self._last_wall < self.min_wall_interval:
             return False
         self._last_wall = wall
-        percent = 100.0 * done / total if total else 100.0
-        self.stream.write(
-            f"[telemetry] t={sim_now:.1f}s  {done}/{total} tasks "
-            f"({percent:.1f}%)  wall {wall - self._started_wall:.1f}s\n"
-        )
+        elapsed = wall - self._started_wall
+        if total is None:
+            rate = done / elapsed if elapsed > 0 else 0.0
+            self.stream.write(
+                f"[telemetry] t={sim_now:.1f}s  {done} tasks "
+                f"(≈{rate:.0f}/s)  wall {elapsed:.1f}s\n"
+            )
+        else:
+            percent = 100.0 * done / total if total else 100.0
+            self.stream.write(
+                f"[telemetry] t={sim_now:.1f}s  {done}/{total} tasks "
+                f"({percent:.1f}%)  wall {elapsed:.1f}s\n"
+            )
         self.lines_written += 1
         return True
 
-    def close(self, sim_now: float, done: int, total: int) -> None:
+    def close(self, sim_now: float, done: int, total: Optional[int]) -> None:
         """Print the end-of-run summary line."""
         wall = _wallclock.perf_counter() - self._started_wall
+        label = f"{done}" if total is None else f"{done}/{total}"
         self.stream.write(
-            f"[telemetry] done: {done}/{total} tasks in {sim_now:.1f}s "
+            f"[telemetry] done: {label} tasks in {sim_now:.1f}s "
             f"simulated ({wall:.1f}s wall)\n"
         )
         self.lines_written += 1

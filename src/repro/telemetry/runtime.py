@@ -72,14 +72,18 @@ class Telemetry:
         self.progress: Optional[ProgressReporter] = (
             ProgressReporter(self.spec.progress_interval) if self.spec.progress else None
         )
-        self._progress_total = 0
+        self._progress_total: Optional[int] = 0
         self._progress_done: Optional[Callable[[], int]] = None
         self._finished = False
 
     # ----------------------------------------------------------------- wiring
 
-    def bind_progress(self, total: int, done: Callable[[], int]) -> None:
-        """Give the progress reporter its completion counters."""
+    def bind_progress(self, total: Optional[int], done: Callable[[], int]) -> None:
+        """Give the progress reporter its completion counters.
+
+        ``total=None`` marks a streaming run with no known task count; the
+        reporter then prints completions and throughput instead of percent.
+        """
         self._progress_total = total
         self._progress_done = done
 

@@ -28,9 +28,25 @@ from repro.workload.extraction import ExtractionPipeline, TraceBucket
 from repro.workload.fibonacci import fibonacci, fibonacci_recursive_cost
 from repro.workload.generator import WorkloadGenerator, WorkloadItem, WorkloadSpec
 from repro.workload.memory import MemoryDistribution
+from repro.workload.streaming import (
+    BucketStreamSource,
+    StreamFeed,
+    StreamSpec,
+    StreamingWorkload,
+    csv_stream_source,
+    load_invocation_csv,
+    trace_stream_source,
+)
 from repro.workload.trace_io import load_workload_csv, save_workload_csv
 
 __all__ = [
+    "BucketStreamSource",
+    "StreamFeed",
+    "StreamSpec",
+    "StreamingWorkload",
+    "csv_stream_source",
+    "load_invocation_csv",
+    "trace_stream_source",
     "AzureTraceConfig",
     "SyntheticAzureTrace",
     "generate_trace",

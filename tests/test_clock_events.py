@@ -127,3 +127,86 @@ class TestEventQueue:
         queue.push(3.0, lambda: None)
         queue.push(1.0, lambda: None)
         assert queue.drain_times() == [1.0, 3.0]
+
+
+class TestTombstoneCompaction:
+    def test_cancel_heavy_queue_compacts(self):
+        queue = EventQueue()
+        handles = [queue.push(float(i), lambda: None, tag="timer") for i in range(100)]
+        keep = [queue.push(1000.0 + i, lambda: None, tag="keep") for i in range(5)]
+        for handle in handles:
+            handle.cancel()
+        # Tombstones outnumbered live events on a >=64-entry heap: the heap
+        # was rebuilt towards the live horizon instead of tracking the full
+        # cancellation history (later cancels may re-park tombstones until
+        # the trigger next fires, so the bound is "well below 105", not 5).
+        assert queue.compactions > 0
+        assert len(queue) == 5
+        assert len(queue._heap) < 64
+        assert [e.time for e in iter(queue.pop, None)] == [h.time for h in keep]
+
+    def test_small_heaps_stay_lazy(self):
+        queue = EventQueue()
+        handles = [queue.push(float(i), lambda: None) for i in range(20)]
+        for handle in handles[:-1]:
+            handle.cancel()
+        assert queue.compactions == 0
+        assert len(queue._heap) == 20  # tombstones still parked in the heap
+        assert queue.pop().time == 19.0
+
+    def test_cancel_pending_triggers_compaction(self):
+        queue = EventQueue()
+        for i in range(90):
+            queue.push(float(i), lambda: None, tag="bulk")
+        queue.push(500.0, lambda: None, tag="survivor")
+        assert queue.cancel_pending("bulk") == 90
+        assert queue.compactions > 0
+        assert len(queue._heap) == 1
+
+    def test_compaction_preserves_pop_order(self):
+        queue = EventQueue()
+        handles = []
+        for i in range(200):
+            handles.append(queue.push(float(i % 37), lambda: None, tag=f"t{i}"))
+        for i, handle in enumerate(handles):
+            if i % 3:
+                handle.cancel()
+        # Ties at the same (time, priority) resolve by insertion order.
+        expected = [
+            (time, tag)
+            for time, _, tag in sorted(
+                (h.time, i, h.tag) for i, h in enumerate(handles) if i % 3 == 0
+            )
+        ]
+        popped = [(e.time, e.tag) for e in iter(queue.pop, None)]
+        assert popped == expected
+
+    def test_double_cancel_does_not_skew_live_count(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        first.cancel()
+        assert len(queue) == 1
+
+
+class TestPushSequenced:
+    def test_sequenced_arrivals_sort_before_runtime_pushes(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, priority=EventPriority.ARRIVAL, tag="runtime")
+        queue.push_sequenced(
+            1.0, -(1 << 62), priority=EventPriority.ARRIVAL, tag="streamed"
+        )
+        assert [e.tag for e in iter(queue.pop, None)] == ["streamed", "runtime"]
+
+    def test_rejects_non_negative_seq(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push_sequenced(1.0, 0)
+        with pytest.raises(ValueError):
+            queue.push_sequenced(1.0, 7)
+
+    def test_rejects_negative_time(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push_sequenced(-0.5, -1)

@@ -106,6 +106,22 @@ MEMORY_GATED_BY_FILE = {
     os.path.join(_REPO_ROOT, "BENCH_9.json"): ("stream_cluster_1m",),
 }
 
+#: BENCH_10: the sweep-executor speedup gate.  Unlike the files above this
+#: gates a *ratio measured on the same host in the same run* (serial wall
+#: time of the reference 16-point sweep over its jobs=4 wall time), so no
+#: calibration units are needed and no cross-host baseline can drift.  On a
+#: host with >= 4 CPUs the pool must deliver at least SWEEP_MIN_SPEEDUP;
+#: on smaller hosts a real speedup is physically unavailable, so the gate
+#: degrades to an overhead bound — fanning out must not cost more than
+#: SWEEP_MAX_OVERHEAD of the serial time.  The serial leg is additionally
+#: pinned in calibration units like every other bench.
+SWEEP_SPEEDUP_FILE = os.path.join(_REPO_ROOT, "BENCH_10.json")
+SWEEP_SERIAL_BENCH = "sweep_16pt_serial"
+SWEEP_POOL_BENCH = "sweep_16pt_jobs4"
+SWEEP_MIN_SPEEDUP = 3.0
+SWEEP_MAX_OVERHEAD = 1.25
+SWEEP_FULL_GATE_CPUS = 4
+
 #: Maximum allowed ratio of measured units over baseline units.
 THRESHOLD = 1.25
 
@@ -204,6 +220,77 @@ def check_memory_file(path: str, gated, cal: float, update: bool):
     return failures, data
 
 
+def check_sweep_speedup(cal: float, update: bool, repeats: int):
+    """Gate (or re-baseline) the BENCH_10 sweep-executor speedup.
+
+    Returns ``(failures, data)`` like the other check functions.  Both legs
+    run here, back to back on the same host, and the gated figure is their
+    ratio; the committed file records the last captured legs for context
+    plus the serial leg's calibration units (pinned at the usual 25%).
+    """
+    with open(SWEEP_SPEEDUP_FILE) as handle:
+        data = json.load(handle)
+    cpus = os.cpu_count() or 1
+    serial = time_bench(SWEEP_SERIAL_BENCH, repeats=repeats)
+    pooled = time_bench(SWEEP_POOL_BENCH, repeats=repeats)
+    speedup = serial / pooled
+    units = serial / cal
+    failures = []
+
+    baseline = data.setdefault("baseline_units", {})
+    if update:
+        baseline[SWEEP_SERIAL_BENCH] = units
+        data["benches"] = {
+            SWEEP_SERIAL_BENCH: {"seconds": round(serial, 4)},
+            SWEEP_POOL_BENCH: {"seconds": round(pooled, 4), "jobs": 4},
+        }
+        data["last_capture"] = {"cpus": cpus, "speedup": round(speedup, 3)}
+        print(
+            f"{SWEEP_SERIAL_BENCH:24s} {serial * 1e3:9.2f} ms  "
+            f"{units:8.3f} units  (baselined; jobs=4 speedup {speedup:.2f}x "
+            f"on {cpus} CPUs)"
+        )
+        return failures, data
+
+    recorded = baseline.get(SWEEP_SERIAL_BENCH)
+    if recorded is None:
+        print(f"{SWEEP_SERIAL_BENCH:24s} NO BASELINE")
+        failures.append((SWEEP_SERIAL_BENCH, float("inf")))
+    else:
+        ratio = units / recorded
+        status = "ok" if ratio <= THRESHOLD else "REGRESSION"
+        print(
+            f"{SWEEP_SERIAL_BENCH:24s} {serial * 1e3:9.2f} ms  {units:8.3f} units  "
+            f"baseline {recorded:8.3f}  ratio {ratio:5.2f}x  {status}"
+        )
+        if ratio > THRESHOLD:
+            failures.append((SWEEP_SERIAL_BENCH, ratio))
+
+    if cpus >= SWEEP_FULL_GATE_CPUS:
+        ok = speedup >= SWEEP_MIN_SPEEDUP
+        print(
+            f"{SWEEP_POOL_BENCH:24s} {pooled * 1e3:9.2f} ms  "
+            f"speedup {speedup:5.2f}x on {cpus} CPUs  "
+            f"(gate >= {SWEEP_MIN_SPEEDUP:.1f}x)  {'ok' if ok else 'REGRESSION'}"
+        )
+        if not ok:
+            failures.append(("sweep_speedup", SWEEP_MIN_SPEEDUP / speedup))
+    else:
+        # A 3x speedup needs cores that this host does not have; bound the
+        # fan-out overhead instead so pool plumbing cannot silently bloat.
+        overhead = pooled / serial
+        ok = overhead <= SWEEP_MAX_OVERHEAD
+        print(
+            f"{SWEEP_POOL_BENCH:24s} {pooled * 1e3:9.2f} ms  "
+            f"only {cpus} CPUs: speedup gate skipped, overhead "
+            f"{overhead:5.2f}x (gate <= {SWEEP_MAX_OVERHEAD:.2f}x)  "
+            f"{'ok' if ok else 'REGRESSION'}"
+        )
+        if not ok:
+            failures.append(("sweep_pool_overhead", overhead))
+    return failures, data
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -232,6 +319,15 @@ def main() -> int:
                 json.dump(data, handle, indent=2, sort_keys=True)
                 handle.write("\n")
             print(f"updated {os.path.normpath(path)}")
+    sweep_failures, sweep_data = check_sweep_speedup(
+        cal, update=args.update, repeats=min(args.repeats, 2)
+    )
+    failures.extend(sweep_failures)
+    if args.update:
+        with open(SWEEP_SPEEDUP_FILE, "w") as handle:
+            json.dump(sweep_data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"updated {os.path.normpath(SWEEP_SPEEDUP_FILE)}")
     if not args.skip_memory:
         for path, gated in MEMORY_GATED_BY_FILE.items():
             file_failures, data = check_memory_file(

@@ -48,6 +48,7 @@ the workload draw.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Dict, Tuple
 
@@ -380,6 +381,30 @@ def run_stream_cluster_bench(limit: int = STREAM_BENCH_TASKS):
     return result
 
 
+#: The BENCH_10 reference sweep: 16 single-machine points (4 core counts x
+#: 4 schedulers) over the quarter-scale two-minute workload — the shipped
+#: ``scenarios/reference_sweep.json``.  Each point is a few hundred
+#: milliseconds of simulation, big enough to amortise pool startup, so the
+#: jobs=4 run measures genuine fan-out speedup rather than fork overhead.
+REFERENCE_SWEEP_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    os.pardir,
+    "scenarios",
+    "reference_sweep.json",
+)
+
+
+def run_sweep_bench(jobs: int = 1):
+    """The reference 16-point sweep through ``run_sweep`` at ``jobs`` workers."""
+    from repro.sweep import SweepSpec, run_sweep
+
+    with open(REFERENCE_SWEEP_PATH) as handle:
+        spec = SweepSpec.from_json(handle.read())
+    table = run_sweep(spec, jobs=jobs)
+    assert len(table.rows) == 16
+    return table
+
+
 BENCHES: Dict[str, Callable[[], object]] = {
     **{f"engine_mp{mp}": (lambda mp=mp: run_engine_bench(mp)) for mp in ENGINE_MP_LEVELS},
     **{
@@ -404,6 +429,8 @@ BENCHES: Dict[str, Callable[[], object]] = {
     },
     "metrics_columnar_100k_x10": run_metrics_columnar_gate,
     "stream_cluster_5k": run_stream_cluster_bench,
+    "sweep_16pt_serial": lambda: run_sweep_bench(jobs=1),
+    "sweep_16pt_jobs4": lambda: run_sweep_bench(jobs=4),
 }
 
 

@@ -27,11 +27,13 @@ same contract :mod:`repro.experiments.cluster_slo` uses.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.chaos.spec import ChaosSpec
 from repro.experiments.common import (
     ExperimentOutput,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 from repro.scenario import Scenario, Workload
 
@@ -136,14 +138,22 @@ def _leg_stats(result) -> dict:
     }
 
 
-def run(scale: float = 1.0) -> ExperimentOutput:
-    legs = {
-        "bare": crash_scenario(scale),
-        "guarded": crash_scenario(scale, _guard_chain()),
-        "forfeit": spot_scenario(scale, checkpoint=False),
-        "checkpoint": spot_scenario(scale, checkpoint=True),
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
+    crash_legs = run_variants(
+        crash_scenario(scale),
+        {"bare": {}, "guarded": {"middleware": list(_guard_chain())}},
+        jobs=jobs,
+        name="cluster_chaos:crash",
+    )
+    spot_legs = run_variants(
+        spot_scenario(scale, checkpoint=False),
+        {"forfeit": {}, "checkpoint": {"migration_kwargs.checkpoint": True}},
+        jobs=jobs,
+        name="cluster_chaos:spot",
+    )
+    results = {
+        label: rr.result for label, rr in {**crash_legs, **spot_legs}.items()
     }
-    results = {label: run_scenario(s).result for label, s in legs.items()}
     data: dict = {label: _leg_stats(result) for label, result in results.items()}
 
     # The experiment's claims, asserted as recorded booleans.

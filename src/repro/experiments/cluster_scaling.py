@@ -33,12 +33,14 @@ fleet whose nodes are big enough that hash partitions do not saturate
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.analysis.fleet import policy_comparison_table
 from repro.cluster import NetworkSpec, NodeSpec, available_dispatchers
 from repro.experiments.common import (
     ExperimentOutput,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 from repro.scenario import Scenario, Workload
 
@@ -83,26 +85,26 @@ def heterogeneous_scenario(scale: float, **overrides) -> Scenario:
     return Scenario(**defaults)
 
 
-def run_heterogeneous_sweep(scale: float, scheduler: str = "fifo") -> dict:
+def run_heterogeneous_sweep(
+    scale: float, scheduler: str = "fifo", jobs: Optional[int] = None
+) -> dict:
     """Four runs on the big/little fleet; returns results keyed by label."""
     variants = {
-        "jsq_normalized": heterogeneous_scenario(scale, scheduler=scheduler),
-        "jsq_raw": heterogeneous_scenario(
-            scale, scheduler=scheduler, dispatcher_kwargs={"normalized": False}
-        ),
-        "round_robin": heterogeneous_scenario(
-            scale, scheduler=scheduler, dispatcher="round_robin"
-        ),
-        "round_robin_stealing": heterogeneous_scenario(
-            scale,
-            scheduler=scheduler,
-            dispatcher="round_robin",
-            migration="work_stealing",
-        ),
+        "jsq_normalized": {},
+        "jsq_raw": {"dispatcher_kwargs": {"normalized": False}},
+        "round_robin": {"dispatcher": "round_robin"},
+        "round_robin_stealing": {
+            "dispatcher": "round_robin",
+            "migration": "work_stealing",
+        },
     }
-    return {
-        label: run_scenario(scenario).result for label, scenario in variants.items()
-    }
+    results = run_variants(
+        heterogeneous_scenario(scale, scheduler=scheduler),
+        variants,
+        jobs=jobs,
+        name="cluster_scaling:heterogeneous",
+    )
+    return {label: run_result.result for label, run_result in results.items()}
 
 
 def locality_rtt_scenario(
@@ -119,36 +121,45 @@ def locality_rtt_scenario(
     )
 
 
-def run_locality_rtt_sweep(scale: float) -> dict:
+def run_locality_rtt_sweep(scale: float, jobs: Optional[int] = None) -> dict:
     """JSQ vs consistent hashing, with and without the probe-costly RTT."""
     variants = {
-        "jsq_rtt0": locality_rtt_scenario(scale, "jsq", rtt=0.0),
-        "consistent_hash_rtt0": locality_rtt_scenario(
-            scale, "consistent_hash", rtt=0.0
-        ),
-        "jsq_rtt": locality_rtt_scenario(scale, "jsq"),
-        "consistent_hash_rtt": locality_rtt_scenario(scale, "consistent_hash"),
+        "jsq_rtt0": {},
+        "consistent_hash_rtt0": {"dispatcher": "consistent_hash"},
+        "jsq_rtt": {"network.rtt": LOCALITY_RTT},
+        "consistent_hash_rtt": {
+            "dispatcher": "consistent_hash",
+            "network.rtt": LOCALITY_RTT,
+        },
     }
-    return {
-        label: run_scenario(scenario).result for label, scenario in variants.items()
-    }
+    results = run_variants(
+        locality_rtt_scenario(scale, "jsq", rtt=0.0),
+        variants,
+        jobs=jobs,
+        name="cluster_scaling:locality_rtt",
+    )
+    return {label: run_result.result for label, run_result in results.items()}
 
 
-def run(scale: float = 1.0) -> ExperimentOutput:
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
     policies = available_dispatchers()
     sections = []
     data: dict = {"policies": policies, "node_counts": list(NODE_COUNTS)}
     for num_nodes in NODE_COUNTS:
-        results = {}
-        for policy in policies:
-            scenario = Scenario(
-                workload=Workload("ten_minute", scale=scale),
-                num_nodes=num_nodes,
-                cores_per_node=CORES_PER_NODE,
-                scheduler="fifo",
-                dispatcher=policy,
-            )
-            results[policy] = run_scenario(scenario).result
+        base = Scenario(
+            workload=Workload("ten_minute", scale=scale),
+            num_nodes=num_nodes,
+            cores_per_node=CORES_PER_NODE,
+            scheduler="fifo",
+            dispatcher=policies[0],
+        )
+        run_results = run_variants(
+            base,
+            {policy: {"dispatcher": policy} for policy in policies},
+            jobs=jobs,
+            name=f"cluster_scaling:nodes{num_nodes}",
+        )
+        results = {label: rr.result for label, rr in run_results.items()}
         table = policy_comparison_table(results)
         sections.append(
             table.render(
@@ -181,7 +192,7 @@ def run(scale: float = 1.0) -> ExperimentOutput:
         large[p]["p99_turnaround"] <= small[p]["p99_turnaround"] for p in pooling
     )
 
-    het_results = run_heterogeneous_sweep(scale)
+    het_results = run_heterogeneous_sweep(scale, jobs=jobs)
     het_table = policy_comparison_table(het_results)
     sections.append(
         het_table.render(
@@ -206,7 +217,7 @@ def run(scale: float = 1.0) -> ExperimentOutput:
         < het["round_robin"]["p99_turnaround"]
     )
 
-    rtt_results = run_locality_rtt_sweep(scale)
+    rtt_results = run_locality_rtt_sweep(scale, jobs=jobs)
     rtt_table = policy_comparison_table(rtt_results)
     sections.append(
         rtt_table.render(

@@ -21,11 +21,13 @@ queue, shed it") expressed entirely as a declarative middleware chain.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.analysis.fleet import policy_comparison_table
 from repro.experiments.common import (
     ExperimentOutput,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 from repro.scenario import Scenario, Workload
 
@@ -86,11 +88,15 @@ def slo_scenario(scale: float, middleware: tuple) -> Scenario:
     )
 
 
-def run(scale: float = 1.0) -> ExperimentOutput:
-    results = {
-        label: run_scenario(slo_scenario(scale, chain)).result
-        for label, chain in _chains().items()
-    }
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
+    chains = _chains()
+    run_results = run_variants(
+        slo_scenario(scale, chains["baseline"]),
+        {label: {"middleware": list(chain)} for label, chain in chains.items()},
+        jobs=jobs,
+        name=EXPERIMENT_ID,
+    )
+    results = {label: rr.result for label, rr in run_results.items()}
     table = policy_comparison_table(results)
 
     data: dict = {"slo_seconds": SLO_SECONDS}

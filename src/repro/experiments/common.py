@@ -10,9 +10,10 @@ for convenience.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -61,18 +62,32 @@ class ExperimentOutput:
     def write_csv(self, directory: Union[str, Path]) -> Dict[str, Path]:
         """Write every comparison table as ``<id>_<table>.csv``.
 
-        Shares the one CSV formatting helper in :mod:`repro.analysis.export`
-        so experiment output and result export stay byte-compatible.
+        Creates ``directory`` (and parents) when missing.  A path that
+        exists but is not a directory — or a target CSV name already taken
+        by a directory — fails with a clear :class:`FileExistsError` naming
+        the collision instead of an ``open()`` traceback.  Shares the one
+        CSV formatting helper in :mod:`repro.analysis.export` so experiment
+        output and result export stay byte-compatible.
         """
         from repro.analysis.export import export_comparison_table
 
         base = Path(directory)
-        return {
-            name: export_comparison_table(
-                table, base / f"{self.experiment_id}_{name}.csv"
+        if base.exists() and not base.is_dir():
+            raise FileExistsError(
+                f"experiment output directory {base} collides with an "
+                "existing file; remove it or pick another --output path"
             )
-            for name, table in self.tables.items()
-        }
+        base.mkdir(parents=True, exist_ok=True)
+        written: Dict[str, Path] = {}
+        for name, table in self.tables.items():
+            target = base / f"{self.experiment_id}_{name}.csv"
+            if target.is_dir():
+                raise FileExistsError(
+                    f"experiment CSV target {target} collides with an "
+                    "existing directory"
+                )
+            written[name] = export_comparison_table(table, target)
+        return written
 
 
 ExperimentFunction = Callable[..., ExperimentOutput]
@@ -101,9 +116,44 @@ def get_experiment(experiment_id: str) -> ExperimentFunction:
     return _EXPERIMENTS[key]
 
 
-def run_experiment(experiment_id: str, scale: float = 1.0) -> ExperimentOutput:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id)(scale=scale)
+def _accepts_keyword(function: ExperimentFunction, name: str) -> bool:
+    try:
+        parameters = inspect.signature(function).parameters
+    except (TypeError, ValueError):  # builtins / C callables: assume flexible
+        return True
+    if name in parameters:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+def run_experiment(
+    experiment_id: str, scale: float = 1.0, jobs: Optional[int] = None
+) -> ExperimentOutput:
+    """Run one experiment by id at one workload scale.
+
+    ``scale`` is validated and passed to every experiment — an experiment
+    whose ``run()`` cannot take it fails loudly here instead of silently
+    running at its module's built-in scale.  ``jobs`` (worker processes for
+    the sweep-backed experiments) is threaded through only where the
+    experiment accepts it; single-run and scheduler-state experiments stay
+    serial.
+    """
+    function = get_experiment(experiment_id)
+    if not scale > 0:
+        raise ValueError(
+            f"experiment scale must be positive, got {scale!r}"
+        )
+    if not _accepts_keyword(function, "scale"):
+        raise TypeError(
+            f"experiment {experiment_id!r} does not accept scale=; its "
+            "run() must take the workload scale so --scale is honoured"
+        )
+    kwargs: Dict[str, object] = {"scale": scale}
+    if jobs is not None and _accepts_keyword(function, "jobs"):
+        kwargs["jobs"] = jobs
+    return function(**kwargs)
 
 
 # ---------------------------------------------------------------------------
@@ -188,6 +238,54 @@ def run_policy(
     ).result
 
 
+# ---------------------------------------------------------------------------
+# Declarative variant execution (the sweep engine behind the experiments)
+# ---------------------------------------------------------------------------
+
+
+def variant_sweep(
+    base: Scenario,
+    variants: Mapping[str, Mapping[str, object]],
+    name: str = "",
+):
+    """The experiments' study shape as a sweep spec: labelled override dicts.
+
+    ``variants`` maps row labels to dotted-path overrides on ``base``
+    (``{}`` keeps the base itself), which is exactly how the ported
+    figure modules declare "run these scenario variants".
+    """
+    from repro.sweep import PointSpec, SweepSpec
+
+    return SweepSpec(
+        base=base,
+        points=tuple(
+            PointSpec(label, dict(overrides))
+            for label, overrides in variants.items()
+        ),
+        name=name,
+    )
+
+
+def run_variants(
+    base: Scenario,
+    variants: Mapping[str, Mapping[str, object]],
+    jobs: Optional[int] = None,
+    name: str = "",
+) -> Dict[str, RunResult]:
+    """Run labelled scenario variants, optionally across a worker pool.
+
+    The one execution path behind every ported experiment: builds a
+    :class:`~repro.sweep.spec.SweepSpec` from the variants and fans it
+    through :func:`~repro.sweep.executor.sweep_results`, so ``jobs=N``
+    parallelises any figure without touching its logic.  Results come
+    back as ``{label: RunResult}`` in declaration order and are
+    bit-identical to serial runs regardless of ``jobs``.
+    """
+    from repro.sweep import sweep_results
+
+    return sweep_results(variant_sweep(base, variants, name=name), jobs=jobs)
+
+
 def paper_hybrid_config(num_cores: int = ENCLAVE_CORES, **overrides) -> HybridConfig:
     """The 25/25, 1,633 ms configuration used for the headline results."""
     fifo = overrides.pop("fifo_cores", num_cores // 2)
@@ -237,6 +335,21 @@ def metric_row(
         "total_execution": summary.total_execution,
         "cost_usd": cost,
     }
+
+
+def metric_table(
+    results: Mapping[str, RunResult],
+    cost_model: Optional[CostModel] = None,
+) -> ComparisonTable:
+    """One Table-I-style comparison table: a row per labelled result.
+
+    Replaces the add-row loop every metric-table experiment used to
+    carry; row order follows the mapping's insertion order.
+    """
+    table = ComparisonTable(columns=METRIC_COLUMNS)
+    for label, result in results.items():
+        table.add_row(label, metric_row(result, cost_model))
+    return table
 
 
 def cdf_rows(values: Sequence[float], label: str, points: Sequence[float]) -> List[List[object]]:

@@ -8,13 +8,15 @@ slicing stretches each function's billed execution time.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.analysis.report import format_usd, render_table
 from repro.cost.cost_model import CostModel
 from repro.experiments.common import (
     ExperimentOutput,
     policy_scenario,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 
 #: Memory sizes swept in the figure (MB).
@@ -23,13 +25,19 @@ MEMORY_SWEEP_MB = (128, 256, 512, 1024, 2048, 4096, 10240)
 EXPERIMENT_ID = "fig01"
 TITLE = "Cost of FIFO vs CFS scheduling by memory size"
 
+#: The figure's two scheduler variants as declarative sweep overrides.
+VARIANTS = {"fifo": {}, "cfs": {"scheduler": "cfs"}}
 
-def run(scale: float = 1.0) -> ExperimentOutput:
+
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
     """Run FIFO and CFS over the 2-minute workload and price both."""
     cost_model = CostModel()
 
-    fifo_result = run_scenario(policy_scenario("fifo", scale=scale)).result
-    cfs_result = run_scenario(policy_scenario("cfs", scale=scale)).result
+    results = run_variants(
+        policy_scenario("fifo", scale=scale), VARIANTS, jobs=jobs, name=EXPERIMENT_ID
+    )
+    fifo_result = results["fifo"].result
+    cfs_result = results["cfs"].result
 
     fifo_costs = cost_model.cost_by_memory_size(fifo_result.finished_tasks, MEMORY_SWEEP_MB)
     cfs_costs = cost_model.cost_by_memory_size(cfs_result.finished_tasks, MEMORY_SWEEP_MB)

@@ -8,28 +8,33 @@ responds almost immediately but stretches execution times dramatically
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.analysis.cdf import compute_cdf
-from repro.analysis.report import ComparisonTable
 from repro.experiments.common import (
     ExperimentOutput,
-    METRIC_COLUMNS,
     metric_row,
+    metric_table,
     policy_scenario,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 
 EXPERIMENT_ID = "fig04"
 TITLE = "FIFO vs CFS: execution, response and turnaround time"
 
+#: The figure's two scheduler variants as declarative sweep overrides.
+VARIANTS = {"fifo": {}, "cfs": {"scheduler": "cfs"}}
 
-def run(scale: float = 1.0) -> ExperimentOutput:
-    fifo = run_scenario(policy_scenario("fifo", scale=scale))
-    cfs = run_scenario(policy_scenario("cfs", scale=scale))
 
-    table = ComparisonTable(columns=METRIC_COLUMNS)
-    table.add_row("fifo", metric_row(fifo))
-    table.add_row("cfs", metric_row(cfs))
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
+    results = run_variants(
+        policy_scenario("fifo", scale=scale), VARIANTS, jobs=jobs, name=EXPERIMENT_ID
+    )
+    fifo = results["fifo"]
+    cfs = results["cfs"]
+
+    table = metric_table(results)
 
     fifo_exec = compute_cdf(fifo.result.execution_times())
     cfs_exec = compute_cdf(cfs.result.execution_times())

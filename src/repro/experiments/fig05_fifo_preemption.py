@@ -8,14 +8,15 @@ the cost of longer execution times, and overall turnaround still improves
 
 from __future__ import annotations
 
-from repro.analysis.report import ComparisonTable
+from typing import Optional
+
 from repro.experiments.common import (
     ExperimentOutput,
-    METRIC_COLUMNS,
     metric_row,
+    metric_table,
     policy_scenario,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 
 EXPERIMENT_ID = "fig05"
@@ -23,16 +24,24 @@ TITLE = "FIFO vs FIFO with 100 ms preemption"
 
 PREEMPTION_QUANTUM = 0.100
 
+#: Plain FIFO vs the preempting variant, as declarative sweep overrides.
+VARIANTS = {
+    "fifo": {},
+    "fifo_100ms": {
+        "scheduler": "fifo_preempt",
+        "scheduler_kwargs": {"quantum": PREEMPTION_QUANTUM},
+    },
+}
 
-def run(scale: float = 1.0) -> ExperimentOutput:
-    fifo = run_scenario(policy_scenario("fifo", scale=scale))
-    fifo_100ms = run_scenario(
-        policy_scenario("fifo_preempt", scale=scale, quantum=PREEMPTION_QUANTUM)
+
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
+    results = run_variants(
+        policy_scenario("fifo", scale=scale), VARIANTS, jobs=jobs, name=EXPERIMENT_ID
     )
+    fifo = results["fifo"]
+    fifo_100ms = results["fifo_100ms"]
 
-    table = ComparisonTable(columns=METRIC_COLUMNS)
-    table.add_row("fifo", metric_row(fifo))
-    table.add_row("fifo_100ms", metric_row(fifo_100ms))
+    table = metric_table(results)
 
     response_improved = table.metric("fifo_100ms", "p99_response") < table.metric(
         "fifo", "p99_response"

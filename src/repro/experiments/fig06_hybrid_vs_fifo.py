@@ -16,28 +16,38 @@ ablation (``scale`` < 1 keeps the same behaviour) shows the Fig. 6 ordering.
 
 from __future__ import annotations
 
-from repro.analysis.report import ComparisonTable
+from typing import Optional
+
 from repro.experiments.common import (
     ExperimentOutput,
-    METRIC_COLUMNS,
-    hybrid_scenario,
+    hybrid_kwargs,
     metric_row,
+    metric_table,
     policy_scenario,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 
 EXPERIMENT_ID = "fig06"
 TITLE = "FIFO vs hybrid FIFO+CFS (25/25 cores, 1,633 ms limit)"
 
 
-def run(scale: float = 1.0) -> ExperimentOutput:
-    fifo = run_scenario(policy_scenario("fifo", scale=scale))
-    hybrid = run_scenario(hybrid_scenario(scale=scale))
+def _variants() -> dict:
+    """Plain FIFO vs the paper's hybrid, as declarative sweep overrides."""
+    return {
+        "fifo": {},
+        "hybrid": {"scheduler": "hybrid", "scheduler_kwargs": hybrid_kwargs()},
+    }
 
-    table = ComparisonTable(columns=METRIC_COLUMNS)
-    table.add_row("fifo", metric_row(fifo))
-    table.add_row("hybrid", metric_row(hybrid))
+
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
+    results = run_variants(
+        policy_scenario("fifo", scale=scale), _variants(), jobs=jobs, name=EXPERIMENT_ID
+    )
+    fifo = results["fifo"]
+    hybrid = results["hybrid"]
+
+    table = metric_table(results)
 
     text = table.render(title="FIFO vs hybrid metric summary")
     median_ratio = (

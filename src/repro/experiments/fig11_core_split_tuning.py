@@ -8,17 +8,18 @@ the few CFS cores are overwhelmed by the preempted long functions.
 
 from __future__ import annotations
 
-from repro.analysis.report import ComparisonTable
+from typing import Optional
+
 from repro.experiments.common import (
     ENCLAVE_CORES,
     ExperimentOutput,
-    METRIC_COLUMNS,
-    hybrid_scenario,
+    hybrid_kwargs,
     metric_row,
+    metric_table,
     paper_hybrid_config,
     policy_scenario,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 
 EXPERIMENT_ID = "fig11"
@@ -28,22 +29,30 @@ TITLE = "Execution time across FIFO/CFS core splits"
 SPLITS = ((10, 40), (25, 25), (40, 10))
 
 
-def run(scale: float = 1.0) -> ExperimentOutput:
-    table = ComparisonTable(columns=METRIC_COLUMNS)
-
-    cfs = run_scenario(policy_scenario("cfs", scale=scale))
-    table.add_row("cfs_50", metric_row(cfs))
-
-    split_rows = {}
+def _variants() -> dict:
+    """The 50-core CFS baseline plus one hybrid variant per core split."""
+    variants: dict = {"cfs_50": {}}
     for fifo_cores, cfs_cores in SPLITS:
         config = paper_hybrid_config(fifo_cores=fifo_cores, cfs_cores=cfs_cores)
-        result = run_scenario(
-            hybrid_scenario(config, scale=scale, num_cores=fifo_cores + cfs_cores)
-        )
-        label = f"hybrid_{fifo_cores}_{cfs_cores}"
-        row = metric_row(result)
-        table.add_row(label, row)
-        split_rows[label] = row
+        variants[f"hybrid_{fifo_cores}_{cfs_cores}"] = {
+            "scheduler": "hybrid",
+            "scheduler_kwargs": hybrid_kwargs(config),
+            "num_cores": fifo_cores + cfs_cores,
+        }
+    return variants
+
+
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
+    results = run_variants(
+        policy_scenario("cfs", scale=scale), _variants(), jobs=jobs, name=EXPERIMENT_ID
+    )
+    table = metric_table(results)
+    split_rows = {
+        label: metric_row(result)
+        for label, result in results.items()
+        if label != "cfs_50"
+    }
+    cfs = results["cfs_50"]
 
     best_split = min(split_rows, key=lambda k: split_rows[k]["total_execution"])
     text = table.render(title=f"Core-split sweep on {ENCLAVE_CORES} cores")

@@ -7,28 +7,38 @@ queue instead of immediately time-sharing), and better turnaround overall.
 
 from __future__ import annotations
 
-from repro.analysis.report import ComparisonTable
+from typing import Optional
+
 from repro.experiments.common import (
     ExperimentOutput,
-    METRIC_COLUMNS,
-    hybrid_scenario,
+    hybrid_kwargs,
     metric_row,
+    metric_table,
     policy_scenario,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 
 EXPERIMENT_ID = "fig12"
 TITLE = "Hybrid FIFO+CFS vs CFS: execution, response, turnaround"
 
 
-def run(scale: float = 1.0) -> ExperimentOutput:
-    cfs = run_scenario(policy_scenario("cfs", scale=scale))
-    hybrid = run_scenario(hybrid_scenario(scale=scale))
+def _variants() -> dict:
+    """CFS vs the paper's hybrid, as declarative sweep overrides."""
+    return {
+        "cfs": {},
+        "hybrid": {"scheduler": "hybrid", "scheduler_kwargs": hybrid_kwargs()},
+    }
 
-    table = ComparisonTable(columns=METRIC_COLUMNS)
-    table.add_row("cfs", metric_row(cfs))
-    table.add_row("hybrid", metric_row(hybrid))
+
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
+    results = run_variants(
+        policy_scenario("cfs", scale=scale), _variants(), jobs=jobs, name=EXPERIMENT_ID
+    )
+    cfs = results["cfs"]
+    hybrid = results["hybrid"]
+
+    table = metric_table(results)
 
     execution_better = table.metric("hybrid", "p99_execution") < table.metric(
         "cfs", "p99_execution"

@@ -11,14 +11,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Optional
+
 from repro.analysis.report import render_table
 from repro.core.config import CFS_GROUP, FIFO_GROUP
 from repro.experiments.common import (
     ExperimentOutput,
-    hybrid_scenario,
+    hybrid_kwargs,
     policy_scenario,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 
 EXPERIMENT_ID = "fig13"
@@ -34,9 +36,18 @@ def _group_stats(per_core: dict, core_ids: list) -> dict:
     }
 
 
-def run(scale: float = 1.0) -> ExperimentOutput:
-    cfs = run_scenario(policy_scenario("cfs", scale=scale)).result
-    hybrid = run_scenario(hybrid_scenario(scale=scale)).result
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
+    results = run_variants(
+        policy_scenario("cfs", scale=scale),
+        {
+            "cfs": {},
+            "hybrid": {"scheduler": "hybrid", "scheduler_kwargs": hybrid_kwargs()},
+        },
+        jobs=jobs,
+        name=EXPERIMENT_ID,
+    )
+    cfs = results["cfs"].result
+    hybrid = results["hybrid"].result
 
     cfs_per_core = cfs.preemptions_per_core()
     hybrid_per_core = hybrid.preemptions_per_core()

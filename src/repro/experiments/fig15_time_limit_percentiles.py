@@ -8,15 +8,17 @@ preempted onto the CFS cores.
 
 from __future__ import annotations
 
-from repro.analysis.report import ComparisonTable
+from typing import Optional
+
 from repro.experiments.common import (
     ExperimentOutput,
-    METRIC_COLUMNS,
-    hybrid_scenario,
+    hybrid_kwargs,
     metric_row,
+    metric_table,
     paper_hybrid_config,
+    policy_scenario,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 
 EXPERIMENT_ID = "fig15"
@@ -25,16 +27,28 @@ TITLE = "Execution time vs adaptive FIFO time-limit percentile"
 PERCENTILES = (25, 50, 75, 90, 95)
 
 
-def run(scale: float = 1.0) -> ExperimentOutput:
-    table = ComparisonTable(columns=METRIC_COLUMNS)
-    rows = {}
+def _variants() -> dict:
+    """One hybrid variant per adaptive-limit percentile (window = 100)."""
+    variants = {}
     for percentile in PERCENTILES:
-        config = paper_hybrid_config().with_adaptive_limit(percentile=percentile, window=100)
-        result = run_scenario(hybrid_scenario(config, scale=scale))
-        label = f"ts_p{percentile}"
-        row = metric_row(result)
-        table.add_row(label, row)
-        rows[label] = row
+        config = paper_hybrid_config().with_adaptive_limit(
+            percentile=percentile, window=100
+        )
+        variants[f"ts_p{percentile}"] = {
+            "scheduler_kwargs": hybrid_kwargs(config)
+        }
+    return variants
+
+
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
+    results = run_variants(
+        policy_scenario("hybrid", scale=scale, **hybrid_kwargs()),
+        _variants(),
+        jobs=jobs,
+        name=EXPERIMENT_ID,
+    )
+    table = metric_table(results)
+    rows = {label: metric_row(result) for label, result in results.items()}
 
     best = min(rows, key=lambda k: rows[k]["total_execution"])
     text = table.render(title="Adaptive limit percentile sweep (window = 100 tasks)")

@@ -8,14 +8,16 @@ to the FIFO lower bound and far below CFS.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.analysis.report import format_usd, render_table
 from repro.cost.cost_model import CostModel
 from repro.experiments.common import (
     ExperimentOutput,
-    hybrid_scenario,
+    hybrid_kwargs,
     policy_scenario,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 from repro.experiments.fig01_cost_fifo_vs_cfs import MEMORY_SWEEP_MB
 
@@ -23,12 +25,24 @@ EXPERIMENT_ID = "fig20"
 TITLE = "Workload cost by memory size: hybrid vs FIFO vs CFS"
 
 
-def run(scale: float = 1.0) -> ExperimentOutput:
+def _variants() -> dict:
+    """The three priced schedulers as declarative sweep overrides."""
+    return {
+        "fifo": {},
+        "cfs": {"scheduler": "cfs"},
+        "hybrid": {"scheduler": "hybrid", "scheduler_kwargs": hybrid_kwargs()},
+    }
+
+
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
     cost_model = CostModel()
 
-    fifo = run_scenario(policy_scenario("fifo", scale=scale)).result
-    cfs = run_scenario(policy_scenario("cfs", scale=scale)).result
-    hybrid = run_scenario(hybrid_scenario(scale=scale)).result
+    results = run_variants(
+        policy_scenario("fifo", scale=scale), _variants(), jobs=jobs, name=EXPERIMENT_ID
+    )
+    fifo = results["fifo"].result
+    cfs = results["cfs"].result
+    hybrid = results["hybrid"].result
 
     fifo_costs = cost_model.cost_by_memory_size(fifo.finished_tasks, MEMORY_SWEEP_MB)
     cfs_costs = cost_model.cost_by_memory_size(cfs.finished_tasks, MEMORY_SWEEP_MB)

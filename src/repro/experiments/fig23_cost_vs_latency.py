@@ -9,7 +9,7 @@ coordinates per scheduler.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.report import render_table
 from repro.experiments.common import (
@@ -17,32 +17,37 @@ from repro.experiments.common import (
     hybrid_kwargs,
     policy_scenario,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 
 EXPERIMENT_ID = "fig23"
 TITLE = "Cost vs p99 response time for several schedulers"
 
 
-def _scenarios(scale: float):
-    """One declarative scenario per (registry) scheduling policy."""
+def _variants() -> dict:
+    """One sweep point per (registry) scheduling policy."""
     return {
-        "fifo": policy_scenario("fifo", scale=scale),
-        "fifo_100ms": policy_scenario("fifo_preempt", scale=scale, quantum=0.100),
-        "round_robin": policy_scenario("round_robin", scale=scale),
-        "cfs": policy_scenario("cfs", scale=scale),
-        "edf": policy_scenario("edf", scale=scale),
-        "sjf": policy_scenario("sjf", scale=scale),
-        "srtf": policy_scenario("srtf", scale=scale),
-        "shinjuku": policy_scenario("shinjuku", scale=scale),
-        "hybrid": policy_scenario("hybrid", scale=scale, **hybrid_kwargs()),
+        "fifo": {},
+        "fifo_100ms": {
+            "scheduler": "fifo_preempt",
+            "scheduler_kwargs": {"quantum": 0.100},
+        },
+        "round_robin": {"scheduler": "round_robin"},
+        "cfs": {"scheduler": "cfs"},
+        "edf": {"scheduler": "edf"},
+        "sjf": {"scheduler": "sjf"},
+        "srtf": {"scheduler": "srtf"},
+        "shinjuku": {"scheduler": "shinjuku"},
+        "hybrid": {"scheduler": "hybrid", "scheduler_kwargs": hybrid_kwargs()},
     }
 
 
-def run(scale: float = 1.0) -> ExperimentOutput:
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
+    results = run_variants(
+        policy_scenario("fifo", scale=scale), _variants(), jobs=jobs, name=EXPERIMENT_ID
+    )
     points: Dict[str, Dict[str, float]] = {}
-    for name, scenario in _scenarios(scale).items():
-        run_result = run_scenario(scenario)
+    for name, run_result in results.items():
         summary = run_result.summary()
         points[name] = {
             "cost_usd": run_result.cost.total,

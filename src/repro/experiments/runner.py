@@ -7,12 +7,18 @@ Usage::
     repro-experiments --all --scale 0.2
     repro-experiments --all --output results/
     repro-experiments --scenario my_run.json
+    repro-experiments --sweep study.json --jobs 4 --output results/
+    repro-experiments --scenario-dir scenarios/ --scale 0.1
 
 Each experiment prints the rows/series of the corresponding paper figure and
 can optionally write its text output (plus each comparison table as CSV) to
 ``--output``.  ``--scenario`` runs one declarative
 :class:`~repro.scenario.scenario.Scenario` JSON file through the single run
-pipeline instead of a registered experiment.
+pipeline instead of a registered experiment; ``--sweep`` runs a
+:class:`~repro.sweep.spec.SweepSpec` JSON across ``--jobs`` worker
+processes and prints the merged results table; ``--scenario-dir`` runs
+every ``*.json`` in a directory (scenarios and sweep specs both work — a
+file with a top-level ``base`` key is treated as a sweep).
 """
 
 from __future__ import annotations
@@ -56,6 +62,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="run one declarative Scenario JSON file through the run pipeline",
+    )
+    parser.add_argument(
+        "--sweep",
+        type=Path,
+        default=None,
+        help="run one SweepSpec JSON (base scenario + axes/points) across "
+        "--jobs worker processes and print the merged results table",
+    )
+    parser.add_argument(
+        "--scenario-dir",
+        type=Path,
+        default=None,
+        help="run every *.json in a directory (Scenario files and sweep "
+        "specs; a top-level 'base' key marks a sweep)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweeps and sweep-backed experiments "
+        "(default: serial); results are bit-identical for any N",
     )
     parser.add_argument(
         "--trace-out",
@@ -266,6 +294,102 @@ def _run_scenario_file(
     return 0
 
 
+def _run_sweep_file(
+    path: Path,
+    jobs: Optional[int] = None,
+    scale: Optional[float] = None,
+    output: Optional[Path] = None,
+) -> int:
+    """Run one SweepSpec JSON; print (and optionally save) the merged table."""
+    from dataclasses import replace
+
+    from repro.sweep import SweepError, SweepSpec, run_sweep
+    from repro.telemetry.progress import ProgressReporter
+
+    try:
+        spec = SweepSpec.from_json(path.read_text())
+    except OSError as exc:
+        print(f"error: cannot read sweep spec {path}: {exc}", file=sys.stderr)
+        return 1
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: cannot load sweep spec {path}: {exc}", file=sys.stderr)
+        return 1
+    if scale is not None:
+        if spec.base.workload is None:
+            print(
+                f"error: sweep spec {path} has no base workload to scale",
+                file=sys.stderr,
+            )
+            return 1
+        spec = replace(
+            spec, base=replace(spec.base, workload=replace(spec.base.workload, scale=scale))
+        )
+    name = spec.name or path.stem
+    progress = ProgressReporter()
+    started = time.perf_counter()
+    try:
+        table = run_sweep(spec, jobs=jobs, progress=progress)
+    except SweepError as exc:
+        print(f"error: sweep {name} failed: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    rendered = table.render(title=f"sweep {name}: {len(table.rows)} points")
+    rendered += f"\n\n[completed in {elapsed:.1f}s, jobs={jobs or 1}]"
+    print(rendered)
+    if output is not None:
+        if output.exists() and not output.is_dir():
+            print(
+                f"error: output directory {output} collides with an existing "
+                "file; remove it or pick another --output path",
+                file=sys.stderr,
+            )
+            return 1
+        output.mkdir(parents=True, exist_ok=True)
+        (output / f"{name}.txt").write_text(rendered + "\n")
+        table.write_csv(output / f"{name}.csv")
+        table.write_json(output / f"{name}.json")
+    return 0
+
+
+def _run_scenario_dir(
+    directory: Path,
+    jobs: Optional[int] = None,
+    scale: Optional[float] = None,
+    output: Optional[Path] = None,
+) -> int:
+    """Run every ``*.json`` in a directory: scenarios and sweep specs.
+
+    A file whose top-level object has a ``base`` key is a sweep spec;
+    anything else is a plain Scenario.  Files run in sorted-name order so
+    the output is deterministic.
+    """
+    import json
+
+    if not directory.is_dir():
+        print(f"error: --scenario-dir {directory} is not a directory", file=sys.stderr)
+        return 1
+    paths = sorted(directory.glob("*.json"))
+    if not paths:
+        print(f"error: no *.json files in {directory}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        print(f"=== {path.name} ===")
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load {path}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        if isinstance(payload, dict) and "base" in payload:
+            status = _run_sweep_file(path, jobs=jobs, scale=scale, output=output)
+        else:
+            status = _run_scenario_file(path, scale=scale, output=output)
+        failures += status != 0
+        print()
+    return 1 if failures else 0
+
+
 def run_cli(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -274,6 +398,19 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
         for experiment_id in list_experiments():
             print(experiment_id)
         return 0
+
+    if args.jobs is not None and args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
+    if args.sweep is not None:
+        return _run_sweep_file(
+            args.sweep, jobs=args.jobs, scale=args.scale, output=args.output
+        )
+    if args.scenario_dir is not None:
+        return _run_scenario_dir(
+            args.scenario_dir, jobs=args.jobs, scale=args.scale, output=args.output
+        )
 
     if args.scenario is not None:
         return _run_scenario_file(
@@ -317,6 +454,13 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     if args.output is not None:
+        if args.output.exists() and not args.output.is_dir():
+            print(
+                f"error: output directory {args.output} collides with an "
+                "existing file; remove it or pick another --output path",
+                file=sys.stderr,
+            )
+            return 1
         args.output.mkdir(parents=True, exist_ok=True)
 
     scale = args.scale if args.scale is not None else 1.0
@@ -324,8 +468,8 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
     for experiment_id in selected:
         started = time.perf_counter()
         try:
-            output = run_experiment(experiment_id, scale=scale)
-        except KeyError as exc:
+            output = run_experiment(experiment_id, scale=scale, jobs=args.jobs)
+        except (KeyError, ValueError, TypeError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             failures += 1
             continue
@@ -335,7 +479,11 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
         print()
         if args.output is not None:
             (args.output / f"{experiment_id}.txt").write_text(rendered + "\n")
-            output.write_csv(args.output)
+            try:
+                output.write_csv(args.output)
+            except FileExistsError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                failures += 1
     return 1 if failures else 0
 
 

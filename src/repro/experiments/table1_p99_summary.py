@@ -14,36 +14,40 @@ execution time and cost form the lower bound the hybrid approaches.
 
 from __future__ import annotations
 
-from repro.analysis.report import ComparisonTable
+from typing import Optional
+
 from repro.cost.cost_model import CostModel
 from repro.experiments.common import (
     ExperimentOutput,
-    METRIC_COLUMNS,
-    hybrid_scenario,
+    hybrid_kwargs,
     metric_row,
+    metric_table,
     policy_scenario,
     register_experiment,
-    run_scenario,
+    run_variants,
 )
 
 EXPERIMENT_ID = "table1"
 TITLE = "Schedulers' overall performance and cost (Table I)"
 
 
-def run(scale: float = 1.0) -> ExperimentOutput:
-    cost_model = CostModel()
-    results = {
-        "fifo": run_scenario(policy_scenario("fifo", scale=scale)),
-        "cfs": run_scenario(policy_scenario("cfs", scale=scale)),
-        "hybrid": run_scenario(hybrid_scenario(scale=scale)),
+def _variants() -> dict:
+    """The three Table I schedulers as declarative sweep overrides."""
+    return {
+        "fifo": {},
+        "cfs": {"scheduler": "cfs"},
+        "hybrid": {"scheduler": "hybrid", "scheduler_kwargs": hybrid_kwargs()},
     }
 
-    table = ComparisonTable(columns=METRIC_COLUMNS)
-    rows = {}
-    for name, result in results.items():
-        row = metric_row(result, cost_model)
-        table.add_row(name, row)
-        rows[name] = row
+
+def run(scale: float = 1.0, jobs: Optional[int] = None) -> ExperimentOutput:
+    cost_model = CostModel()
+    results = run_variants(
+        policy_scenario("fifo", scale=scale), _variants(), jobs=jobs, name=EXPERIMENT_ID
+    )
+
+    table = metric_table(results, cost_model)
+    rows = {name: metric_row(result, cost_model) for name, result in results.items()}
 
     cheapest = min(rows, key=lambda k: rows[k]["cost_usd"])
     most_expensive = max(rows, key=lambda k: rows[k]["cost_usd"])

@@ -129,6 +129,116 @@ register_workload("firecracker", firecracker_invocations)
 
 
 # ---------------------------------------------------------------------------
+# Shaped variants (the scenarios/ library)
+# ---------------------------------------------------------------------------
+#
+# These reshape the canonical traces by warping arrival times with a strictly
+# increasing map g(t) (task order, counts and service times are untouched, so
+# summaries stay comparable across shapes) or by assigning fair-share
+# weights.  All randomness is seeded — the builders are bit-identical across
+# processes, which the sweep executor's determinism contract relies on.
+
+
+def _warp_arrivals(tasks: List[Task], warp: Callable[[float], float]) -> List[Task]:
+    """Apply a strictly increasing time warp to every arrival in place."""
+    for task in tasks:
+        task.arrival_time = warp(task.arrival_time)
+    tasks.sort(key=lambda task: (task.arrival_time, task.task_id))
+    return tasks
+
+
+def bursty_workload(
+    scale: float = 1.0,
+    period: float = 30.0,
+    burst_fraction: float = 0.2,
+) -> List[Task]:
+    """Two-minute trace compressed into cyclic arrival bursts.
+
+    Each ``period``-second cycle's arrivals land inside its first
+    ``burst_fraction`` — a piecewise-linear monotone warp, so the mean
+    arrival rate is unchanged but the instantaneous rate peaks at
+    ``1 / burst_fraction`` times the trace's.
+    """
+    if not 0.0 < burst_fraction <= 1.0:
+        raise ValueError(
+            f"burst_fraction must be in (0, 1], got {burst_fraction!r}"
+        )
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period!r}")
+
+    def warp(t: float) -> float:
+        cycle, offset = divmod(t, period)
+        return cycle * period + offset * burst_fraction
+
+    return _warp_arrivals(two_minute_workload(scale), warp)
+
+
+def diurnal_workload(
+    scale: float = 1.0,
+    amplitude: float = 0.8,
+    cycles: float = 2.0,
+) -> List[Task]:
+    """Ten-minute trace reshaped into smooth peak/trough load cycles.
+
+    Arrival times are warped by ``g(t) = t - (A*T / 2*pi*c) * sin(2*pi*c*t/T)``
+    with span ``T``, amplitude ``A`` and ``c`` cycles: ``g'(t)`` ranges over
+    ``[1 - A, 1 + A]``, so the instantaneous arrival rate swings by the same
+    factor while ``g`` stays strictly increasing (``A < 1``) and total span
+    is preserved (``g(0) = 0``, ``g(T) = T``).
+    """
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError(f"amplitude must be in [0, 1), got {amplitude!r}")
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles!r}")
+    import math
+
+    tasks = ten_minute_workload(scale)
+    span = max((task.arrival_time for task in tasks), default=0.0)
+    if span <= 0.0 or amplitude == 0.0:
+        return tasks
+    omega = 2.0 * math.pi * cycles / span
+
+    def warp(t: float) -> float:
+        return t - (amplitude / omega) * math.sin(omega * t)
+
+    return _warp_arrivals(tasks, warp)
+
+
+def priority_tiered_workload(
+    scale: float = 1.0,
+    high_fraction: float = 0.1,
+    high_weight: float = 4.0,
+    seed: int = 31,
+) -> List[Task]:
+    """Two-minute trace with a seeded high-priority tier.
+
+    A ``high_fraction`` slice of tasks (chosen by a seeded per-task draw, so
+    membership is stable across runs and worker processes) gets fair-share
+    weight ``high_weight``; the rest keep weight 1.0.  Meaningful under
+    weight-aware schedulers (``cfs``, ``hybrid``).
+    """
+    if not 0.0 <= high_fraction <= 1.0:
+        raise ValueError(
+            f"high_fraction must be in [0, 1], got {high_fraction!r}"
+        )
+    if high_weight <= 0:
+        raise ValueError(f"high_weight must be positive, got {high_weight!r}")
+    import random
+
+    rng = random.Random(seed)
+    tasks = two_minute_workload(scale)
+    for task in tasks:
+        if rng.random() < high_fraction:
+            task.weight = high_weight
+    return tasks
+
+
+register_workload("bursty", bursty_workload)
+register_workload("diurnal", diurnal_workload)
+register_workload("priority_tiered", priority_tiered_workload)
+
+
+# ---------------------------------------------------------------------------
 # Streaming sources
 # ---------------------------------------------------------------------------
 #

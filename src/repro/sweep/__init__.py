@@ -1,0 +1,42 @@
+"""Parallel sweep engine: declarative studies over the scenario layer.
+
+A :class:`~repro.sweep.spec.SweepSpec` is a base
+:class:`~repro.scenario.scenario.Scenario` plus grid/random axes (or
+explicit labelled points) over any scenario field, addressed by dotted
+path (``scheduler``, ``workload.scale``, ``chaos.crash_rate``,
+``network.rtt`` …).  :func:`~repro.sweep.executor.run_sweep` expands the
+spec and fans the points across a ``multiprocessing`` pool; the merged
+:class:`~repro.sweep.table.SweepTable` has one row per point (swept
+fields + task-metrics summary + cost + SLO/chaos counters) and exports
+to CSV/JSON.  Every point is bit-identical to a serial
+:func:`repro.scenario.run.run` of the same scenario, regardless of
+worker count or completion order.
+"""
+
+from repro.sweep.executor import run_sweep, sweep_results
+from repro.sweep.spec import (
+    GridAxis,
+    PointSpec,
+    RandomAxis,
+    SweepError,
+    SweepPoint,
+    SweepSpec,
+    apply_overrides,
+    derive_seed,
+)
+from repro.sweep.table import SweepTable, point_row
+
+__all__ = [
+    "GridAxis",
+    "PointSpec",
+    "RandomAxis",
+    "SweepError",
+    "SweepPoint",
+    "SweepSpec",
+    "SweepTable",
+    "apply_overrides",
+    "derive_seed",
+    "point_row",
+    "run_sweep",
+    "sweep_results",
+]

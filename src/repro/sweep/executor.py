@@ -1,0 +1,182 @@
+"""Pool executor: fan sweep points across worker processes.
+
+Determinism contract: every point's scenario is rebuilt from its dict
+form and run through the one :func:`repro.scenario.run.run` pipeline —
+exactly what a serial run of the same scenario does — and results are
+merged in point-index order.  Worker count, start method (fork or
+spawn) and completion order therefore cannot change a single cell of
+the merged table; ``jobs`` only changes wall-clock time.
+
+Spawn safety: workers receive only JSON-able payloads (the scenario's
+dict form plus the point's identity) and the worker entry points are
+module-level functions, so the pool works under every start method the
+platform offers.  Results cross back as value objects
+(:class:`~repro.simulation.results.SimulationResult` /
+:class:`~repro.cluster.results.ClusterResult` are documented picklable)
+or, on the table path, as compact row dicts.
+
+Progress: each completed point lands in ONE parent-side
+:class:`~repro.telemetry.progress.ProgressReporter` — workers stay
+silent, the parent aggregates, so ``--jobs 8`` prints the same single
+progress stream as a serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.scenario.run import RunResult
+from repro.scenario.scenario import Scenario
+from repro.sweep.spec import SweepError, SweepPoint, SweepSpec
+from repro.sweep.table import SweepTable, point_row
+
+#: A worker either succeeds (payload index, value, None) or reports the
+#: formatted traceback (payload index, None, text) for the parent to
+#: re-raise with the point's label attached.
+_WorkerResult = Tuple[int, object, Optional[str]]
+
+
+def _row_worker(payload) -> _WorkerResult:
+    """Run one point and reduce it to a merged-table row (compact pickle)."""
+    index, label, overrides, data = payload
+    try:
+        from repro.scenario.run import run
+
+        run_result = run(Scenario.from_dict(data))
+        return index, point_row(index, label, overrides, run_result), None
+    except Exception:  # noqa: BLE001 - reported with the point label
+        return index, None, traceback.format_exc()
+
+
+def _result_worker(payload) -> _WorkerResult:
+    """Run one point and ship the full result + cost value objects back."""
+    index, _label, _overrides, data = payload
+    try:
+        from repro.scenario.run import run
+
+        run_result = run(Scenario.from_dict(data))
+        return index, (run_result.result, run_result.cost), None
+    except Exception:  # noqa: BLE001 - reported with the point label
+        return index, None, traceback.format_exc()
+
+
+def _execute(
+    points: Sequence[SweepPoint],
+    worker: Callable[[object], _WorkerResult],
+    jobs: Optional[int],
+    mp_context: Optional[str],
+    on_point_done: Optional[Callable[[SweepPoint, object], None]] = None,
+) -> List[object]:
+    """Run ``worker`` over every point; return values in point order."""
+    payloads = [
+        (point.index, point.label, point.overrides, point.scenario.to_dict())
+        for point in points
+    ]
+    by_index: Dict[int, object] = {}
+
+    def _collect(outcome: _WorkerResult) -> None:
+        index, value, error = outcome
+        point = points[index]
+        if error is not None:
+            raise SweepError(
+                f"sweep point {point.index} ({point.label!r}) failed:\n{error}"
+            )
+        by_index[index] = value
+        if on_point_done is not None:
+            on_point_done(point, value)
+
+    effective_jobs = 1 if jobs is None else int(jobs)
+    if effective_jobs < 1:
+        raise SweepError(f"jobs must be >= 1, got {jobs!r}")
+    if effective_jobs == 1 or len(payloads) <= 1:
+        for payload in payloads:
+            _collect(worker(payload))
+    else:
+        context = multiprocessing.get_context(mp_context)
+        processes = min(effective_jobs, len(payloads))
+        with context.Pool(processes=processes) as pool:
+            # Unordered on purpose: the merge below is index-keyed, so
+            # completion order is free to vary with load.
+            for outcome in pool.imap_unordered(worker, payloads, chunksize=1):
+                _collect(outcome)
+    return [by_index[point.index] for point in points]
+
+
+def _progress_callback(progress, points: Sequence[SweepPoint]):
+    """Adapt completed points onto the single parent-side reporter."""
+    if progress is None:
+        return None, None
+    total = len(points)
+    state = {"done": 0, "sim_seconds": 0.0}
+
+    def on_point_done(point: SweepPoint, value: object) -> None:
+        state["done"] += 1
+        if isinstance(value, dict):
+            state["sim_seconds"] += float(value.get("makespan", 0.0) or 0.0)
+        elif isinstance(value, tuple):
+            result = value[0]
+            summary = getattr(result, "summary", None)
+            if callable(summary):
+                state["sim_seconds"] += float(summary().makespan)
+        progress.report(state["sim_seconds"], state["done"], total)
+
+    def close() -> None:
+        progress.close(state["sim_seconds"], state["done"], total)
+
+    return on_point_done, close
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: Optional[int] = None,
+    mp_context: Optional[str] = None,
+    progress=None,
+) -> SweepTable:
+    """Expand a spec, fan its points over ``jobs`` workers, merge the table.
+
+    Args:
+        spec: The declarative sweep.
+        jobs: Worker processes; ``None``/1 runs serially in-process.
+        mp_context: ``multiprocessing`` start method (``"fork"``,
+            ``"spawn"`` …); ``None`` uses the platform default.
+        progress: Optional
+            :class:`~repro.telemetry.progress.ProgressReporter`; every
+            completed point updates this one parent-side reporter.
+    """
+    points = spec.expand()
+    on_point_done, close = _progress_callback(progress, points)
+    rows = _execute(points, _row_worker, jobs, mp_context, on_point_done)
+    if close is not None:
+        close()
+    return SweepTable(rows=rows, name=spec.name)
+
+
+def sweep_results(
+    spec: SweepSpec,
+    jobs: Optional[int] = None,
+    mp_context: Optional[str] = None,
+    progress=None,
+) -> Dict[str, RunResult]:
+    """Like :func:`run_sweep` but keep the full per-point results.
+
+    Returns ``{label: RunResult}`` in point order — what the ported
+    experiment modules consume: they need finished-task lists, per-core
+    counters and series, not just the summary row.  Pool workers ship
+    the (picklable) result and cost value objects; the in-process
+    scheduler handle is not carried across, so ``RunResult.scheduler``
+    is ``None`` on every point (experiments needing live scheduler
+    state stay on the serial pipeline).
+    """
+    points = spec.expand()
+    on_point_done, close = _progress_callback(progress, points)
+    values = _execute(points, _result_worker, jobs, mp_context, on_point_done)
+    if close is not None:
+        close()
+    out: Dict[str, RunResult] = {}
+    for point, (result, cost) in zip(points, values):
+        out[point.label] = RunResult(
+            scenario=point.scenario, result=result, cost=cost
+        )
+    return out

@@ -1,0 +1,457 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` describes a study as data: one base
+:class:`~repro.scenario.scenario.Scenario` plus either
+
+* **axes** — :class:`GridAxis` (cartesian product) and/or
+  :class:`RandomAxis` (seeded sampling, requires ``samples``) over any
+  scenario field, or
+* **points** — an explicit list of labelled :class:`PointSpec` override
+  dicts (what the ported experiments use: "run exactly these variants").
+
+Fields are addressed by *dotted path* into the scenario's dict form, so
+nested middleware/chaos/network/stream parameters are sweepable without
+special cases: ``workload.scale``, ``scheduler_kwargs.quantum``,
+``chaos.crash_rate``, ``network.rtt``, ``migration_kwargs.checkpoint``.
+Unknown top-level fields fail with an error that names the bad field
+(and suggests the nearest real one) instead of surfacing a ``TypeError``
+from the scenario constructor three layers down.
+
+Expansion is canonical: grid axes are multiplied in sorted-field order
+and random axes draw from per-field seeded streams, so two specs that
+differ only in axis *ordering* expand to the same points in the same
+order — one of the determinism guarantees the executor builds on.
+"""
+
+from __future__ import annotations
+
+import difflib
+import hashlib
+import itertools
+import json
+import math
+import random
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.scenario.scenario import Scenario
+
+
+class SweepError(ValueError):
+    """A malformed sweep spec or override; the message names the bad field."""
+
+
+def _scenario_field_names() -> Tuple[str, ...]:
+    return tuple(f.name for f in dataclass_fields(Scenario))
+
+
+def _suggest(name: str, candidates: Sequence[str]) -> str:
+    matches = difflib.get_close_matches(name, candidates, n=1)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
+def apply_overrides(
+    base: Scenario, overrides: Mapping[str, object]
+) -> Scenario:
+    """Patch a scenario with dotted-path overrides and rebuild it.
+
+    Works on the scenario's dict form so every JSON-serialisable field —
+    including nested spec blocks that the base scenario leaves at their
+    defaults — is reachable.  Intermediate dicts are created on demand;
+    a path that descends into a non-dict value is an error.
+    """
+    data = base.to_dict()
+    valid = _scenario_field_names()
+    for path, value in overrides.items():
+        if not path or not isinstance(path, str):
+            raise SweepError(f"override field names must be non-empty strings, got {path!r}")
+        parts = path.split(".")
+        if parts[0] not in valid:
+            raise SweepError(
+                f"unknown scenario field {parts[0]!r} in override {path!r}"
+                f"{_suggest(parts[0], valid)}"
+            )
+        node = data
+        for depth, part in enumerate(parts[:-1]):
+            child = node.get(part)
+            if child is None:
+                child = node[part] = {}
+            elif not isinstance(child, dict):
+                prefix = ".".join(parts[: depth + 1])
+                raise SweepError(
+                    f"override {path!r} descends into {prefix!r}, "
+                    f"which is {type(child).__name__}, not a mapping"
+                )
+            node = child
+        node[parts[-1]] = value
+    try:
+        return Scenario.from_dict(data)
+    except (TypeError, ValueError, KeyError) as exc:
+        applied = ", ".join(sorted(overrides))
+        raise SweepError(
+            f"overrides [{applied}] do not form a valid scenario: {exc}"
+        ) from exc
+
+
+def derive_seed(sweep_seed: int, index: int) -> int:
+    """Stable per-point seed: independent of host, process and axis order."""
+    digest = hashlib.blake2b(
+        f"{sweep_seed}:{index}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % (2**31 - 1)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class GridAxis:
+    """Every value of ``field``, crossed with every other grid axis.
+
+    ``labels`` (optional, same length as ``values``) replaces the default
+    ``field=value`` fragment in point labels — the ported experiments use
+    it to keep their historical row names.
+    """
+
+    field: str
+    values: Tuple[object, ...]
+    labels: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        if self.labels is not None:
+            object.__setattr__(self, "labels", tuple(self.labels))
+        if not self.field or not isinstance(self.field, str):
+            raise SweepError(f"grid axis field must be a non-empty string, got {self.field!r}")
+        if not self.values:
+            raise SweepError(f"grid axis {self.field!r} has no values")
+        if self.labels is not None and len(self.labels) != len(self.values):
+            raise SweepError(
+                f"grid axis {self.field!r} has {len(self.values)} values "
+                f"but {len(self.labels)} labels"
+            )
+
+    def label_for(self, position: int) -> str:
+        if self.labels is not None:
+            return self.labels[position]
+        return f"{self.field}={_format_value(self.values[position])}"
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"field": self.field, "values": list(self.values)}
+        if self.labels is not None:
+            data["labels"] = list(self.labels)
+        return data
+
+
+@dataclass(frozen=True)
+class RandomAxis:
+    """A seeded uniform (optionally log-uniform / integer) draw per sample.
+
+    Each axis draws from its own RNG stream keyed by (sweep seed, field),
+    so adding, removing or reordering axes never shifts another axis's
+    values.
+    """
+
+    field: str
+    low: float
+    high: float
+    log: bool = False
+    integer: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.field or not isinstance(self.field, str):
+            raise SweepError(f"random axis field must be a non-empty string, got {self.field!r}")
+        if not self.high >= self.low:
+            raise SweepError(
+                f"random axis {self.field!r} needs high >= low, "
+                f"got low={self.low!r} high={self.high!r}"
+            )
+        if self.log and self.low <= 0:
+            raise SweepError(
+                f"log-scale random axis {self.field!r} needs low > 0, got {self.low!r}"
+            )
+
+    def draw(self, sweep_seed: int, sample: int) -> object:
+        # One independent, order-insensitive stream per (seed, field, sample),
+        # so reordering or adding axes never shifts another axis's draws.
+        rng = random.Random(
+            hashlib.blake2b(
+                f"{sweep_seed}:{self.field}:{sample}".encode(), digest_size=8
+            ).digest()
+        )
+        if self.log:
+            value: float = math.exp(
+                rng.uniform(math.log(self.low), math.log(self.high))
+            )
+        else:
+            value = rng.uniform(self.low, self.high)
+        if self.integer:
+            return int(round(value))
+        return value
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "field": self.field,
+            "low": self.low,
+            "high": self.high,
+            "random": True,
+        }
+        if self.log:
+            data["log"] = True
+        if self.integer:
+            data["integer"] = True
+        return data
+
+
+Axis = Union[GridAxis, RandomAxis]
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One explicit sweep point: a label plus a dotted-path override dict."""
+
+    label: str
+    overrides: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.label or not isinstance(self.label, str):
+            raise SweepError(f"point labels must be non-empty strings, got {self.label!r}")
+        object.__setattr__(self, "overrides", dict(self.overrides))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"label": self.label, "overrides": dict(self.overrides)}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One expanded point: the scenario to run plus its table identity."""
+
+    index: int
+    label: str
+    overrides: Dict[str, object]
+    scenario: Scenario
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative study: base scenario + axes or explicit points."""
+
+    base: Scenario
+    axes: Tuple[Axis, ...] = ()
+    points: Tuple[PointSpec, ...] = ()
+    samples: int = 0
+    seed: int = 0
+    derive_seeds: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", tuple(self.axes))
+        object.__setattr__(self, "points", tuple(self.points))
+        if not isinstance(self.base, Scenario):
+            raise SweepError(
+                f"sweep base must be a Scenario, got {type(self.base).__name__}"
+            )
+        if self.points and self.axes:
+            raise SweepError("a sweep takes either axes or explicit points, not both")
+        if not self.points and not self.axes:
+            raise SweepError("a sweep needs at least one axis or one explicit point")
+        randoms = [a for a in self.axes if isinstance(a, RandomAxis)]
+        if randoms and self.samples <= 0:
+            names = ", ".join(repr(a.field) for a in randoms)
+            raise SweepError(
+                f"random axes ({names}) need samples > 0, got {self.samples!r}"
+            )
+        if self.samples and not randoms:
+            raise SweepError(
+                "samples is only meaningful with random axes; "
+                "grid-only sweeps enumerate every combination"
+            )
+        seen: Dict[str, Axis] = {}
+        for axis in self.axes:
+            if axis.field in seen:
+                raise SweepError(f"duplicate sweep axis for field {axis.field!r}")
+            seen[axis.field] = axis
+        labels = [p.label for p in self.points]
+        if len(set(labels)) != len(labels):
+            dupes = sorted({l for l in labels if labels.count(l) > 1})
+            raise SweepError(f"duplicate point labels: {', '.join(dupes)}")
+
+    # -- expansion ---------------------------------------------------------
+
+    def expand(self) -> List[SweepPoint]:
+        """Materialise every point, in canonical (axis-order-free) order."""
+        if self.points:
+            raw = [(p.label, dict(p.overrides)) for p in self.points]
+        elif any(isinstance(a, RandomAxis) for a in self.axes):
+            raw = self._expand_random()
+        else:
+            raw = self._expand_grid()
+        points: List[SweepPoint] = []
+        for index, (label, overrides) in enumerate(raw):
+            if self.derive_seeds and "seed" not in overrides:
+                overrides = dict(overrides)
+                overrides["seed"] = derive_seed(self.seed, index)
+            scenario = apply_overrides(self.base, overrides)
+            points.append(SweepPoint(index, label, dict(overrides), scenario))
+        return points
+
+    def _sorted_axes(self) -> List[Axis]:
+        return sorted(self.axes, key=lambda axis: axis.field)
+
+    def _expand_grid(self) -> List[Tuple[str, Dict[str, object]]]:
+        axes = self._sorted_axes()
+        raw = []
+        for combo in itertools.product(*(range(len(a.values)) for a in axes)):
+            overrides = {a.field: a.values[i] for a, i in zip(axes, combo)}
+            label = ",".join(a.label_for(i) for a, i in zip(axes, combo))
+            raw.append((label, overrides))
+        return raw
+
+    def _expand_random(self) -> List[Tuple[str, Dict[str, object]]]:
+        axes = self._sorted_axes()
+        raw = []
+        for sample in range(self.samples):
+            overrides: Dict[str, object] = {}
+            fragments = []
+            for axis in axes:
+                if isinstance(axis, RandomAxis):
+                    value = axis.draw(self.seed, sample)
+                    fragments.append(f"{axis.field}={_format_value(value)}")
+                else:
+                    position = random.Random(
+                        hashlib.blake2b(
+                            f"{self.seed}:{axis.field}:{sample}".encode(),
+                            digest_size=8,
+                        ).digest()
+                    ).randrange(len(axis.values))
+                    value = axis.values[position]
+                    fragments.append(axis.label_for(position))
+                overrides[axis.field] = value
+            raw.append((f"s{sample:03d}:" + ",".join(fragments), overrides))
+        return raw
+
+    # -- JSON round trip ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"base": self.base.to_dict()}
+        if self.name:
+            data["name"] = self.name
+        if self.axes:
+            data["axes"] = [a.to_dict() for a in self.axes]
+        if self.points:
+            data["points"] = [p.to_dict() for p in self.points]
+        if self.samples:
+            data["samples"] = self.samples
+        if self.seed:
+            data["seed"] = self.seed
+        if self.derive_seeds:
+            data["derive_seeds"] = True
+        return data
+
+    def to_json(self, **kwargs) -> str:
+        kwargs.setdefault("indent", 2)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
+        if not isinstance(data, Mapping):
+            raise SweepError(
+                f"a sweep spec must be a JSON object, got {type(data).__name__}"
+            )
+        known = ("base", "axes", "points", "samples", "seed", "derive_seeds", "name")
+        for key in data:
+            if key not in known:
+                raise SweepError(
+                    f"unknown sweep spec field {key!r}{_suggest(str(key), known)}"
+                )
+        if "base" not in data:
+            raise SweepError("sweep spec is missing the required 'base' scenario")
+        try:
+            base = Scenario.from_dict(data["base"])
+        except (TypeError, ValueError, KeyError) as exc:
+            raise SweepError(f"bad base scenario: {exc}") from exc
+        axes = tuple(_axis_from_dict(raw) for raw in data.get("axes", ()))
+        points = tuple(_point_from_dict(raw) for raw in data.get("points", ()))
+        return cls(
+            base=base,
+            axes=axes,
+            points=points,
+            samples=int(data.get("samples", 0)),
+            seed=int(data.get("seed", 0)),
+            derive_seeds=bool(data.get("derive_seeds", False)),
+            name=str(data.get("name", "")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepError(f"sweep spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _axis_from_dict(raw: object) -> Axis:
+    if not isinstance(raw, Mapping):
+        raise SweepError(f"each axis must be a JSON object, got {type(raw).__name__}")
+    if "field" not in raw:
+        raise SweepError(f"axis {dict(raw)!r} is missing the required 'field'")
+    if raw.get("random") or ("low" in raw and "high" in raw and "values" not in raw):
+        known = ("field", "low", "high", "log", "integer", "random")
+        for key in raw:
+            if key not in known:
+                raise SweepError(
+                    f"unknown random-axis field {key!r} on axis "
+                    f"{raw['field']!r}{_suggest(str(key), known)}"
+                )
+        missing = [key for key in ("low", "high") if key not in raw]
+        if missing:
+            raise SweepError(
+                f"random axis {raw['field']!r} is missing {', '.join(repr(m) for m in missing)}"
+            )
+        return RandomAxis(
+            field=str(raw["field"]),
+            low=float(raw["low"]),
+            high=float(raw["high"]),
+            log=bool(raw.get("log", False)),
+            integer=bool(raw.get("integer", False)),
+        )
+    known = ("field", "values", "labels")
+    for key in raw:
+        if key not in known:
+            raise SweepError(
+                f"unknown grid-axis field {key!r} on axis "
+                f"{raw['field']!r}{_suggest(str(key), known)}"
+            )
+    if "values" not in raw:
+        raise SweepError(
+            f"grid axis {raw['field']!r} is missing 'values' "
+            "(or 'low'/'high' for a random axis)"
+        )
+    labels = raw.get("labels")
+    return GridAxis(
+        field=str(raw["field"]),
+        values=tuple(raw["values"]),
+        labels=tuple(labels) if labels is not None else None,
+    )
+
+
+def _point_from_dict(raw: object) -> PointSpec:
+    if not isinstance(raw, Mapping):
+        raise SweepError(f"each point must be a JSON object, got {type(raw).__name__}")
+    known = ("label", "overrides")
+    for key in raw:
+        if key not in known:
+            raise SweepError(f"unknown point field {key!r}{_suggest(str(key), known)}")
+    if "label" not in raw:
+        raise SweepError(f"point {dict(raw)!r} is missing the required 'label'")
+    overrides = raw.get("overrides", {})
+    if not isinstance(overrides, Mapping):
+        raise SweepError(
+            f"point {raw['label']!r} overrides must be a JSON object, "
+            f"got {type(overrides).__name__}"
+        )
+    return PointSpec(label=str(raw["label"]), overrides=dict(overrides))

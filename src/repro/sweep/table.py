@@ -1,0 +1,181 @@
+"""The merged sweep results table.
+
+One row per sweep point: point index and label, the swept override
+values, the full :class:`~repro.simulation.metrics.TaskMetricsSummary`,
+cost (user billing plus fleet node-hours for cluster runs) and the
+SLO/chaos counters.  Rows are plain dicts keyed by column name, merged
+in point-index order regardless of which worker finished first, so the
+table is byte-stable across ``--jobs`` settings.
+
+Exports share the one CSV formatter in :mod:`repro.analysis.export`
+(directories created on demand, floats at 6 decimals) and a JSON form
+that round-trips through :meth:`SweepTable.from_json`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.report import render_table
+from repro.scenario.run import RunResult
+
+#: Result columns present in every row, after the per-sweep override
+#: columns.  Cluster-only counters are zero for single-machine points.
+RESULT_COLUMNS = (
+    "count",
+    "mean_execution",
+    "mean_response",
+    "mean_turnaround",
+    "p50_execution",
+    "p50_response",
+    "p50_turnaround",
+    "p90_execution",
+    "p90_response",
+    "p90_turnaround",
+    "p99_execution",
+    "p99_response",
+    "p99_turnaround",
+    "total_execution",
+    "total_service",
+    "makespan",
+    "user_cost",
+    "node_cost",
+    "total_cost",
+    "tasks_rejected",
+    "nodes_failed",
+    "tasks_lost",
+    "tasks_checkpointed",
+    "wasted_service",
+    "unserved",
+    "slo_attainment",
+)
+
+
+def point_row(
+    index: int,
+    label: str,
+    overrides: Dict[str, object],
+    run_result: RunResult,
+) -> Dict[str, object]:
+    """One merged-table row from a finished point.
+
+    Pure function of the run's value objects, so workers can build rows
+    in-process and ship only the compact dict back to the parent.
+    """
+    row: Dict[str, object] = {"point": index, "label": label}
+    for key in sorted(overrides):
+        row[key] = overrides[key]
+    row.update(run_result.summary().as_dict())
+
+    cost = run_result.cost
+    result = run_result.result
+    node_cost = float(getattr(cost, "node_cost", 0.0))
+    user_cost = float(getattr(cost, "user_cost", cost.total))
+    row["user_cost"] = user_cost
+    row["node_cost"] = node_cost
+    row["total_cost"] = float(cost.total)
+
+    row["tasks_rejected"] = int(getattr(result, "tasks_rejected", 0))
+    row["nodes_failed"] = int(getattr(result, "nodes_failed", 0))
+    row["tasks_lost"] = int(getattr(result, "tasks_lost", 0))
+    row["tasks_checkpointed"] = int(getattr(result, "tasks_checkpointed", 0))
+    row["wasted_service"] = float(getattr(result, "wasted_service", 0.0))
+    unserved = getattr(result, "unserved_tasks", None)
+    row["unserved"] = int(unserved()) if callable(unserved) else 0
+    tracker = getattr(result, "middleware_stats", {}).get("slo_tracker", {})
+    row["slo_attainment"] = float(tracker.get("attainment", 0.0))
+    return row
+
+
+class SweepTable:
+    """Columnar view over the merged per-point rows."""
+
+    def __init__(self, rows: Sequence[Dict[str, object]], name: str = "") -> None:
+        self.rows: List[Dict[str, object]] = sorted(
+            (dict(row) for row in rows), key=lambda row: row.get("point", 0)
+        )
+        self.name = name
+        swept: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key in ("point", "label") or key in RESULT_COLUMNS:
+                    continue
+                if key not in swept:
+                    swept.append(key)
+        self.swept_columns: List[str] = sorted(swept)
+        self.columns: List[str] = (
+            ["point", "label"] + self.swept_columns + list(RESULT_COLUMNS)
+        )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in point order (missing cells → None)."""
+        if name not in self.columns:
+            raise KeyError(
+                f"unknown sweep column {name!r}; available: {', '.join(self.columns)}"
+            )
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, label: str) -> Dict[str, object]:
+        for row in self.rows:
+            if row.get("label") == label:
+                return row
+        raise KeyError(
+            f"no sweep point labelled {label!r}; available: "
+            + ", ".join(str(row.get("label")) for row in self.rows)
+        )
+
+    # -- rendering / export ------------------------------------------------
+
+    def _cell(self, row: Dict[str, object], column: str) -> str:
+        value = row.get(column)
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self, title: Optional[str] = None) -> str:
+        """Text table of the headline columns (full detail goes to CSV)."""
+        shown = (
+            ["point", "label"]
+            + self.swept_columns
+            + [
+                "count",
+                "p50_turnaround",
+                "p99_turnaround",
+                "total_execution",
+                "total_cost",
+            ]
+        )
+        body = [[self._cell(row, column) for column in shown] for row in self.rows]
+        heading = title if title is not None else (self.name or "sweep")
+        return render_table(shown, body, title=heading)
+
+    def write_csv(self, path: Union[str, Path]) -> Path:
+        from repro.analysis.export import write_csv
+
+        return write_csv(
+            path,
+            self.columns,
+            [[row.get(column) for column in self.columns] for row in self.rows],
+        )
+
+    def to_json(self, **kwargs) -> str:
+        kwargs.setdefault("indent", 2)
+        return json.dumps({"name": self.name, "rows": self.rows}, **kwargs)
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n")
+        return target
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepTable":
+        data = json.loads(text)
+        return cls(rows=data.get("rows", []), name=data.get("name", ""))
